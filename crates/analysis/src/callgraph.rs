@@ -1,0 +1,193 @@
+//! Call graph over a whole program.
+//!
+//! Both detectors in the paper perform interprocedural analysis; the call
+//! graph provides the edges, including functions passed by name to
+//! `thread::spawn` and `once::call_once`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{Callee, Const, Operand, Program, TerminatorKind};
+
+/// One call edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Calling function.
+    pub caller: String,
+    /// Called function.
+    pub callee: String,
+    /// Where in the caller the call happens.
+    pub location: Location,
+    /// Whether the edge comes from `thread::spawn`/`once::call_once`
+    /// rather than a direct call.
+    pub via_closure: bool,
+}
+
+/// The program's call graph.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraph {
+    edges: Vec<CallSite>,
+    callees: BTreeMap<String, BTreeSet<String>>,
+    callers: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (name, body) in program.iter() {
+            for bb in body.block_indices() {
+                let data = body.block(bb);
+                let Some(term) = &data.terminator else {
+                    continue;
+                };
+                let location = Location {
+                    block: bb,
+                    statement_index: data.statements.len(),
+                };
+                if let TerminatorKind::Call { func, args, .. } = &term.kind {
+                    match func {
+                        Callee::Fn(callee) => {
+                            g.add_edge(name, callee, location, false);
+                        }
+                        Callee::Intrinsic(
+                            rstudy_mir::Intrinsic::ThreadSpawn
+                            | rstudy_mir::Intrinsic::OnceCallOnce,
+                        ) => {
+                            for a in args {
+                                if let Operand::Const(Const::Fn(callee)) = a {
+                                    g.add_edge(name, callee, location, true);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    fn add_edge(&mut self, caller: &str, callee: &str, location: Location, via_closure: bool) {
+        self.edges.push(CallSite {
+            caller: caller.to_owned(),
+            callee: callee.to_owned(),
+            location,
+            via_closure,
+        });
+        self.callees
+            .entry(caller.to_owned())
+            .or_default()
+            .insert(callee.to_owned());
+        self.callers
+            .entry(callee.to_owned())
+            .or_default()
+            .insert(caller.to_owned());
+    }
+
+    /// All edges in declaration order.
+    pub fn edges(&self) -> &[CallSite] {
+        &self.edges
+    }
+
+    /// Functions called (directly or via spawn) by `name`.
+    pub fn callees(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.callees
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Functions that call `name`.
+    pub fn callers(&self, name: &str) -> impl Iterator<Item = &str> {
+        self.callers
+            .get(name)
+            .into_iter()
+            .flat_map(|s| s.iter().map(String::as_str))
+    }
+
+    /// Functions reachable from `root` (including `root` itself).
+    pub fn reachable_from(&self, root: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![root.to_owned()];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f.clone()) {
+                for callee in self.callees(&f) {
+                    if !seen.contains(callee) {
+                        stack.push(callee.to_owned());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns `true` if `name` can (transitively) call itself.
+    pub fn is_recursive(&self, name: &str) -> bool {
+        self.callees(name)
+            .any(|c| c == name || self.reachable_from(c).contains(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Intrinsic, Place, Ty};
+
+    fn leaf(name: &str) -> rstudy_mir::Body {
+        let mut b = BodyBuilder::new(name, 0, Ty::Unit);
+        b.ret();
+        b.finish()
+    }
+
+    fn caller(name: &str, callee: &str) -> rstudy_mir::Body {
+        let mut b = BodyBuilder::new(name, 0, Ty::Unit);
+        b.call_fn_cont(callee, vec![], Place::RETURN);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn direct_edges_and_reachability() {
+        let p = Program::from_bodies([caller("main", "a"), caller("a", "b"), leaf("b"), leaf("c")]);
+        let g = CallGraph::build(&p);
+        assert_eq!(g.callees("main").collect::<Vec<_>>(), vec!["a"]);
+        assert_eq!(g.callers("b").collect::<Vec<_>>(), vec!["a"]);
+        let reach = g.reachable_from("main");
+        assert!(reach.contains("b"));
+        assert!(!reach.contains("c"));
+        assert_eq!(g.edges().len(), 2);
+    }
+
+    #[test]
+    fn spawn_creates_closure_edges() {
+        let mut b = BodyBuilder::new("main", 0, Ty::Unit);
+        let h = b.local("h", Ty::JoinHandle(Box::new(Ty::Unit)));
+        b.storage_live(h);
+        b.call_intrinsic_cont(
+            Intrinsic::ThreadSpawn,
+            vec![
+                Operand::Const(Const::Fn("worker".into())),
+                Operand::int(0),
+            ],
+            h,
+        );
+        b.ret();
+        let p = Program::from_bodies([b.finish(), leaf("worker")]);
+        let g = CallGraph::build(&p);
+        let edge = &g.edges()[0];
+        assert_eq!(edge.callee, "worker");
+        assert!(edge.via_closure);
+        assert!(g.reachable_from("main").contains("worker"));
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let p = Program::from_bodies([caller("a", "b"), caller("b", "a"), leaf("c")]);
+        let g = CallGraph::build(&p);
+        assert!(g.is_recursive("a"));
+        assert!(g.is_recursive("b"));
+        assert!(!g.is_recursive("c"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Control-flow-graph utilities: predecessor maps and traversal orders.
+
+use rstudy_mir::{BasicBlock, Body};
+
+/// Precomputed CFG edges for a body.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BasicBlock>>,
+    succs: Vec<Vec<BasicBlock>>,
+}
+
+impl Cfg {
+    /// Builds predecessor/successor maps from a body's terminators.
+    pub fn new(body: &Body) -> Cfg {
+        let n = body.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for bb in body.block_indices() {
+            if let Some(term) = &body.block(bb).terminator {
+                for succ in term.kind.successors() {
+                    succs[bb.index()].push(succ);
+                    preds[succ.index()].push(bb);
+                }
+            }
+        }
+        Cfg { preds, succs }
+    }
+
+    /// Blocks jumping to `bb`.
+    pub fn predecessors(&self, bb: BasicBlock) -> &[BasicBlock] {
+        &self.preds[bb.index()]
+    }
+
+    /// Blocks `bb` jumps to.
+    pub fn successors(&self, bb: BasicBlock) -> &[BasicBlock] {
+        &self.succs[bb.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Returns `true` if the body has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Post-order over blocks reachable from the entry.
+    pub fn postorder(&self) -> Vec<BasicBlock> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        if n == 0 {
+            return order;
+        }
+        // Iterative DFS carrying an explicit successor cursor.
+        let mut stack: Vec<(BasicBlock, usize)> = vec![(BasicBlock::ENTRY, 0)];
+        visited[0] = true;
+        while let Some(&mut (bb, ref mut cursor)) = stack.last_mut() {
+            let succs = self.successors(bb);
+            if *cursor < succs.len() {
+                let next = succs[*cursor];
+                *cursor += 1;
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(bb);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// Reverse post-order (the canonical forward-dataflow iteration order).
+    pub fn reverse_postorder(&self) -> Vec<BasicBlock> {
+        let mut po = self.postorder();
+        po.reverse();
+        po
+    }
+
+    /// Blocks reachable from the entry.
+    pub fn reachable(&self) -> Vec<BasicBlock> {
+        let mut r = self.postorder();
+        r.sort_by_key(|b| b.index());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Operand, Ty};
+
+    /// Diamond: bb0 -> (bb1 | bb2) -> bb3.
+    fn diamond() -> Body {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let (t, e) = b.branch_bool(Operand::int(1));
+        let join = b.new_block();
+        b.switch_to(t);
+        b.goto(join);
+        b.switch_to(e);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn predecessors_and_successors() {
+        let body = diamond();
+        let cfg = Cfg::new(&body);
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.successors(BasicBlock(0)).len(), 2);
+        assert_eq!(cfg.predecessors(BasicBlock(3)).len(), 2);
+        assert_eq!(cfg.predecessors(BasicBlock(0)).len(), 0);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let body = diamond();
+        let cfg = Cfg::new(&body);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo.first(), Some(&BasicBlock(0)));
+        assert_eq!(rpo.last(), Some(&BasicBlock(3)));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_skipped() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.ret();
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret();
+        let body = b.finish();
+        let cfg = Cfg::new(&body);
+        assert_eq!(cfg.reachable(), vec![BasicBlock(0)]);
+    }
+
+    #[test]
+    fn postorder_handles_loops() {
+        // bb0 -> bb1 -> bb2 -> bb1 (back edge), bb2 -> bb3
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let header = b.new_block();
+        b.goto(header);
+        b.switch_to(header);
+        let body_bb = b.new_block();
+        b.goto(body_bb);
+        b.switch_to(body_bb);
+        let exit = b.new_block();
+        b.switch_int(Operand::int(0), vec![(0, header)], exit);
+        b.switch_to(exit);
+        b.ret();
+        let body = b.finish();
+        let cfg = Cfg::new(&body);
+        let po = cfg.postorder();
+        assert_eq!(po.len(), 4);
+        // Entry is last in post-order.
+        assert_eq!(po.last(), Some(&BasicBlock(0)));
+    }
+}

@@ -1,0 +1,383 @@
+//! A generic worklist dataflow engine.
+//!
+//! Analyses implement [`Analysis`]; [`solve`] iterates block transfer
+//! functions to a fixpoint and returns per-block boundary states in a
+//! [`Results`], which can replay transfers to recover the state at any
+//! individual [`Location`].
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{BasicBlock, Body, Statement, Terminator};
+
+use crate::cfg::Cfg;
+
+/// Direction of dataflow propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from entry toward return (e.g. initialized-ness).
+    Forward,
+    /// Facts flow from return toward entry (e.g. liveness).
+    Backward,
+}
+
+/// A dataflow problem over a single body.
+pub trait Analysis {
+    /// The abstract state tracked per program point.
+    type Domain: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// The least element (state assumed before anything is known).
+    fn bottom(&self, body: &Body) -> Self::Domain;
+
+    /// Adjusts the boundary state of the entry block (forward) or of every
+    /// exit block (backward). Defaults to no adjustment.
+    fn initialize(&self, _body: &Body, _state: &mut Self::Domain) {}
+
+    /// Joins `from` into `into`; returns `true` if `into` changed.
+    fn join(&self, into: &mut Self::Domain, from: &Self::Domain) -> bool;
+
+    /// Applies one statement's transfer function.
+    fn apply_statement(&self, state: &mut Self::Domain, stmt: &Statement, loc: Location);
+
+    /// Applies one terminator's transfer function.
+    fn apply_terminator(&self, state: &mut Self::Domain, term: &Terminator, loc: Location);
+}
+
+/// Fixpoint results: one boundary state per block.
+///
+/// For a forward analysis the boundary is the block's *entry*; for a
+/// backward analysis it is the block's *exit*.
+#[derive(Debug, Clone)]
+pub struct Results<A: Analysis> {
+    /// The analysis instance (kept to replay transfers).
+    pub analysis: A,
+    /// Per-block boundary state, indexed by block.
+    pub boundary: Vec<A::Domain>,
+}
+
+impl<A: Analysis> Results<A> {
+    /// The boundary state of `bb` (entry for forward, exit for backward).
+    pub fn boundary_state(&self, bb: BasicBlock) -> &A::Domain {
+        &self.boundary[bb.index()]
+    }
+
+    /// The state *before* the instruction at `loc` executes, in program
+    /// order (for both directions).
+    pub fn state_before(&self, body: &Body, loc: Location) -> A::Domain {
+        let data = body.block(loc.block);
+        let mut state = self.boundary[loc.block.index()].clone();
+        match self.analysis.direction() {
+            Direction::Forward => {
+                for (i, stmt) in data.statements.iter().enumerate().take(loc.statement_index) {
+                    self.analysis.apply_statement(
+                        &mut state,
+                        stmt,
+                        Location {
+                            block: loc.block,
+                            statement_index: i,
+                        },
+                    );
+                }
+            }
+            Direction::Backward => {
+                // Backward input of `loc` = replay the terminator and every
+                // statement at or after `loc`, last to first.
+                let n = data.statements.len();
+                if let Some(term) = &data.terminator {
+                    self.analysis.apply_terminator(
+                        &mut state,
+                        term,
+                        Location {
+                            block: loc.block,
+                            statement_index: n,
+                        },
+                    );
+                }
+                for i in (loc.statement_index..n).rev() {
+                    self.analysis.apply_statement(
+                        &mut state,
+                        &data.statements[i],
+                        Location {
+                            block: loc.block,
+                            statement_index: i,
+                        },
+                    );
+                }
+            }
+        }
+        state
+    }
+
+    /// The state *after* the instruction at `loc` executes, in program order.
+    pub fn state_after(&self, body: &Body, loc: Location) -> A::Domain {
+        match self.analysis.direction() {
+            Direction::Forward => {
+                let mut state = self.state_before(body, loc);
+                let data = body.block(loc.block);
+                if loc.statement_index < data.statements.len() {
+                    self.analysis.apply_statement(
+                        &mut state,
+                        &data.statements[loc.statement_index],
+                        loc,
+                    );
+                } else if let Some(term) = &data.terminator {
+                    self.analysis.apply_terminator(&mut state, term, loc);
+                }
+                state
+            }
+            Direction::Backward => {
+                // After (in program order) = the state the instruction sees
+                // as its backward input: replay everything strictly later.
+                let data = body.block(loc.block);
+                let n = data.statements.len();
+                let mut state = self.boundary[loc.block.index()].clone();
+                if loc.statement_index < n {
+                    if let Some(term) = &data.terminator {
+                        self.analysis.apply_terminator(
+                            &mut state,
+                            term,
+                            Location {
+                                block: loc.block,
+                                statement_index: n,
+                            },
+                        );
+                    }
+                    for i in (loc.statement_index + 1..n).rev() {
+                        self.analysis.apply_statement(
+                            &mut state,
+                            &data.statements[i],
+                            Location {
+                                block: loc.block,
+                                statement_index: i,
+                            },
+                        );
+                    }
+                }
+                state
+            }
+        }
+    }
+}
+
+/// Runs `analysis` on `body` to a fixpoint.
+pub fn solve<A: Analysis>(analysis: A, body: &Body) -> Results<A> {
+    let cfg = Cfg::new(body);
+    solve_with_cfg(analysis, body, &cfg)
+}
+
+/// Runs `analysis` on `body` using a precomputed [`Cfg`].
+pub fn solve_with_cfg<A: Analysis>(analysis: A, body: &Body, cfg: &Cfg) -> Results<A> {
+    let n = body.blocks.len();
+    let mut boundary: Vec<A::Domain> = (0..n).map(|_| analysis.bottom(body)).collect();
+    let direction = analysis.direction();
+
+    let order = match direction {
+        Direction::Forward => cfg.reverse_postorder(),
+        Direction::Backward => cfg.postorder(),
+    };
+
+    match direction {
+        Direction::Forward => {
+            if n > 0 {
+                analysis.initialize(body, &mut boundary[0]);
+            }
+        }
+        Direction::Backward => {
+            for bb in body.block_indices() {
+                if cfg.successors(bb).is_empty() {
+                    analysis.initialize(body, &mut boundary[bb.index()]);
+                }
+            }
+        }
+    }
+
+    // Chaotic iteration in a good order until no block changes.
+    let mut changed = true;
+    let mut iterations = 0usize;
+    while changed {
+        changed = false;
+        iterations += 1;
+        assert!(
+            iterations <= 4 * n + 16,
+            "dataflow failed to converge (non-monotone transfer functions?)"
+        );
+        for &bb in &order {
+            // Compute this block's output state by replaying its transfers.
+            let out = block_exit_state(&analysis, body, bb, &boundary[bb.index()]);
+            let neighbors: &[BasicBlock] = match direction {
+                Direction::Forward => cfg.successors(bb),
+                Direction::Backward => cfg.predecessors(bb),
+            };
+            for &next in neighbors {
+                if analysis.join(&mut boundary[next.index()], &out) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    Results { analysis, boundary }
+}
+
+/// Applies all of `bb`'s transfers (in the analysis direction) to `input`.
+fn block_exit_state<A: Analysis>(
+    analysis: &A,
+    body: &Body,
+    bb: BasicBlock,
+    input: &A::Domain,
+) -> A::Domain {
+    let data = body.block(bb);
+    let n = data.statements.len();
+    let mut state = input.clone();
+    match analysis.direction() {
+        Direction::Forward => {
+            for (i, stmt) in data.statements.iter().enumerate() {
+                analysis.apply_statement(
+                    &mut state,
+                    stmt,
+                    Location {
+                        block: bb,
+                        statement_index: i,
+                    },
+                );
+            }
+            if let Some(term) = &data.terminator {
+                analysis.apply_terminator(
+                    &mut state,
+                    term,
+                    Location {
+                        block: bb,
+                        statement_index: n,
+                    },
+                );
+            }
+        }
+        Direction::Backward => {
+            if let Some(term) = &data.terminator {
+                analysis.apply_terminator(
+                    &mut state,
+                    term,
+                    Location {
+                        block: bb,
+                        statement_index: n,
+                    },
+                );
+            }
+            for i in (0..n).rev() {
+                analysis.apply_statement(
+                    &mut state,
+                    &data.statements[i],
+                    Location {
+                        block: bb,
+                        statement_index: i,
+                    },
+                );
+            }
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::BitSet;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Operand, Rvalue, StatementKind, Ty};
+
+    /// Forward "has been assigned" analysis used to exercise the engine.
+    struct Assigned;
+
+    impl Analysis for Assigned {
+        type Domain = BitSet;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn bottom(&self, body: &Body) -> BitSet {
+            BitSet::new(body.locals.len())
+        }
+
+        fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+            into.union_with(from)
+        }
+
+        fn apply_statement(&self, state: &mut BitSet, stmt: &Statement, _loc: Location) {
+            if let StatementKind::Assign(place, _) = &stmt.kind {
+                if place.is_local() {
+                    state.insert(place.local.index());
+                }
+            }
+        }
+
+        fn apply_terminator(&self, _state: &mut BitSet, _term: &Terminator, _loc: Location) {}
+    }
+
+    #[test]
+    fn forward_facts_merge_at_joins() {
+        // bb0: branch; bb1 assigns _1; bb2 assigns _2; bb3 joins.
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let y = b.local("y", Ty::Int);
+        let (t, e) = b.branch_bool(Operand::int(1));
+        let join = b.new_block();
+        b.switch_to(t);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.goto(join);
+        b.switch_to(e);
+        b.assign(y, Rvalue::Use(Operand::int(2)));
+        b.goto(join);
+        b.switch_to(join);
+        b.ret();
+        let body = b.finish();
+
+        let results = solve(Assigned, &body);
+        let at_join = results.boundary_state(rstudy_mir::BasicBlock(3));
+        // May-analysis: both arms' facts are unioned.
+        assert!(at_join.contains(x.index()));
+        assert!(at_join.contains(y.index()));
+        let at_entry = results.boundary_state(rstudy_mir::BasicBlock(0));
+        assert!(at_entry.is_empty());
+    }
+
+    #[test]
+    fn state_before_and_after_replay_statements() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.ret();
+        let body = b.finish();
+        let results = solve(Assigned, &body);
+        let loc = Location {
+            block: rstudy_mir::BasicBlock(0),
+            statement_index: 0,
+        };
+        assert!(!results.state_before(&body, loc).contains(x.index()));
+        assert!(results.state_after(&body, loc).contains(x.index()));
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        // A loop whose body assigns _1; the fact must flow around the back edge.
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let header = b.goto_cont();
+        let body_bb = b.new_block();
+        let exit = b.new_block();
+        b.switch_int(Operand::int(0), vec![(0, body_bb)], exit);
+        b.switch_to(body_bb);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.goto(header);
+        b.switch_to(exit);
+        b.ret();
+        let body = b.finish();
+        let results = solve(Assigned, &body);
+        // After one trip through the loop the fact reaches the header.
+        assert!(results
+            .boundary_state(header)
+            .contains(x.index()));
+        assert!(results.boundary_state(exit).contains(x.index()));
+    }
+}

@@ -1,0 +1,181 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy).
+
+use rstudy_mir::{BasicBlock, Body};
+
+use crate::cfg::Cfg;
+
+/// The dominator tree of a body's CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator per block; `None` for the entry and for
+    /// unreachable blocks.
+    idom: Vec<Option<BasicBlock>>,
+    /// Reverse post-order number per block (`usize::MAX` if unreachable).
+    rpo_number: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative scheme.
+    pub fn new(body: &Body) -> Dominators {
+        let cfg = Cfg::new(body);
+        Dominators::with_cfg(body, &cfg)
+    }
+
+    /// Computes dominators using a precomputed CFG.
+    pub fn with_cfg(body: &Body, cfg: &Cfg) -> Dominators {
+        let n = body.blocks.len();
+        let rpo = cfg.reverse_postorder();
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, bb) in rpo.iter().enumerate() {
+            rpo_number[bb.index()] = i;
+        }
+
+        let mut idom: Vec<Option<BasicBlock>> = vec![None; n];
+        if n == 0 {
+            return Dominators { idom, rpo_number };
+        }
+        idom[BasicBlock::ENTRY.index()] = Some(BasicBlock::ENTRY);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in rpo.iter().skip(1) {
+                let mut new_idom: Option<BasicBlock> = None;
+                for &pred in cfg.predecessors(bb) {
+                    if idom[pred.index()].is_none() {
+                        continue; // pred not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(cur) => intersect(&idom, &rpo_number, pred, cur),
+                    });
+                }
+                if let Some(d) = new_idom {
+                    if idom[bb.index()] != Some(d) {
+                        idom[bb.index()] = Some(d);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // By convention the entry has no immediate dominator.
+        idom[BasicBlock::ENTRY.index()] = None;
+        Dominators { idom, rpo_number }
+    }
+
+    /// The immediate dominator of `bb` (`None` for the entry block and
+    /// unreachable blocks).
+    pub fn immediate_dominator(&self, bb: BasicBlock) -> Option<BasicBlock> {
+        self.idom[bb.index()]
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: BasicBlock, b: BasicBlock) -> bool {
+        if self.rpo_number[b.index()] == usize::MAX {
+            return false; // unreachable blocks are dominated by nothing
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `bb` is reachable from the entry.
+    pub fn is_reachable(&self, bb: BasicBlock) -> bool {
+        self.rpo_number[bb.index()] != usize::MAX
+    }
+}
+
+fn intersect(
+    idom: &[Option<BasicBlock>],
+    rpo_number: &[usize],
+    mut a: BasicBlock,
+    mut b: BasicBlock,
+) -> BasicBlock {
+    while a != b {
+        while rpo_number[a.index()] > rpo_number[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_number[b.index()] > rpo_number[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Operand, Ty};
+
+    fn diamond() -> Body {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let (t, e) = b.branch_bool(Operand::int(1));
+        let join = b.new_block();
+        b.switch_to(t);
+        b.goto(join);
+        b.switch_to(e);
+        b.goto(join);
+        b.switch_to(join);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let body = diamond();
+        let dom = Dominators::new(&body);
+        let (b0, b1, b2, b3) = (
+            BasicBlock(0),
+            BasicBlock(1),
+            BasicBlock(2),
+            BasicBlock(3),
+        );
+        assert_eq!(dom.immediate_dominator(b0), None);
+        assert_eq!(dom.immediate_dominator(b1), Some(b0));
+        assert_eq!(dom.immediate_dominator(b2), Some(b0));
+        assert_eq!(dom.immediate_dominator(b3), Some(b0));
+        assert!(dom.dominates(b0, b3));
+        assert!(!dom.dominates(b1, b3));
+        assert!(dom.dominates(b3, b3), "dominance is reflexive");
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let header = b.goto_cont();
+        let body_bb = b.new_block();
+        let exit = b.new_block();
+        b.switch_int(Operand::int(0), vec![(0, body_bb)], exit);
+        b.switch_to(body_bb);
+        b.goto(header);
+        b.switch_to(exit);
+        b.ret();
+        let body = b.finish();
+        let dom = Dominators::new(&body);
+        assert!(dom.dominates(header, body_bb));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body_bb, exit));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.ret();
+        let dead = b.new_block();
+        b.switch_to(dead);
+        b.ret();
+        let body = b.finish();
+        let dom = Dominators::new(&body);
+        assert!(dom.is_reachable(BasicBlock(0)));
+        assert!(!dom.is_reachable(BasicBlock(1)));
+        assert!(!dom.dominates(BasicBlock(0), BasicBlock(1)));
+    }
+}

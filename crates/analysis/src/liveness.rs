@@ -1,0 +1,256 @@
+//! Backward live-variable analysis.
+//!
+//! A local is *live* at a point if its current value may be read later.
+//! The use-after-free detector contrasts liveness of pointers with the
+//! storage/initializedness of their pointees.
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{
+    Body, Operand, Place, Rvalue, Statement, StatementKind, Terminator, TerminatorKind,
+};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{self, Analysis, Direction, Results};
+
+/// The live-locals dataflow problem.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Liveness;
+
+impl Liveness {
+    /// Solves liveness for `body`.
+    pub fn solve(body: &Body) -> Results<Liveness> {
+        dataflow::solve(Liveness, body)
+    }
+}
+
+fn gen_operand(state: &mut BitSet, op: &Operand) {
+    if let Some(place) = op.place() {
+        gen_place_read(state, place);
+    }
+}
+
+/// Reading `place` uses its base local and any index locals.
+fn gen_place_read(state: &mut BitSet, place: &Place) {
+    state.insert(place.local.index());
+    for elem in &place.projection {
+        if let rstudy_mir::ProjElem::Index(l) = elem {
+            state.insert(l.index());
+        }
+    }
+}
+
+/// Writing to `place` kills the base local only when the write is direct
+/// (no projections); writing through a projection still *uses* the base.
+fn apply_write(state: &mut BitSet, place: &Place) {
+    if place.is_local() {
+        state.remove(place.local.index());
+    } else {
+        gen_place_read(state, place);
+    }
+}
+
+impl Analysis for Liveness {
+    type Domain = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, body: &Body) -> BitSet {
+        BitSet::new(body.locals.len())
+    }
+
+    fn initialize(&self, _body: &Body, state: &mut BitSet) {
+        // Only the return place matters at exit.
+        state.insert(0);
+    }
+
+    fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn apply_statement(&self, state: &mut BitSet, stmt: &Statement, _loc: Location) {
+        match &stmt.kind {
+            StatementKind::Assign(place, rv) => {
+                apply_write(state, place);
+                match rv {
+                    Rvalue::Use(op) | Rvalue::UnaryOp(_, op) | Rvalue::Cast(op, _) => {
+                        gen_operand(state, op)
+                    }
+                    Rvalue::BinaryOp(_, a, b) => {
+                        gen_operand(state, a);
+                        gen_operand(state, b);
+                    }
+                    Rvalue::Ref(_, p) | Rvalue::AddrOf(_, p) | Rvalue::Len(p) => {
+                        gen_place_read(state, p)
+                    }
+                    Rvalue::Aggregate(ops) => {
+                        for op in ops {
+                            gen_operand(state, op);
+                        }
+                    }
+                }
+            }
+            StatementKind::StorageDead(l) => {
+                // Past the end of storage the old value cannot be read.
+                state.remove(l.index());
+            }
+            StatementKind::StorageLive(_) | StatementKind::Nop => {}
+        }
+    }
+
+    fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, _loc: Location) {
+        match &term.kind {
+            TerminatorKind::SwitchInt { discr, .. } => gen_operand(state, discr),
+            TerminatorKind::Call {
+                func,
+                args,
+                destination,
+                ..
+            } => {
+                apply_write(state, destination);
+                for a in args {
+                    gen_operand(state, a);
+                }
+                if let rstudy_mir::Callee::Ptr(l) = func {
+                    state.insert(l.index());
+                }
+            }
+            TerminatorKind::Drop { place, .. } => gen_place_read(state, place),
+            TerminatorKind::Goto { .. }
+            | TerminatorKind::Return
+            | TerminatorKind::Unreachable => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::visit::Location;
+    use rstudy_mir::{BasicBlock, BinOp, Operand, Rvalue, Ty};
+
+    #[test]
+    fn straightline_liveness() {
+        // _1 = 1; _2 = _1 + 1; _0 = _2; return
+        let mut b = BodyBuilder::new("f", 0, Ty::Int);
+        let x = b.local("x", Ty::Int);
+        let y = b.local("y", Ty::Int);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.assign(
+            y,
+            Rvalue::BinaryOp(BinOp::Add, Operand::copy(x), Operand::int(1)),
+        );
+        b.assign(rstudy_mir::Place::RETURN, Rvalue::Use(Operand::copy(y)));
+        b.ret();
+        let body = b.finish();
+        let results = Liveness::solve(&body);
+
+        let before = |i| {
+            results.state_before(
+                &body,
+                Location {
+                    block: BasicBlock(0),
+                    statement_index: i,
+                },
+            )
+        };
+        // Before stmt 0 nothing user-defined is live.
+        assert!(!before(0).contains(x.index()));
+        // Between stmt 0 and 1, x is live.
+        assert!(before(1).contains(x.index()));
+        assert!(!before(1).contains(y.index()));
+        // Between stmt 1 and 2, y is live and x is dead.
+        assert!(before(2).contains(y.index()));
+        assert!(!before(2).contains(x.index()));
+    }
+
+    #[test]
+    fn branches_union_liveness() {
+        // x is used on one arm only; it is still live before the switch.
+        let mut b = BodyBuilder::new("f", 0, Ty::Int);
+        let x = b.local("x", Ty::Int);
+        b.assign(x, Rvalue::Use(Operand::int(3)));
+        let (t, e) = b.branch_bool(Operand::int(1));
+        b.switch_to(t);
+        b.assign(rstudy_mir::Place::RETURN, Rvalue::Use(Operand::copy(x)));
+        b.ret();
+        b.switch_to(e);
+        b.assign(rstudy_mir::Place::RETURN, Rvalue::Use(Operand::int(0)));
+        b.ret();
+        let body = b.finish();
+        let results = Liveness::solve(&body);
+        let after_assign = results.state_before(
+            &body,
+            Location {
+                block: BasicBlock(0),
+                statement_index: 1,
+            },
+        );
+        assert!(after_assign.contains(x.index()));
+    }
+
+    #[test]
+    fn storage_dead_kills_liveness() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        b.storage_live(x);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.storage_dead(x);
+        b.ret();
+        let body = b.finish();
+        let results = Liveness::solve(&body);
+        // x's value is never read: dead even right after the assignment.
+        let after = results.state_before(
+            &body,
+            Location {
+                block: BasicBlock(0),
+                statement_index: 2,
+            },
+        );
+        assert!(!after.contains(x.index()));
+    }
+
+    #[test]
+    fn drop_counts_as_use() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Named("S".into()));
+        b.assign(x, Rvalue::Use(Operand::int(0)));
+        let next = b.new_block();
+        b.drop_place(x, next);
+        b.switch_to(next);
+        b.ret();
+        let body = b.finish();
+        let results = Liveness::solve(&body);
+        let before_drop = results.state_before(
+            &body,
+            Location {
+                block: BasicBlock(0),
+                statement_index: 1,
+            },
+        );
+        assert!(before_drop.contains(x.index()));
+    }
+
+    #[test]
+    fn write_through_projection_keeps_base_live() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        b.assign(
+            rstudy_mir::Place::from_local(p).deref(),
+            Rvalue::Use(Operand::int(1)),
+        );
+        b.ret();
+        let body = b.finish();
+        let results = Liveness::solve(&body);
+        let entry = results.state_before(
+            &body,
+            Location {
+                block: BasicBlock(0),
+                statement_index: 0,
+            },
+        );
+        assert!(entry.contains(p.index()), "deref write uses the pointer");
+    }
+}

@@ -1,0 +1,479 @@
+//! Flow-insensitive, field-insensitive Andersen-style points-to analysis,
+//! computed per function.
+//!
+//! The paper's use-after-free detector "conduct[s] a points-to analysis to
+//! maintain which variable [each pointer] points to"; this module is that
+//! component. Pointer-typed arguments receive a symbolic
+//! [`MemRoot::ArgPointee`] so callers can substitute actuals during
+//! interprocedural resolution, and lock guards inherit the points-to set of
+//! the lock reference they were created from — which is exactly the lock
+//! identity the double-lock detector needs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{
+    Body, Callee, Intrinsic, Local, Operand, Place, Rvalue, StatementKind, TerminatorKind,
+};
+
+/// An abstract memory object a pointer may reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemRoot {
+    /// The stack slot of a local in this function.
+    Local(Local),
+    /// A heap allocation, identified by its `alloc` call site.
+    Heap(Location),
+    /// The unknown memory behind a pointer-typed argument.
+    ArgPointee(Local),
+    /// Anything (result of unmodelled operations).
+    Unknown,
+}
+
+impl std::fmt::Display for MemRoot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemRoot::Local(l) => write!(f, "{l}"),
+            MemRoot::Heap(loc) => write!(f, "heap@{loc}"),
+            MemRoot::ArgPointee(l) => write!(f, "*{l}"),
+            MemRoot::Unknown => f.write_str("?"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Constraint {
+    /// `dst ⊇ {root}`
+    AddrOf(Local, MemRoot),
+    /// `dst ⊇ src`
+    Copy(Local, Local),
+    /// `dst ⊇ pts(t) for t in src` (i.e. `dst = *src`)
+    Load(Local, Local),
+    /// `pts(t) ⊇ src for t in dst` (i.e. `*dst = src`)
+    Store(Local, Local),
+    /// `pts(t) ⊇ {root} for t in dst` (i.e. `*dst = &root`)
+    StoreRoot(Local, MemRoot),
+}
+
+/// Points-to results for one body.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    /// Per-local points-to sets.
+    locals: Vec<BTreeSet<MemRoot>>,
+    /// Points-to sets of memory roots (what the memory *contains*),
+    /// for roots that hold pointers.
+    cells: BTreeMap<MemRoot, BTreeSet<MemRoot>>,
+}
+
+impl PointsTo {
+    /// Computes points-to sets for `body`.
+    pub fn analyze(body: &Body) -> PointsTo {
+        let constraints = collect_constraints(body);
+        let mut pt = PointsTo {
+            locals: vec![BTreeSet::new(); body.locals.len()],
+            cells: BTreeMap::new(),
+        };
+        // Seed pointer-typed arguments with symbolic pointees.
+        for arg in body.args() {
+            if body.local_decl(arg).ty.is_pointer_like() {
+                pt.locals[arg.index()].insert(MemRoot::ArgPointee(arg));
+            }
+        }
+        // Chaotic iteration to fixpoint (constraint set is small per body).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for c in &constraints {
+                match c {
+                    Constraint::AddrOf(dst, root) => {
+                        changed |= pt.locals[dst.index()].insert(*root);
+                    }
+                    Constraint::Copy(dst, src) => {
+                        let add: Vec<MemRoot> =
+                            pt.locals[src.index()].iter().copied().collect();
+                        for r in add {
+                            changed |= pt.locals[dst.index()].insert(r);
+                        }
+                    }
+                    Constraint::Load(dst, src) => {
+                        let roots: Vec<MemRoot> =
+                            pt.locals[src.index()].iter().copied().collect();
+                        for root in roots {
+                            let add: Vec<MemRoot> = pt
+                                .cell_contents(root)
+                                .iter()
+                                .copied()
+                                .collect();
+                            for r in add {
+                                changed |= pt.locals[dst.index()].insert(r);
+                            }
+                        }
+                    }
+                    Constraint::Store(dst, src) => {
+                        let roots: Vec<MemRoot> =
+                            pt.locals[dst.index()].iter().copied().collect();
+                        let add: Vec<MemRoot> =
+                            pt.locals[src.index()].iter().copied().collect();
+                        for root in roots {
+                            let cell = pt.cells.entry(root).or_default();
+                            for &r in &add {
+                                changed |= cell.insert(r);
+                            }
+                        }
+                    }
+                    Constraint::StoreRoot(dst, root) => {
+                        let targets: Vec<MemRoot> =
+                            pt.locals[dst.index()].iter().copied().collect();
+                        for t in targets {
+                            changed |= pt.cells.entry(t).or_default().insert(*root);
+                        }
+                    }
+                }
+            }
+        }
+        pt
+    }
+
+    /// The memory objects `local` may point to.
+    pub fn targets(&self, local: Local) -> &BTreeSet<MemRoot> {
+        &self.locals[local.index()]
+    }
+
+    /// What a memory root may contain (for roots that store pointers).
+    pub fn cell_contents(&self, root: MemRoot) -> &BTreeSet<MemRoot> {
+        static EMPTY: std::sync::OnceLock<BTreeSet<MemRoot>> = std::sync::OnceLock::new();
+        self.cells
+            .get(&root)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeSet::new))
+    }
+
+    /// Returns `true` if `a` and `b` may alias (share any target).
+    pub fn may_alias(&self, a: Local, b: Local) -> bool {
+        let (ta, tb) = (self.targets(a), self.targets(b));
+        ta.contains(&MemRoot::Unknown)
+            || tb.contains(&MemRoot::Unknown)
+            || ta.iter().any(|t| tb.contains(t))
+    }
+}
+
+fn place_base_value(place: &Place) -> PlaceShape {
+    if place.has_deref() {
+        PlaceShape::ThroughPointer(place.local)
+    } else {
+        PlaceShape::Direct(place.local)
+    }
+}
+
+enum PlaceShape {
+    /// The place is (part of) the local itself.
+    Direct(Local),
+    /// The place is behind a pointer held in the local.
+    ThroughPointer(Local),
+}
+
+fn collect_constraints(body: &Body) -> Vec<Constraint> {
+    let mut cs = Vec::new();
+    for bb in body.block_indices() {
+        let data = body.block(bb);
+        for (i, stmt) in data.statements.iter().enumerate() {
+            let _loc = Location {
+                block: bb,
+                statement_index: i,
+            };
+            if let StatementKind::Assign(place, rv) = &stmt.kind {
+                collect_assign(body, place, rv, &mut cs);
+            }
+        }
+        if let Some(term) = &data.terminator {
+            let loc = Location {
+                block: bb,
+                statement_index: data.statements.len(),
+            };
+            if let TerminatorKind::Call {
+                func,
+                args,
+                destination,
+                ..
+            } = &term.kind
+            {
+                collect_call(body, func, args, destination, loc, &mut cs);
+            }
+        }
+    }
+    cs
+}
+
+fn collect_assign(body: &Body, place: &Place, rv: &Rvalue, cs: &mut Vec<Constraint>) {
+    match place_base_value(place) {
+        PlaceShape::Direct(dst) => match rv {
+            Rvalue::Ref(_, p) | Rvalue::AddrOf(_, p) => match place_base_value(p) {
+                // &x — points directly at x's slot.
+                PlaceShape::Direct(x) => cs.push(Constraint::AddrOf(dst, MemRoot::Local(x))),
+                // &(*q).f — interior pointer into whatever q points to.
+                PlaceShape::ThroughPointer(q) => cs.push(Constraint::Copy(dst, q)),
+            },
+            Rvalue::Use(op) | Rvalue::Cast(op, _) => {
+                if let Some(p) = op.place() {
+                    match place_base_value(p) {
+                        PlaceShape::Direct(src) => {
+                            if pointerish(body, src) || pointerish(body, dst) {
+                                cs.push(Constraint::Copy(dst, src));
+                            }
+                        }
+                        PlaceShape::ThroughPointer(src) => cs.push(Constraint::Load(dst, src)),
+                    }
+                }
+            }
+            Rvalue::Aggregate(ops) => {
+                for op in ops {
+                    if let Some(p) = op.place() {
+                        if let PlaceShape::Direct(src) = place_base_value(p) {
+                            if pointerish(body, src) {
+                                cs.push(Constraint::Copy(dst, src));
+                            }
+                        }
+                    }
+                }
+            }
+            Rvalue::BinaryOp(op, a, _) if *op == rstudy_mir::BinOp::Offset => {
+                // Pointer arithmetic stays within the same object.
+                if let Some(p) = a.place() {
+                    if let PlaceShape::Direct(src) = place_base_value(p) {
+                        cs.push(Constraint::Copy(dst, src));
+                    }
+                }
+            }
+            _ => {}
+        },
+        PlaceShape::ThroughPointer(dst_ptr) => match rv {
+            Rvalue::Ref(_, p) | Rvalue::AddrOf(_, p) => match place_base_value(p) {
+                PlaceShape::Direct(x) => {
+                    cs.push(Constraint::StoreRoot(dst_ptr, MemRoot::Local(x)))
+                }
+                PlaceShape::ThroughPointer(_) => {
+                    cs.push(Constraint::StoreRoot(dst_ptr, MemRoot::Unknown))
+                }
+            },
+            Rvalue::Use(op) | Rvalue::Cast(op, _) => {
+                if let Some(p) = op.place() {
+                    if let PlaceShape::Direct(src) = place_base_value(p) {
+                        if pointerish(body, src) {
+                            cs.push(Constraint::Store(dst_ptr, src));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        },
+    }
+}
+
+fn collect_call(
+    body: &Body,
+    func: &Callee,
+    args: &[Operand],
+    destination: &Place,
+    loc: Location,
+    cs: &mut Vec<Constraint>,
+) {
+    let dst = match place_base_value(destination) {
+        PlaceShape::Direct(d) => d,
+        PlaceShape::ThroughPointer(p) => {
+            // Result stored through a pointer: be conservative.
+            cs.push(Constraint::StoreRoot(p, MemRoot::Unknown));
+            return;
+        }
+    };
+    match func {
+        Callee::Intrinsic(Intrinsic::Alloc | Intrinsic::ArcNew) => {
+            cs.push(Constraint::AddrOf(dst, MemRoot::Heap(loc)));
+        }
+        Callee::Intrinsic(Intrinsic::ArcClone) => {
+            if let Some(p) = args.first().and_then(Operand::place) {
+                match place_base_value(p) {
+                    PlaceShape::Direct(src) => cs.push(Constraint::Copy(dst, src)),
+                    PlaceShape::ThroughPointer(src) => cs.push(Constraint::Load(dst, src)),
+                }
+            }
+        }
+        Callee::Intrinsic(
+            Intrinsic::MutexLock | Intrinsic::RwLockRead | Intrinsic::RwLockWrite,
+        ) => {
+            // The guard's identity is the lock it guards.
+            if let Some(p) = args.first().and_then(Operand::place) {
+                match place_base_value(p) {
+                    PlaceShape::Direct(src) => cs.push(Constraint::Copy(dst, src)),
+                    PlaceShape::ThroughPointer(src) => cs.push(Constraint::Load(dst, src)),
+                }
+            }
+        }
+        Callee::Intrinsic(Intrinsic::PtrRead) => {
+            if let Some(p) = args.first().and_then(Operand::place) {
+                if let PlaceShape::Direct(src) = place_base_value(p) {
+                    cs.push(Constraint::Load(dst, src));
+                }
+            }
+        }
+        Callee::Intrinsic(Intrinsic::PtrWrite) => {
+            if let (Some(ptr), Some(val)) = (
+                args.first().and_then(Operand::place),
+                args.get(1).and_then(Operand::place),
+            ) {
+                if let (PlaceShape::Direct(d), PlaceShape::Direct(s)) =
+                    (place_base_value(ptr), place_base_value(val))
+                {
+                    if pointerish(body, s) {
+                        cs.push(Constraint::Store(d, s));
+                    }
+                }
+            }
+        }
+        Callee::Intrinsic(_) => {
+            if pointerish(body, dst) {
+                cs.push(Constraint::AddrOf(dst, MemRoot::Unknown));
+            }
+        }
+        Callee::Fn(_) | Callee::Ptr(_) => {
+            if pointerish(body, dst) {
+                cs.push(Constraint::AddrOf(dst, MemRoot::Unknown));
+            }
+        }
+    }
+}
+
+fn pointerish(body: &Body, local: Local) -> bool {
+    let ty = &body.local_decl(local).ty;
+    ty.is_pointer_like()
+        || ty.is_guard()
+        || matches!(ty, rstudy_mir::Ty::Named(_) | rstudy_mir::Ty::Arc(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Mutability, Operand, Rvalue, Ty};
+
+    #[test]
+    fn address_of_and_copy() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        let q = b.local("q", Ty::mut_ptr(Ty::Int));
+        b.storage_live(x);
+        b.storage_live(p);
+        b.storage_live(q);
+        b.assign(p, Rvalue::AddrOf(Mutability::Mut, x.into()));
+        b.assign(q, Rvalue::Use(Operand::copy(p)));
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(pt.targets(p).contains(&MemRoot::Local(x)));
+        assert!(pt.targets(q).contains(&MemRoot::Local(x)));
+        assert!(pt.may_alias(p, q));
+    }
+
+    #[test]
+    fn heap_allocations_are_distinguished_by_site() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        let q = b.local("q", Ty::mut_ptr(Ty::Int));
+        b.storage_live(p);
+        b.storage_live(q);
+        b.call_intrinsic_cont(Intrinsic::Alloc, vec![Operand::int(4)], p);
+        b.call_intrinsic_cont(Intrinsic::Alloc, vec![Operand::int(4)], q);
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert_eq!(pt.targets(p).len(), 1);
+        assert_eq!(pt.targets(q).len(), 1);
+        assert!(!pt.may_alias(p, q), "distinct alloc sites do not alias");
+    }
+
+    #[test]
+    fn guard_points_to_its_lock() {
+        let mutex_ty = Ty::Mutex(Box::new(Ty::Int));
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let m = b.local("m", mutex_ty.clone());
+        let r = b.local("r", Ty::shared_ref(mutex_ty));
+        let g = b.local("g", Ty::Guard(Box::new(Ty::Int)));
+        b.storage_live(m);
+        b.storage_live(r);
+        b.storage_live(g);
+        b.assign(r, Rvalue::Ref(Mutability::Not, m.into()));
+        b.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(r)], g);
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(
+            pt.targets(g).contains(&MemRoot::Local(m)),
+            "guard identity resolves to the mutex local: {:?}",
+            pt.targets(g)
+        );
+    }
+
+    #[test]
+    fn argument_pointers_get_symbolic_pointees() {
+        let mut b = BodyBuilder::new("f", 1, Ty::Unit);
+        let a = b.arg("a", Ty::mut_ptr(Ty::Int));
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        b.storage_live(p);
+        b.assign(p, Rvalue::Use(Operand::copy(a)));
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(pt.targets(p).contains(&MemRoot::ArgPointee(a)));
+    }
+
+    #[test]
+    fn store_and_load_through_pointer() {
+        // s = &x; *pp = s; t = *pp  ⇒ t may point to x.
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let s = b.local("s", Ty::mut_ptr(Ty::Int));
+        let cell = b.local("cell", Ty::mut_ptr(Ty::Int));
+        let pp = b.local("pp", Ty::mut_ptr(Ty::mut_ptr(Ty::Int)));
+        let t = b.local("t", Ty::mut_ptr(Ty::Int));
+        for l in [x, s, cell, pp, t] {
+            b.storage_live(l);
+        }
+        b.assign(s, Rvalue::AddrOf(Mutability::Mut, x.into()));
+        b.assign(pp, Rvalue::AddrOf(Mutability::Mut, cell.into()));
+        b.assign(
+            rstudy_mir::Place::from_local(pp).deref(),
+            Rvalue::Use(Operand::copy(s)),
+        );
+        b.assign(
+            t,
+            Rvalue::Use(Operand::copy(rstudy_mir::Place::from_local(pp).deref())),
+        );
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(pt.targets(t).contains(&MemRoot::Local(x)), "{:?}", pt.targets(t));
+    }
+
+    #[test]
+    fn unknown_results_from_opaque_calls() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        b.storage_live(p);
+        b.call_intrinsic_cont(Intrinsic::ExternCall, vec![], p);
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(pt.targets(p).contains(&MemRoot::Unknown));
+    }
+
+    #[test]
+    fn offset_stays_in_object() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let arr = b.local("arr", Ty::Array(Box::new(Ty::Int), 4));
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        let q = b.local("q", Ty::mut_ptr(Ty::Int));
+        for l in [arr, p, q] {
+            b.storage_live(l);
+        }
+        b.assign(p, Rvalue::AddrOf(Mutability::Mut, arr.into()));
+        b.assign(
+            q,
+            Rvalue::BinaryOp(rstudy_mir::BinOp::Offset, Operand::copy(p), Operand::int(1)),
+        );
+        b.ret();
+        let pt = PointsTo::analyze(&b.finish());
+        assert!(pt.targets(q).contains(&MemRoot::Local(arr)));
+    }
+}

@@ -1,0 +1,237 @@
+//! Reaching definitions.
+//!
+//! A *definition* is a program point that writes a bare local (an
+//! assignment or a call destination). The analysis computes, for every
+//! point, which definitions may reach it — the classic forward may-problem,
+//! useful for def-use chains (e.g. finding the "index computed in safe
+//! code" site that feeds an unsafe access, the paper's §5.1 pattern).
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{Body, Local, Statement, StatementKind, Terminator, TerminatorKind};
+
+use crate::bitset::BitSet;
+use crate::dataflow::{self, Analysis, Direction, Results};
+
+/// All definition sites of a body, densely indexed.
+#[derive(Debug, Clone, Default)]
+pub struct Definitions {
+    /// `(defined local, location)` per definition, in discovery order.
+    sites: Vec<(Local, Location)>,
+}
+
+impl Definitions {
+    /// Collects every definition in `body`.
+    pub fn collect(body: &Body) -> Definitions {
+        let mut sites = Vec::new();
+        for bb in body.block_indices() {
+            let data = body.block(bb);
+            for (i, stmt) in data.statements.iter().enumerate() {
+                if let StatementKind::Assign(place, _) = &stmt.kind {
+                    if place.is_local() {
+                        sites.push((
+                            place.local,
+                            Location {
+                                block: bb,
+                                statement_index: i,
+                            },
+                        ));
+                    }
+                }
+            }
+            if let Some(term) = &data.terminator {
+                if let TerminatorKind::Call { destination, .. } = &term.kind {
+                    if destination.is_local() {
+                        sites.push((
+                            destination.local,
+                            Location {
+                                block: bb,
+                                statement_index: data.statements.len(),
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        Definitions { sites }
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Returns `true` if the body defines nothing.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// The `(local, location)` of definition `i`.
+    pub fn site(&self, i: usize) -> (Local, Location) {
+        self.sites[i]
+    }
+
+    /// The dense index of the definition at `loc`, if one exists there.
+    pub fn index_at(&self, loc: Location) -> Option<usize> {
+        self.sites.iter().position(|&(_, l)| l == loc)
+    }
+
+    /// Indices of every definition of `local`.
+    pub fn of_local(&self, local: Local) -> Vec<usize> {
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|(_, (l, _))| *l == local)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The reaching-definitions dataflow problem.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs<'a> {
+    defs: &'a Definitions,
+}
+
+impl<'a> ReachingDefs<'a> {
+    /// Creates the analysis over precollected definitions.
+    pub fn new(defs: &'a Definitions) -> ReachingDefs<'a> {
+        ReachingDefs { defs }
+    }
+
+    /// Solves the analysis.
+    pub fn solve(self, body: &Body) -> Results<ReachingDefs<'a>> {
+        dataflow::solve(self, body)
+    }
+
+    fn kill_and_gen(&self, state: &mut BitSet, defined: Local, at: Location) {
+        // A definition of `l` kills every other definition of `l`.
+        for i in self.defs.of_local(defined) {
+            state.remove(i);
+        }
+        if let Some(i) = self.defs.index_at(at) {
+            state.insert(i);
+        }
+    }
+}
+
+impl Analysis for ReachingDefs<'_> {
+    type Domain = BitSet;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _body: &Body) -> BitSet {
+        BitSet::new(self.defs.len())
+    }
+
+    fn join(&self, into: &mut BitSet, from: &BitSet) -> bool {
+        into.union_with(from)
+    }
+
+    fn apply_statement(&self, state: &mut BitSet, stmt: &Statement, loc: Location) {
+        if let StatementKind::Assign(place, _) = &stmt.kind {
+            if place.is_local() {
+                self.kill_and_gen(state, place.local, loc);
+            }
+        }
+    }
+
+    fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, loc: Location) {
+        if let TerminatorKind::Call { destination, .. } = &term.kind {
+            if destination.is_local() {
+                self.kill_and_gen(state, destination.local, loc);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{BasicBlock, Operand, Rvalue, Ty};
+
+    #[test]
+    fn later_definition_kills_earlier_one() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        b.assign(x, Rvalue::Use(Operand::int(1))); // def 0
+        b.assign(x, Rvalue::Use(Operand::int(2))); // def 1
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        let defs = Definitions::collect(&body);
+        assert_eq!(defs.len(), 2);
+        let results = ReachingDefs::new(&defs).solve(&body);
+        let at_nop = results.state_before(
+            &body,
+            Location {
+                block: BasicBlock(0),
+                statement_index: 2,
+            },
+        );
+        assert!(!at_nop.contains(0), "first def killed");
+        assert!(at_nop.contains(1));
+    }
+
+    #[test]
+    fn branch_definitions_merge_at_join() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let (t, e) = b.branch_bool(Operand::int(1));
+        let join = b.new_block();
+        b.switch_to(t);
+        b.assign(x, Rvalue::Use(Operand::int(1))); // def 0
+        b.goto(join);
+        b.switch_to(e);
+        b.assign(x, Rvalue::Use(Operand::int(2))); // def 1
+        b.goto(join);
+        b.switch_to(join);
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        let defs = Definitions::collect(&body);
+        let results = ReachingDefs::new(&defs).solve(&body);
+        let at_join = results.state_before(
+            &body,
+            Location {
+                block: join,
+                statement_index: 0,
+            },
+        );
+        assert!(at_join.contains(0) && at_join.contains(1), "{at_join:?}");
+    }
+
+    #[test]
+    fn call_destinations_are_definitions() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        b.storage_live(x);
+        b.call_intrinsic_cont(rstudy_mir::Intrinsic::AtomicNew, vec![Operand::int(0)], x);
+        b.ret();
+        let body = b.finish();
+        let defs = Definitions::collect(&body);
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs.site(0).0, x);
+        let results = ReachingDefs::new(&defs).solve(&body);
+        let in_bb1 = results.boundary_state(BasicBlock(1));
+        assert!(in_bb1.contains(0));
+    }
+
+    #[test]
+    fn defs_of_local_enumerates_all_sites() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        let y = b.local("y", Ty::Int);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.assign(y, Rvalue::Use(Operand::int(2)));
+        b.assign(x, Rvalue::Use(Operand::int(3)));
+        b.ret();
+        let body = b.finish();
+        let defs = Definitions::collect(&body);
+        assert_eq!(defs.of_local(x), vec![0, 2]);
+        assert_eq!(defs.of_local(y), vec![1]);
+        assert!(!defs.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! FIG1–FIG2 — regenerate both figures of the study (printed once) and
+//! benchmark the series construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rstudy_dataset::figures::{figure1, figure2, render_figure1, render_figure2};
+
+fn print_figures_once() {
+    println!("\n== Figure 1: Rust history (feature changes + KLOC per release) ==");
+    print!("{}", render_figure1());
+    println!("\n== Figure 2: fix dates of the 170 studied bugs ==");
+    print!("{}", render_figure2());
+}
+
+fn bench_figures(c: &mut Criterion) {
+    print_figures_once();
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("figure1_series", |b| b.iter(|| black_box(figure1())));
+    group.bench_function("figure2_histogram", |b| b.iter(|| black_box(figure2())));
+    group.bench_function("figure1_render", |b| b.iter(|| black_box(render_figure1())));
+    group.bench_function("figure2_render", |b| b.iter(|| black_box(render_figure2())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Dynamic-baseline benchmarks: print the static-vs-dynamic coverage split
+//! over the corpus (the §7 comparison), then benchmark interpreter
+//! throughput on representative programs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rstudy_core::suite::DetectorSuite;
+use rstudy_corpus::{all_entries, DynamicExpectation};
+use rstudy_interp::{Interpreter, InterpreterConfig, SchedulePolicy};
+use rstudy_mir::parse::parse_program;
+
+fn config() -> InterpreterConfig {
+    InterpreterConfig {
+        max_steps: 200_000,
+        policy: SchedulePolicy::RoundRobin,
+        detect_races: true,
+        trace_tail: 0,
+    }
+}
+
+fn print_coverage_once() {
+    let suite = DetectorSuite::new();
+    let mut static_only = Vec::new();
+    let mut dynamic_only = Vec::new();
+    let mut both = 0usize;
+    let mut buggy = 0usize;
+    for entry in all_entries() {
+        let is_buggy =
+            !entry.static_bugs.is_empty() || entry.dynamic != DynamicExpectation::Clean;
+        if !is_buggy {
+            continue;
+        }
+        buggy += 1;
+        let program = entry.program();
+        let s = !suite.check_program(&program).is_clean();
+        let o = Interpreter::new(&program).with_config(config()).run();
+        let d = o.fault.is_some() || !o.races.is_empty();
+        match (s, d) {
+            (true, true) => both += 1,
+            (true, false) => static_only.push(entry.name),
+            (false, true) => dynamic_only.push(entry.name),
+            (false, false) => {}
+        }
+    }
+    println!("\n== static vs dynamic coverage over {buggy} buggy corpus entries ==");
+    println!("caught by both: {both}");
+    println!("static only (dynamic run misses them): {static_only:?}");
+    println!("dynamic only (static analysis misses them): {dynamic_only:?}");
+    println!("(the two 'only' sets are the paper's argument for building both kinds)");
+}
+
+/// A CPU-bound loop program for throughput measurement.
+const HOT_LOOP: &str = r#"
+fn main() -> int {
+    let _1 as i: int;
+    let _2 as acc: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 0;
+        StorageLive(_2);
+        _2 = const 0;
+        goto -> bb1;
+    }
+
+    bb1: {
+        switchInt(_1) -> [2000: bb3, otherwise: bb2];
+    }
+
+    bb2: {
+        _2 = _2 + _1;
+        _1 = _1 + const 1;
+        goto -> bb1;
+    }
+
+    bb3: {
+        _0 = move _2;
+        return;
+    }
+}
+"#;
+
+fn bench_interp(c: &mut Criterion) {
+    print_coverage_once();
+
+    let hot = parse_program(HOT_LOOP).expect("parse");
+    let corpus: Vec<_> = all_entries().iter().map(|e| e.program()).collect();
+
+    let mut group = c.benchmark_group("interp");
+    group.bench_function("hot_loop_2000_iters", |b| {
+        b.iter(|| black_box(Interpreter::new(&hot).with_config(config()).run().steps))
+    });
+    group.bench_function("hot_loop_no_race_detection", |b| {
+        let mut cfg = config();
+        cfg.detect_races = false;
+        b.iter(|| black_box(Interpreter::new(&hot).with_config(cfg).run().steps))
+    });
+    group.bench_function("full_corpus_execution", |b| {
+        b.iter(|| {
+            let mut steps = 0u64;
+            for p in &corpus {
+                steps += Interpreter::new(black_box(p)).with_config(config()).run().steps;
+            }
+            black_box(steps)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! TAB1–TAB4 — regenerate every table of the study from the encoded
+//! datasets (printed once up front) and benchmark the regeneration.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rstudy_dataset::tables::{render_table1, render_table2, render_table3, render_table4};
+
+fn print_tables_once() {
+    println!("\n== Table 1: studied applications and libraries ==");
+    print!("{}", render_table1());
+    println!("\n== Table 2: memory-bug categories ==");
+    print!("{}", render_table2());
+    println!("\n== Table 3: synchronization in blocking bugs ==");
+    print!("{}", render_table3());
+    println!("\n== Table 4: data sharing in non-blocking bugs ==");
+    print!("{}", render_table4());
+}
+
+fn bench_tables(c: &mut Criterion) {
+    print_tables_once();
+    let mut group = c.benchmark_group("tables");
+    group.bench_function("table1", |b| b.iter(|| black_box(render_table1())));
+    group.bench_function("table2", |b| b.iter(|| black_box(render_table2())));
+    group.bench_function("table3", |b| b.iter(|| black_box(render_table3())));
+    group.bench_function("table4", |b| b.iter(|| black_box(render_table4())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

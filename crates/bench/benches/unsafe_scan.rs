@@ -1,0 +1,51 @@
+//! SEC4-USAGE — the §4 scanning pipeline: print the unsafe-usage summary
+//! over the bundled corpus plus the paper's encoded statistics, then
+//! benchmark lexer and scanner throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rstudy_dataset::unsafe_usages;
+use rstudy_scan::stats::ScanStats;
+use rstudy_scan::{lex, samples, scan_source};
+
+fn print_stats_once() {
+    let mut stats = ScanStats::default();
+    for s in samples::ALL {
+        stats.merge(&ScanStats::from_usages(&scan_source(s.source)));
+    }
+    println!("\n== §4: scanner output over the bundled corpus ==");
+    print!("{}", stats.render());
+    println!("== §4: the paper's published statistics (encoded) ==");
+    print!("{}", unsafe_usages::render());
+}
+
+fn bench_scan(c: &mut Criterion) {
+    print_stats_once();
+
+    // A larger synthetic tree: the corpus repeated to ~100 KB of source.
+    let mut big = String::new();
+    while big.len() < 100_000 {
+        for s in samples::ALL {
+            big.push_str(s.source);
+        }
+    }
+
+    let mut group = c.benchmark_group("unsafe_scan");
+    group.throughput(Throughput::Bytes(big.len() as u64));
+    group.bench_function("lex_100kb", |b| b.iter(|| black_box(lex(&big)).len()));
+    group.bench_function("scan_100kb", |b| {
+        b.iter(|| black_box(scan_source(&big)).len())
+    });
+    group.bench_function("scan_corpus", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for s in samples::ALL {
+                n += scan_source(black_box(s.source)).len();
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Shared workload generators for the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic byte buffer of length `n`.
+pub fn bytes(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic `u64` buffer of length `n`.
+pub fn words(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Deterministic in-bounds indices into a buffer of length `len`.
+pub fn indices(count: usize, len: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.gen_range(0..len)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(bytes(64, 1), bytes(64, 1));
+        assert_ne!(bytes(64, 1), bytes(64, 2));
+        assert_eq!(words(8, 3), words(8, 3));
+    }
+
+    #[test]
+    fn indices_stay_in_bounds() {
+        for i in indices(1000, 37, 5) {
+            assert!(i < 37);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Classifying diagnostics into the study's Table 2 taxonomy.
+//!
+//! Table 2 categorizes each memory bug along two dimensions: how the error
+//! *propagates* (safe → safe, safe → unsafe, unsafe → safe, unsafe →
+//! unsafe) and what its *effect* is (wrong access vs. lifetime violation,
+//! subdivided into six classes). Because our detectors carry the safety
+//! context of both the cause and the effect site, this classification is
+//! mechanical.
+
+use std::collections::BTreeMap;
+
+use rstudy_mir::Safety;
+use serde::{Deserialize, Serialize};
+
+use crate::diagnostics::{BugClass, Diagnostic};
+
+/// Cause-to-effect safety propagation (the rows of Table 2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Propagation {
+    /// cause and effect both in safe code.
+    SafeToSafe,
+    /// cause in safe code, effect in unsafe code.
+    SafeToUnsafe,
+    /// cause in unsafe code, effect in safe code.
+    UnsafeToSafe,
+    /// cause and effect both in unsafe code.
+    UnsafeToUnsafe,
+}
+
+impl Propagation {
+    /// All rows in Table 2 order.
+    pub const ALL: &'static [Propagation] = &[
+        Propagation::SafeToSafe,
+        Propagation::UnsafeToUnsafe,
+        Propagation::SafeToUnsafe,
+        Propagation::UnsafeToSafe,
+    ];
+
+    /// The Table 2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Propagation::SafeToSafe => "safe",
+            Propagation::SafeToUnsafe => "safe -> unsafe",
+            Propagation::UnsafeToSafe => "unsafe -> safe",
+            Propagation::UnsafeToUnsafe => "unsafe",
+        }
+    }
+
+    /// Builds the propagation from cause and effect safety contexts.
+    pub fn from_sites(cause: Safety, effect: Safety) -> Propagation {
+        match (cause, effect) {
+            (Safety::Safe, Safety::Safe) => Propagation::SafeToSafe,
+            (Safety::Safe, Safety::Unsafe) => Propagation::SafeToUnsafe,
+            (Safety::Unsafe, Safety::Safe) => Propagation::UnsafeToSafe,
+            (Safety::Unsafe, Safety::Unsafe) => Propagation::UnsafeToUnsafe,
+        }
+    }
+}
+
+/// Wrong access vs. lifetime violation (the column groups of Table 2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum EffectClass {
+    /// Buffer overflow, null dereference, uninitialized read.
+    WrongAccess,
+    /// Invalid free, use after free, double free.
+    LifetimeViolation,
+}
+
+impl EffectClass {
+    /// The effect group a bug class belongs to, if it is a memory bug.
+    pub fn of(class: BugClass) -> Option<EffectClass> {
+        match class {
+            BugClass::BufferOverflow
+            | BugClass::NullPointerDereference
+            | BugClass::UninitializedRead => Some(EffectClass::WrongAccess),
+            BugClass::InvalidFree
+            | BugClass::UseAfterFree
+            | BugClass::DoubleFree
+            | BugClass::DanglingReturn => Some(EffectClass::LifetimeViolation),
+            _ => None,
+        }
+    }
+}
+
+/// A Table 2-shaped tally of diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryBugTable {
+    /// `cells[(propagation, class)] = count`.
+    cells: BTreeMap<(Propagation, BugClass), usize>,
+}
+
+impl MemoryBugTable {
+    /// Classifies a batch of diagnostics (non-memory classes are skipped;
+    /// diagnostics without a known cause site use the effect site's safety
+    /// for both dimensions, the conservative Table 2 convention).
+    pub fn from_diagnostics<'a>(
+        diags: impl IntoIterator<Item = &'a Diagnostic>,
+    ) -> MemoryBugTable {
+        let mut table = MemoryBugTable::default();
+        for d in diags {
+            if EffectClass::of(d.bug_class).is_none() {
+                continue;
+            }
+            // Dangling returns are use-after-free waiting at the call site;
+            // Table 2 has no separate column for them.
+            let class = match d.bug_class {
+                BugClass::DanglingReturn => BugClass::UseAfterFree,
+                other => other,
+            };
+            let cause = d.cause_safety.unwrap_or(d.effect_safety);
+            let prop = Propagation::from_sites(cause, d.effect_safety);
+            *table.cells.entry((prop, class)).or_insert(0) += 1;
+        }
+        table
+    }
+
+    /// The count in one cell.
+    pub fn get(&self, prop: Propagation, class: BugClass) -> usize {
+        self.cells.get(&(prop, class)).copied().unwrap_or(0)
+    }
+
+    /// Row total.
+    pub fn row_total(&self, prop: Propagation) -> usize {
+        self.cells
+            .iter()
+            .filter(|((p, _), _)| *p == prop)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> usize {
+        self.cells.values().sum()
+    }
+
+    /// Renders the table in the paper's layout (rows: propagation; columns:
+    /// the six memory-bug classes).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        const COLS: [BugClass; 6] = [
+            BugClass::BufferOverflow,
+            BugClass::NullPointerDereference,
+            BugClass::UninitializedRead,
+            BugClass::InvalidFree,
+            BugClass::UseAfterFree,
+            BugClass::DoubleFree,
+        ];
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<16} {:>7} {:>5} {:>7} {:>8} {:>4} {:>7} {:>6}",
+            "Category", "Buffer", "Null", "Uninit", "Invalid", "UAF", "DblFree", "Total"
+        );
+        for &prop in Propagation::ALL {
+            let _ = write!(s, "{:<16}", prop.label());
+            for class in COLS {
+                let width = match class {
+                    BugClass::BufferOverflow => 7,
+                    BugClass::NullPointerDereference => 5,
+                    BugClass::UninitializedRead => 7,
+                    BugClass::InvalidFree => 8,
+                    BugClass::UseAfterFree => 4,
+                    BugClass::DoubleFree => 7,
+                    _ => 6,
+                };
+                let _ = write!(s, " {:>width$}", self.get(prop, class), width = width);
+            }
+            let _ = writeln!(s, " {:>6}", self.row_total(prop));
+        }
+        let _ = writeln!(s, "{:<16} {:>53} {:>6}", "Total", "", self.total());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+    use rstudy_mir::visit::Location;
+    use rstudy_mir::{BasicBlock, Span};
+
+    fn diag(class: BugClass, cause: Safety, effect: Safety) -> Diagnostic {
+        Diagnostic::new(
+            "test",
+            class,
+            Severity::Error,
+            "f",
+            Location {
+                block: BasicBlock(0),
+                statement_index: 0,
+            },
+            Span::SYNTHETIC,
+            effect,
+            "test",
+        )
+        .with_cause_safety(cause)
+    }
+
+    #[test]
+    fn propagation_from_sites() {
+        assert_eq!(
+            Propagation::from_sites(Safety::Safe, Safety::Unsafe),
+            Propagation::SafeToUnsafe
+        );
+        assert_eq!(
+            Propagation::from_sites(Safety::Unsafe, Safety::Safe),
+            Propagation::UnsafeToSafe
+        );
+    }
+
+    #[test]
+    fn effect_classes_cover_memory_bugs_only() {
+        assert_eq!(
+            EffectClass::of(BugClass::BufferOverflow),
+            Some(EffectClass::WrongAccess)
+        );
+        assert_eq!(
+            EffectClass::of(BugClass::DoubleFree),
+            Some(EffectClass::LifetimeViolation)
+        );
+        assert_eq!(EffectClass::of(BugClass::DoubleLock), None);
+    }
+
+    #[test]
+    fn table_counts_and_totals() {
+        let diags = vec![
+            diag(BugClass::UseAfterFree, Safety::Safe, Safety::Unsafe),
+            diag(BugClass::UseAfterFree, Safety::Safe, Safety::Unsafe),
+            diag(BugClass::DoubleFree, Safety::Unsafe, Safety::Safe),
+            diag(BugClass::DoubleLock, Safety::Safe, Safety::Safe), // skipped
+        ];
+        let table = MemoryBugTable::from_diagnostics(&diags);
+        assert_eq!(
+            table.get(Propagation::SafeToUnsafe, BugClass::UseAfterFree),
+            2
+        );
+        assert_eq!(table.get(Propagation::UnsafeToSafe, BugClass::DoubleFree), 1);
+        assert_eq!(table.row_total(Propagation::SafeToUnsafe), 2);
+        assert_eq!(table.total(), 3);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let table = MemoryBugTable::from_diagnostics(&[diag(
+            BugClass::UseAfterFree,
+            Safety::Safe,
+            Safety::Unsafe,
+        )]);
+        let s = table.render();
+        assert!(s.contains("safe -> unsafe"));
+        assert!(s.contains("unsafe -> safe"));
+        assert!(s.contains("Total"));
+    }
+}

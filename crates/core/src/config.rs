@@ -1,0 +1,54 @@
+//! Detector configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the use-after-free detector reasons across function boundaries.
+///
+/// The paper reports that its initial detector produced *three false
+/// positives, "all caused by our current (unoptimized) way of performing
+/// inter-procedural analysis"* (§7.1). [`InterprocMode::Naive`] reproduces
+/// that behaviour — any pointer argument is assumed to be dereferenced by
+/// the callee — while [`InterprocMode::Precise`] computes real
+/// dereference summaries and suppresses those reports.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum InterprocMode {
+    /// Assume every pointer argument is dereferenced by the callee.
+    Naive,
+    /// Use per-callee summaries of which arguments are actually dereferenced.
+    #[default]
+    Precise,
+}
+
+/// Options shared by all detectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Interprocedural strategy for pointer reasoning.
+    pub interproc: InterprocMode,
+}
+
+impl DetectorConfig {
+    /// The default (precise) configuration.
+    pub fn new() -> DetectorConfig {
+        DetectorConfig::default()
+    }
+
+    /// The paper's initial unoptimized interprocedural behaviour.
+    pub fn naive() -> DetectorConfig {
+        DetectorConfig {
+            interproc: InterprocMode::Naive,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_precise() {
+        assert_eq!(DetectorConfig::new().interproc, InterprocMode::Precise);
+        assert_eq!(DetectorConfig::naive().interproc, InterprocMode::Naive);
+    }
+}

@@ -1,0 +1,308 @@
+//! Static detection of condvar and channel misuse (Table 3's second and
+//! third blocking-bug classes).
+//!
+//! §6.1: "In eight of the ten bugs related to Condvar, one thread is
+//! blocked at wait() of a Condvar, while no other threads invoke
+//! notify_one() or notify_all() of the same Condvar" — and five channel
+//! bugs block at a receive no thread can ever satisfy. Both have a simple
+//! whole-program static signature: a blocking operation on a
+//! synchronization object for which the complementary operation does not
+//! exist anywhere in the program.
+
+use std::collections::BTreeSet;
+
+use rstudy_analysis::points_to::{MemRoot, PointsTo};
+use rstudy_mir::visit::Location;
+use rstudy_mir::{Callee, Intrinsic, Operand, Program, TerminatorKind};
+
+use crate::config::DetectorConfig;
+use crate::detectors::Detector;
+use crate::diagnostics::{BugClass, Diagnostic, Severity};
+
+/// The condvar/channel misuse detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockingMisuse;
+
+/// One intrinsic operation site with the points-to roots of its first
+/// argument (the synchronization object).
+#[derive(Debug, Clone)]
+struct OpSite {
+    function: String,
+    location: Location,
+    span: rstudy_mir::Span,
+    safety: rstudy_mir::Safety,
+    roots: BTreeSet<MemRoot>,
+    /// Whether any root is imprecise (argument pointee or unknown) — in
+    /// that case the object may alias something outside the function and
+    /// suppression is the safe default.
+    imprecise: bool,
+}
+
+fn collect_sites(program: &Program, wanted: &[Intrinsic]) -> Vec<(Intrinsic, OpSite)> {
+    let mut out = Vec::new();
+    for (name, body) in program.iter() {
+        let pt = PointsTo::analyze(body);
+        for bb in body.block_indices() {
+            let data = body.block(bb);
+            let Some(term) = &data.terminator else { continue };
+            let TerminatorKind::Call {
+                func: Callee::Intrinsic(i),
+                args,
+                ..
+            } = &term.kind
+            else {
+                continue;
+            };
+            if !wanted.contains(i) {
+                continue;
+            }
+            let roots: BTreeSet<MemRoot> = args
+                .first()
+                .and_then(Operand::place)
+                .filter(|p| p.is_local())
+                .map(|p| {
+                    let t = pt.targets(p.local);
+                    if t.is_empty() {
+                        // By-value sync objects have no pointer targets;
+                        // identify them by the local itself.
+                        BTreeSet::from([MemRoot::Local(p.local)])
+                    } else {
+                        t.clone()
+                    }
+                })
+                .unwrap_or_default();
+            let imprecise = roots
+                .iter()
+                .any(|r| matches!(r, MemRoot::ArgPointee(_) | MemRoot::Unknown));
+            out.push((
+                *i,
+                OpSite {
+                    function: name.to_owned(),
+                    location: Location {
+                        block: bb,
+                        statement_index: data.statements.len(),
+                    },
+                    span: term.source_info.span,
+                    safety: term.source_info.safety,
+                    roots,
+                    imprecise,
+                },
+            ));
+        }
+    }
+    out
+}
+
+impl Detector for BlockingMisuse {
+    fn name(&self) -> &'static str {
+        "blocking-misuse"
+    }
+
+    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+
+        // --- condvar: wait with no notify anywhere -----------------------
+        let waits = collect_sites(program, &[Intrinsic::CondvarWait]);
+        let notifies = collect_sites(
+            program,
+            &[Intrinsic::CondvarNotifyOne, Intrinsic::CondvarNotifyAll],
+        );
+        for (_, wait) in &waits {
+            if wait.imprecise {
+                continue;
+            }
+            // Waits and notifies in different functions can only be
+            // correlated through imprecise roots; a notify with imprecise
+            // roots conservatively matches everything.
+            let notified = notifies.iter().any(|(_, n)| {
+                n.imprecise
+                    || n.function != wait.function
+                    || n.roots.intersection(&wait.roots).next().is_some()
+            });
+            if !notified {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    BugClass::MissedWakeup,
+                    Severity::Error,
+                    &wait.function,
+                    wait.location,
+                    wait.span,
+                    wait.safety,
+                    "condvar::wait, but no thread ever calls notify_one/notify_all \
+                     on this condvar"
+                        .to_owned(),
+                ));
+            }
+        }
+
+        // --- channel: recv with no send anywhere (and vice versa for
+        //     bounded channels is fix-specific; only the recv side is the
+        //     studied pattern with a clean signature) ----------------------
+        let recvs = collect_sites(program, &[Intrinsic::ChannelRecv]);
+        let sends = collect_sites(program, &[Intrinsic::ChannelSend]);
+        for (_, recv) in &recvs {
+            if recv.imprecise {
+                continue;
+            }
+            let fed = sends.iter().any(|(_, s)| {
+                s.imprecise
+                    || s.function != recv.function
+                    || s.roots.intersection(&recv.roots).next().is_some()
+            });
+            // A channel received in one function but sent to from a spawned
+            // worker shows up as "different function" above and counts as
+            // fed. Only a program with no send at all (or sends provably on
+            // other channels in the same function) is flagged.
+            if !fed && sends.is_empty() {
+                out.push(Diagnostic::new(
+                    self.name(),
+                    BugClass::ChannelNeverSent,
+                    Severity::Error,
+                    &recv.function,
+                    recv.location,
+                    recv.span,
+                    recv.safety,
+                    "channel::recv, but nothing in the program ever sends on a channel"
+                        .to_owned(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::parse::parse_program;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let program = parse_program(src).expect("parse");
+        BlockingMisuse.check_program(&program, &DetectorConfig::new())
+    }
+
+    const WAIT_NO_NOTIFY: &str = r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+    let _4 as cv: Condvar;
+    let _5 as cvr: &Condvar;
+    let _6 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_4);
+        _4 = call condvar::new() -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = &_4;
+        StorageLive(_6);
+        _6 = call condvar::wait(_5, move _3) -> bb4;
+    }
+
+    bb4: {
+        StorageDead(_6);
+        return;
+    }
+}
+"#;
+
+    #[test]
+    fn wait_without_notify_is_flagged() {
+        let diags = run(WAIT_NO_NOTIFY);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].bug_class, BugClass::MissedWakeup);
+    }
+
+    #[test]
+    fn wait_with_matching_notify_is_clean() {
+        // Insert a notify on the same condvar (another function would do
+        // too; here it is unreachable code after return, which is enough
+        // for the whole-program existence check).
+        let src = WAIT_NO_NOTIFY.replace(
+            "    bb4: {\n        StorageDead(_6);\n        return;\n    }",
+            "    bb4: {\n        StorageDead(_6);\n        _0 = call condvar::notify_one(_5) -> bb5;\n    }\n\n    bb5: {\n        return;\n    }",
+        );
+        assert!(run(&src).is_empty());
+    }
+
+    #[test]
+    fn recv_without_any_send_is_flagged() {
+        let diags = run(r#"
+fn main() -> int {
+    let _1 as ch: Channel<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call channel::unbounded() -> bb1;
+    }
+
+    bb1: {
+        _0 = call channel::recv(_1) -> bb2;
+    }
+
+    bb2: {
+        return;
+    }
+}
+"#);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].bug_class, BugClass::ChannelNeverSent);
+    }
+
+    #[test]
+    fn producer_consumer_is_clean() {
+        let diags = run(r#"
+fn producer(_1 as ch: Channel<int>) -> unit {
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call channel::send(_1, const 1) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as ch: Channel<int>;
+    let _2 as h: JoinHandle<unit>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call channel::unbounded() -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call thread::spawn(const fn producer, _1) -> bb2;
+    }
+
+    bb2: {
+        _0 = call channel::recv(_1) -> bb3;
+    }
+
+    bb3: {
+        return;
+    }
+}
+"#);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,45 @@
+//! The individual bug detectors.
+//!
+//! Each detector implements [`Detector`]: a whole-program check returning
+//! [`Diagnostic`]s. Run them all with [`crate::suite::DetectorSuite`], or
+//! individually when you only care about one bug class.
+
+mod blocking_misuse;
+mod buffer_overflow;
+mod common;
+mod double_free;
+mod double_lock;
+mod heap;
+mod interior_mut;
+mod invalid_free;
+mod lock_order;
+mod null_deref;
+mod uninit_read;
+mod use_after_free;
+
+pub use blocking_misuse::BlockingMisuse;
+pub use buffer_overflow::BufferOverflow;
+pub use common::{deref_sites, DerefSite, DerefSummaries};
+pub use double_free::DoubleFree;
+pub use double_lock::DoubleLock;
+pub use heap::{HeapModel, HeapState};
+pub use interior_mut::InteriorMutability;
+pub use invalid_free::InvalidFree;
+pub use lock_order::LockOrderInversion;
+pub use null_deref::NullDeref;
+pub use uninit_read::UninitRead;
+pub use use_after_free::UseAfterFree;
+
+use rstudy_mir::Program;
+
+use crate::config::DetectorConfig;
+use crate::diagnostics::Diagnostic;
+
+/// A whole-program static bug detector.
+pub trait Detector {
+    /// Stable detector name (used in diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Checks a whole program and returns every finding.
+    fn check_program(&self, program: &Program, config: &DetectorConfig) -> Vec<Diagnostic>;
+}

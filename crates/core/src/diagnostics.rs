@@ -1,0 +1,258 @@
+//! Diagnostics emitted by the detectors.
+
+use std::fmt;
+
+use rstudy_mir::visit::Location;
+use rstudy_mir::{Safety, Span};
+use serde::{Deserialize, Serialize};
+
+/// The class of bug a diagnostic reports, following the study's taxonomy
+/// (Table 2 effect classes for memory bugs; §6 classes for concurrency bugs).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BugClass {
+    /// Out-of-bounds access (wrong access).
+    BufferOverflow,
+    /// Null pointer dereference (wrong access).
+    NullPointerDereference,
+    /// Read of uninitialized memory (wrong access).
+    UninitializedRead,
+    /// Freeing a value that was never validly initialized (lifetime violation).
+    InvalidFree,
+    /// Access after the pointee's lifetime ended (lifetime violation).
+    UseAfterFree,
+    /// The same value freed twice (lifetime violation).
+    DoubleFree,
+    /// A pointer or reference to a local escapes the function (a
+    /// use-after-free waiting to happen at every call site).
+    DanglingReturn,
+    /// Re-acquiring a lock already held by the same thread (blocking).
+    DoubleLock,
+    /// Two locks acquired in conflicting orders (blocking).
+    LockOrderInversion,
+    /// `call_once` re-entered from its own initializer (blocking).
+    RecursiveOnce,
+    /// A condvar wait nothing ever notifies (blocking).
+    MissedWakeup,
+    /// A channel receive in a program that never sends (blocking).
+    ChannelNeverSent,
+    /// Unsynchronized mutation through a shared (`&self`-style) reference
+    /// (non-blocking; the paper's interior-mutability pattern, Fig. 9).
+    UnsynchronizedInteriorMutation,
+}
+
+impl BugClass {
+    /// All classes, for table-driven reporting.
+    pub const ALL: &'static [BugClass] = &[
+        BugClass::BufferOverflow,
+        BugClass::NullPointerDereference,
+        BugClass::UninitializedRead,
+        BugClass::InvalidFree,
+        BugClass::UseAfterFree,
+        BugClass::DoubleFree,
+        BugClass::DanglingReturn,
+        BugClass::DoubleLock,
+        BugClass::LockOrderInversion,
+        BugClass::RecursiveOnce,
+        BugClass::MissedWakeup,
+        BugClass::ChannelNeverSent,
+        BugClass::UnsynchronizedInteriorMutation,
+    ];
+
+    /// Returns `true` for the memory-safety classes studied in §5.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            BugClass::BufferOverflow
+                | BugClass::NullPointerDereference
+                | BugClass::UninitializedRead
+                | BugClass::InvalidFree
+                | BugClass::UseAfterFree
+                | BugClass::DoubleFree
+                | BugClass::DanglingReturn
+        )
+    }
+
+    /// Returns `true` for the blocking concurrency classes of §6.1.
+    pub fn is_blocking(self) -> bool {
+        matches!(
+            self,
+            BugClass::DoubleLock
+                | BugClass::LockOrderInversion
+                | BugClass::RecursiveOnce
+                | BugClass::MissedWakeup
+                | BugClass::ChannelNeverSent
+        )
+    }
+
+    /// A short stable identifier (used in reports and test expectations).
+    pub fn code(self) -> &'static str {
+        match self {
+            BugClass::BufferOverflow => "buffer-overflow",
+            BugClass::NullPointerDereference => "null-deref",
+            BugClass::UninitializedRead => "uninit-read",
+            BugClass::InvalidFree => "invalid-free",
+            BugClass::UseAfterFree => "use-after-free",
+            BugClass::DoubleFree => "double-free",
+            BugClass::DanglingReturn => "dangling-return",
+            BugClass::DoubleLock => "double-lock",
+            BugClass::LockOrderInversion => "lock-order-inversion",
+            BugClass::RecursiveOnce => "recursive-once",
+            BugClass::MissedWakeup => "missed-wakeup",
+            BugClass::ChannelNeverSent => "channel-never-sent",
+            BugClass::UnsynchronizedInteriorMutation => "interior-mutation",
+        }
+    }
+}
+
+impl fmt::Display for BugClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// How confident the detector is.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// Likely a real bug on some execution.
+    Error,
+    /// Suspicious; may be a false positive.
+    Warning,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which detector produced this.
+    pub detector: String,
+    /// The bug class reported.
+    pub bug_class: BugClass,
+    /// Confidence.
+    pub severity: Severity,
+    /// Function containing the *effect* site.
+    pub function: String,
+    /// Program point of the effect (block + statement index).
+    pub effect_block: u32,
+    /// Statement index of the effect within the block.
+    pub effect_index: usize,
+    /// Source span of the effect site.
+    pub effect_span: Span,
+    /// Safety context at the effect site.
+    pub effect_safety: Safety,
+    /// Safety context at the cause site, when the detector can identify one
+    /// (e.g. where the freed pointer was created, or the first lock).
+    pub cause_safety: Option<Safety>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at an effect location.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        detector: &str,
+        bug_class: BugClass,
+        severity: Severity,
+        function: &str,
+        location: Location,
+        effect_span: Span,
+        effect_safety: Safety,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            detector: detector.to_owned(),
+            bug_class,
+            severity,
+            function: function.to_owned(),
+            effect_block: location.block.0,
+            effect_index: location.statement_index,
+            effect_span,
+            effect_safety,
+            cause_safety: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attaches the cause site's safety context.
+    pub fn with_cause_safety(mut self, safety: Safety) -> Diagnostic {
+        self.cause_safety = Some(safety);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} in `{}` at bb{}[{}]: {}",
+            self.bug_class,
+            match self.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            },
+            self.function,
+            self.effect_block,
+            self.effect_index,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::BasicBlock;
+
+    fn sample() -> Diagnostic {
+        Diagnostic::new(
+            "uaf",
+            BugClass::UseAfterFree,
+            Severity::Error,
+            "main",
+            Location {
+                block: BasicBlock(2),
+                statement_index: 3,
+            },
+            Span::new(10, 1),
+            Safety::Unsafe,
+            "dereference of dangling pointer",
+        )
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = sample();
+        let s = d.to_string();
+        assert!(s.contains("use-after-free"));
+        assert!(s.contains("main"));
+        assert!(s.contains("bb2[3]"));
+        assert!(s.contains("dangling"));
+    }
+
+    #[test]
+    fn class_predicates() {
+        assert!(BugClass::UseAfterFree.is_memory());
+        assert!(!BugClass::UseAfterFree.is_blocking());
+        assert!(BugClass::DoubleLock.is_blocking());
+        assert!(!BugClass::DoubleLock.is_memory());
+        assert!(!BugClass::UnsynchronizedInteriorMutation.is_memory());
+        assert!(!BugClass::UnsynchronizedInteriorMutation.is_blocking());
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = BugClass::ALL.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), BugClass::ALL.len());
+    }
+
+    #[test]
+    fn cause_safety_attaches() {
+        let d = sample().with_cause_safety(Safety::Safe);
+        assert_eq!(d.cause_safety, Some(Safety::Safe));
+    }
+}

@@ -1,0 +1,181 @@
+//! Running every detector over a program and aggregating the findings.
+
+use rstudy_mir::Program;
+
+use crate::config::DetectorConfig;
+use crate::detectors::{
+    BlockingMisuse, BufferOverflow, Detector, DoubleFree, DoubleLock, InteriorMutability,
+    InvalidFree, LockOrderInversion, NullDeref, UninitRead, UseAfterFree,
+};
+use crate::diagnostics::{BugClass, Diagnostic};
+
+/// The aggregated findings of one suite run.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// All diagnostics, detector by detector.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Diagnostics of one bug class.
+    pub fn of_class(&self, class: BugClass) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.bug_class == class)
+    }
+
+    /// Number of diagnostics of one class.
+    pub fn count(&self, class: BugClass) -> usize {
+        self.of_class(class).count()
+    }
+
+    /// Returns `true` if nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Total number of findings.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// Returns `true` if there are no findings (alias of [`Report::is_clean`]
+    /// for the usual `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Runs a configurable set of detectors over whole programs.
+///
+/// By default all ten detectors run with the precise interprocedural mode.
+pub struct DetectorSuite {
+    detectors: Vec<Box<dyn Detector>>,
+    config: DetectorConfig,
+}
+
+impl DetectorSuite {
+    /// The full suite with default configuration.
+    pub fn new() -> DetectorSuite {
+        DetectorSuite {
+            detectors: vec![
+                Box::new(UseAfterFree),
+                Box::new(DoubleFree),
+                Box::new(InvalidFree),
+                Box::new(UninitRead),
+                Box::new(NullDeref),
+                Box::new(BufferOverflow),
+                Box::new(DoubleLock),
+                Box::new(LockOrderInversion),
+                Box::new(BlockingMisuse),
+                Box::new(InteriorMutability),
+            ],
+            config: DetectorConfig::new(),
+        }
+    }
+
+    /// An empty suite to which detectors are added manually.
+    pub fn empty() -> DetectorSuite {
+        DetectorSuite {
+            detectors: Vec::new(),
+            config: DetectorConfig::new(),
+        }
+    }
+
+    /// Adds a detector.
+    pub fn with_detector(mut self, d: Box<dyn Detector>) -> DetectorSuite {
+        self.detectors.push(d);
+        self
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: DetectorConfig) -> DetectorSuite {
+        self.config = config;
+        self
+    }
+
+    /// Names of the detectors in the suite, in run order.
+    pub fn detector_names(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// Runs every detector over `program`.
+    pub fn check_program(&self, program: &Program) -> Report {
+        let mut diagnostics = Vec::new();
+        for d in &self.detectors {
+            diagnostics.extend(d.check_program(program, &self.config));
+        }
+        Report { diagnostics }
+    }
+}
+
+impl Default for DetectorSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::build::BodyBuilder;
+    use rstudy_mir::{Mutability, Operand, Place, Rvalue, Ty};
+
+    #[test]
+    fn clean_program_yields_clean_report() {
+        let mut b = BodyBuilder::new("main", 0, Ty::Int);
+        let x = b.local("x", Ty::Int);
+        b.storage_live(x);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.assign(Place::RETURN, Rvalue::Use(Operand::copy(x)));
+        b.storage_dead(x);
+        b.ret();
+        let program = Program::from_bodies([b.finish()]);
+        let report = DetectorSuite::new().check_program(&program);
+        assert!(report.is_clean(), "{:?}", report.diagnostics());
+        assert!(report.is_empty());
+        assert_eq!(report.len(), 0);
+    }
+
+    #[test]
+    fn suite_contains_all_ten_detectors() {
+        let names = DetectorSuite::new().detector_names();
+        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"use-after-free"));
+        assert!(names.contains(&"double-lock"));
+    }
+
+    #[test]
+    fn buggy_program_is_classified() {
+        let mut b = BodyBuilder::new("main", 0, Ty::Int);
+        let x = b.local("x", Ty::Int);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        b.storage_live(x);
+        b.assign(x, Rvalue::Use(Operand::int(42)));
+        b.storage_live(p);
+        b.assign(p, Rvalue::AddrOf(Mutability::Mut, x.into()));
+        b.storage_dead(x);
+        b.in_unsafe(|b| {
+            b.assign(
+                Place::RETURN,
+                Rvalue::Use(Operand::copy(Place::from_local(p).deref())),
+            )
+        });
+        b.ret();
+        let program = Program::from_bodies([b.finish()]);
+        let report = DetectorSuite::new().check_program(&program);
+        assert_eq!(report.count(BugClass::UseAfterFree), 1);
+        assert_eq!(report.count(BugClass::DoubleLock), 0);
+    }
+
+    #[test]
+    fn empty_suite_reports_nothing() {
+        let program = Program::new();
+        let report = DetectorSuite::empty().check_program(&program);
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,734 @@
+//! Blocking-bug patterns (§6.1, Table 3), plus safe variants.
+
+use crate::{CorpusEntry, DynamicExpectation};
+
+/// The simplest double lock: second `lock()` while the first guard's
+/// lifetime has not ended.
+pub const DOUBLE_LOCK_SIMPLE: CorpusEntry = CorpusEntry {
+    name: "double_lock_simple",
+    description: "mutex locked twice with the first guard still alive (§6.1)",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g1: Guard<int>;
+    let _4 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageDead(_4);
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Fig. 8 (TiKV `do_request`): the read guard returned by
+/// `client.read()` lives to the end of the match, so the write lock in the
+/// Ok-arm deadlocks.
+pub const DOUBLE_LOCK_FIG8: CorpusEntry = CorpusEntry {
+    name: "double_lock_fig8",
+    description: "Fig. 8: read guard held through the match; write lock in the arm",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as client: RwLock<int>;
+    let _2 as r: &RwLock<int>;
+    let _3 as read_guard: Guard<int>;
+    let _4 as ok: int;
+    let _5 as write_guard: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call rwlock::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call rwlock::read(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = (*_3);
+        switchInt(_4) -> [1: bb4, otherwise: bb3];
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = call rwlock::write(_2) -> bb5;
+    }
+
+    bb4: {
+        StorageDead(_3);
+        return;
+    }
+
+    bb5: {
+        (*_5) = const 1;
+        StorageDead(_5);
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The Fig. 8 patch: save the result, end the read guard's lifetime, then
+/// take the write lock.
+pub const DOUBLE_LOCK_FIG8_FIXED: CorpusEntry = CorpusEntry {
+    name: "double_lock_fig8_fixed",
+    description: "Fig. 8 patch: read guard released before the write lock",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> unit {
+    let _1 as client: RwLock<int>;
+    let _2 as r: &RwLock<int>;
+    let _3 as read_guard: Guard<int>;
+    let _4 as result: int;
+    let _5 as write_guard: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call rwlock::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call rwlock::read(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = (*_3);
+        StorageDead(_3);
+        switchInt(_4) -> [1: bb4, otherwise: bb3];
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = call rwlock::write(_2) -> bb5;
+    }
+
+    bb4: {
+        return;
+    }
+
+    bb5: {
+        (*_5) = const 1;
+        StorageDead(_5);
+        return;
+    }
+}
+"#,
+};
+
+/// Cross-function double lock: the callee locks what the caller holds.
+pub const DOUBLE_LOCK_INTERPROC: CorpusEntry = CorpusEntry {
+    name: "double_lock_interproc",
+    description: "callee re-locks a mutex the caller still holds (§7.2 interprocedural)",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn helper(_1 as r: &Mutex<int>) -> unit {
+    let _2 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        StorageDead(_2);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        _0 = call helper(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The interprocedural fix: explicit `mem::drop` of the guard before the
+/// call (the §6.1 "explicitly define the critical-section boundary" idiom).
+pub const DOUBLE_LOCK_INTERPROC_FIXED: CorpusEntry = CorpusEntry {
+    name: "double_lock_interproc_fixed",
+    description: "guard explicitly dropped before calling the locking callee",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn helper(_1 as r: &Mutex<int>) -> unit {
+    let _2 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        StorageDead(_2);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+    let _4: unit;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = call mem::drop(move _3) -> bb3;
+    }
+
+    bb3: {
+        _0 = call helper(_2) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// A `Condvar` waiter that nobody ever notifies (8 of the 10 Condvar bugs).
+pub const CONDVAR_NO_NOTIFY: CorpusEntry = CorpusEntry {
+    name: "condvar_no_notify",
+    description: "thread waits on a condvar no other thread notifies (§6.1)",
+    static_bugs: &["missed-wakeup"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+    let _4 as cv: Condvar;
+    let _5 as cvr: &Condvar;
+    let _6 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_4);
+        _4 = call condvar::new() -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = &_4;
+        StorageLive(_6);
+        _6 = call condvar::wait(_5, move _3) -> bb4;
+    }
+
+    bb4: {
+        StorageDead(_6);
+        return;
+    }
+}
+"#,
+};
+
+/// Receive on a channel with no sender (§6.1's channel-blocking shape).
+pub const CHANNEL_NO_SENDER: CorpusEntry = CorpusEntry {
+    name: "channel_no_sender",
+    description: "recv blocks forever: no thread can send (§6.1 channel bug)",
+    static_bugs: &["channel-never-sent"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> int {
+    let _1 as ch: Channel<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call channel::unbounded() -> bb1;
+    }
+
+    bb1: {
+        _0 = call channel::recv(_1) -> bb2;
+    }
+
+    bb2: {
+        return;
+    }
+}
+"#,
+};
+
+/// Send into a full bounded channel nobody drains (the one §6.1 bug of
+/// this shape).
+pub const CHANNEL_FULL: CorpusEntry = CorpusEntry {
+    name: "channel_full",
+    description: "send blocks on a full bounded channel with no receiver",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as ch: Channel<int>;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        _1 = call channel::bounded(const 1) -> bb1;
+    }
+
+    bb1: {
+        _2 = call channel::send(_1, const 1) -> bb2;
+    }
+
+    bb2: {
+        _2 = call channel::send(_1, const 2) -> bb3;
+    }
+
+    bb3: {
+        return;
+    }
+}
+"#,
+};
+
+/// The channel pipeline done right: a producer thread feeds the receiver.
+pub const CHANNEL_FIXED: CorpusEntry = CorpusEntry {
+    name: "channel_fixed",
+    description: "producer thread sends; main receives — no blocking bug",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(99),
+    source: r#"
+fn producer(_1 as ch: Channel<int>) -> unit {
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call channel::send(_1, const 99) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as ch: Channel<int>;
+    let _2 as h: JoinHandle<unit>;
+    let _3: unit;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call channel::unbounded() -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call thread::spawn(const fn producer, _1) -> bb2;
+    }
+
+    bb2: {
+        _0 = call channel::recv(_1) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_3);
+        _3 = call thread::join(_2) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// `call_once` whose initializer reaches `call_once` again (§6.1's Once
+/// deadlock).
+pub const ONCE_RECURSIVE: CorpusEntry = CorpusEntry {
+    name: "once_recursive",
+    description: "initializer passed to call_once re-enters call_once (§6.1)",
+    static_bugs: &["recursive-once"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn init(_1 as o: Once) -> unit {
+    bb0: {
+        _0 = call once::call_once(_1, const fn init) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as o: Once;
+    let _2 as r: &Once;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call once::new() -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        _0 = call once::call_once(_2, const fn init) -> bb2;
+    }
+
+    bb2: {
+        return;
+    }
+}
+"#,
+};
+
+/// Conflicting lock orders across two functions called with swapped lock
+/// arguments (7 of the §6.1 blocking bugs). Statically detectable; the
+/// sequential execution completes, so the dynamic run is clean — the
+/// deadlock needs two *threads*, which `lock_order_threads` models.
+pub const LOCK_ORDER_INVERSION: CorpusEntry = CorpusEntry {
+    name: "lock_order_inversion",
+    description: "A->B in one path, B->A in another (§6.1 conflicting orders)",
+    static_bugs: &["lock-order-inversion"],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn transfer(_1 as from: &Mutex<int>, _2 as to: &Mutex<int>) -> unit {
+    let _3 as g1: Guard<int>;
+    let _4 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_3);
+        _3 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageDead(_4);
+        StorageDead(_3);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as a: Mutex<int>;
+    let _2 as b: Mutex<int>;
+    let _3 as ra: &Mutex<int>;
+    let _4 as rb: &Mutex<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call mutex::new(const 0) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = &_1;
+        StorageLive(_4);
+        _4 = &_2;
+        _0 = call transfer(_3, _4) -> bb3;
+    }
+
+    bb3: {
+        _0 = call transfer(_4, _3) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// The ABBA deadlock with real threads: each worker receives a pointer to
+/// a pair of lock references and acquires them in opposite orders. The
+/// round-robin scheduler interleaves the acquisitions and deadlocks;
+/// the static detectors cannot see through the pointer-laundered pair
+/// (documented coverage gap — the dynamic side of the comparison).
+pub const LOCK_ORDER_THREADS: CorpusEntry = CorpusEntry {
+    name: "lock_order_threads",
+    description: "two threads acquire A/B in opposite orders and deadlock",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn worker_ab(_1 as pair: *mut (&Mutex<int>, &Mutex<int>)) -> unit {
+    let _2 as ra: &Mutex<int>;
+    let _3 as rb: &Mutex<int>;
+    let _4 as g1: Guard<int>;
+    let _5 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        unsafe _2 = (*_1).0;
+        StorageLive(_3);
+        unsafe _3 = (*_1).1;
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_5);
+        _5 = call mutex::lock(_3) -> bb2;
+    }
+
+    bb2: {
+        StorageDead(_5);
+        StorageDead(_4);
+        return;
+    }
+}
+
+fn worker_ba(_1 as pair: *mut (&Mutex<int>, &Mutex<int>)) -> unit {
+    let _2 as ra: &Mutex<int>;
+    let _3 as rb: &Mutex<int>;
+    let _4 as g1: Guard<int>;
+    let _5 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        unsafe _2 = (*_1).0;
+        StorageLive(_3);
+        unsafe _3 = (*_1).1;
+        StorageLive(_4);
+        _4 = call mutex::lock(_3) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_5);
+        _5 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageDead(_5);
+        StorageDead(_4);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as a: Mutex<int>;
+    let _2 as b: Mutex<int>;
+    let _3 as pair: (&Mutex<int>, &Mutex<int>);
+    let _4 as pp: *mut (&Mutex<int>, &Mutex<int>);
+    let _5 as h1: JoinHandle<unit>;
+    let _6 as h2: JoinHandle<unit>;
+    let _7: unit;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call mutex::new(const 0) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3.0 = &_1;
+        _3.1 = &_2;
+        StorageLive(_4);
+        _4 = &raw mut _3;
+        StorageLive(_5);
+        _5 = call thread::spawn(const fn worker_ab, _4) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_6);
+        _6 = call thread::spawn(const fn worker_ba, _4) -> bb4;
+    }
+
+    bb4: {
+        StorageLive(_7);
+        _7 = call thread::join(_5) -> bb5;
+    }
+
+    bb5: {
+        _7 = call thread::join(_6) -> bb6;
+    }
+
+    bb6: {
+        return;
+    }
+}
+"#,
+};
+
+/// Well-ordered locking — the fix for the inversion entries.
+pub const LOCK_ORDER_FIXED: CorpusEntry = CorpusEntry {
+    name: "lock_order_fixed",
+    description: "both paths acquire A then B: consistent global order",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn transfer(_1 as from: &Mutex<int>, _2 as to: &Mutex<int>) -> unit {
+    let _3 as g1: Guard<int>;
+    let _4 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_3);
+        _3 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageDead(_4);
+        StorageDead(_3);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as a: Mutex<int>;
+    let _2 as b: Mutex<int>;
+    let _3 as ra: &Mutex<int>;
+    let _4 as rb: &Mutex<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call mutex::new(const 0) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = &_1;
+        StorageLive(_4);
+        _4 = &_2;
+        _0 = call transfer(_3, _4) -> bb3;
+    }
+
+    bb3: {
+        _0 = call transfer(_3, _4) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// All blocking-pattern corpus entries.
+pub const ENTRIES: &[&CorpusEntry] = &[
+    &DOUBLE_LOCK_SIMPLE,
+    &DOUBLE_LOCK_FIG8,
+    &DOUBLE_LOCK_FIG8_FIXED,
+    &DOUBLE_LOCK_INTERPROC,
+    &DOUBLE_LOCK_INTERPROC_FIXED,
+    &CONDVAR_NO_NOTIFY,
+    &CHANNEL_NO_SENDER,
+    &CHANNEL_FULL,
+    &CHANNEL_FIXED,
+    &ONCE_RECURSIVE,
+    &LOCK_ORDER_INVERSION,
+    &LOCK_ORDER_THREADS,
+    &LOCK_ORDER_FIXED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_parse() {
+        for e in ENTRIES {
+            let _ = e.program();
+        }
+    }
+
+    #[test]
+    fn deadlock_expectations_dominate() {
+        let deadlocks = ENTRIES
+            .iter()
+            .filter(|e| e.dynamic == DynamicExpectation::Deadlock)
+            .count();
+        assert!(deadlocks >= 6, "{deadlocks}");
+    }
+}

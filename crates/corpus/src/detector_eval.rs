@@ -1,0 +1,716 @@
+//! The detector-evaluation corpus (§7): seeded targets matching the
+//! paper's reported results.
+//!
+//! §7.1: the use-after-free detector found **4 previously unknown bugs**
+//! and reported **3 false positives**, "all caused by our current
+//! (unoptimized) way of performing inter-procedural analysis".
+//! §7.2: the double-lock detector found **6 previously unknown bugs** with
+//! **no false positives**.
+//!
+//! This module seeds exactly those populations: four distinct UAF bugs,
+//! three programs that only a naive interprocedural analysis flags (the
+//! dangling pointer flows into a callee that never dereferences it), and
+//! six distinct double-lock bugs — plus clean controls.
+
+use crate::{CorpusEntry, DynamicExpectation};
+
+// --- the four §7.1 use-after-free targets --------------------------------
+
+/// Target 1: dead temporary captured by a pointer inside a conditional.
+pub const UAF_TARGET_COND: CorpusEntry = CorpusEntry {
+    name: "uaf_target_cond",
+    description: "§7.1 target 1: pointer into a scope-local escapes the scope",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as p: *mut int;
+    let _2 as tmp: int;
+    let _3 as c: bool;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_3);
+        _3 = const true;
+        StorageLive(_2);
+        _2 = const 10;
+        _1 = &raw mut _2;
+        switchInt(_3) -> [1: bb1, otherwise: bb2];
+    }
+
+    bb1: {
+        StorageDead(_2);
+        goto -> bb2;
+    }
+
+    bb2: {
+        unsafe _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+/// Target 2: the pointee is moved into another owner, then read through
+/// the old pointer.
+pub const UAF_TARGET_MOVE: CorpusEntry = CorpusEntry {
+    name: "uaf_target_move",
+    description: "§7.1 target 2: value moved away while a pointer still refers to it",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as s: S;
+    let _2 as p: *const S;
+    let _3 as new_home: S;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 5;
+        StorageLive(_2);
+        _2 = &raw const _1;
+        StorageLive(_3);
+        _3 = move _1;
+        unsafe _0 = (*_2);
+        return;
+    }
+}
+"#,
+};
+
+/// Target 3: a vector-style buffer freed by a self-implemented shrink, then
+/// read (the §5.1 "self-implemented vector" shape).
+pub const UAF_TARGET_SHRINK: CorpusEntry = CorpusEntry {
+    name: "uaf_target_shrink",
+    description: "§7.1 target 3: self-managed buffer freed early, element read later",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as buf: *mut int;
+    let _2 as len: int;
+    let _3: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        StorageLive(_3);
+        unsafe _1 = call alloc(const 4) -> bb1;
+    }
+
+    bb1: {
+        unsafe _3 = call ptr::write(_1, const 1) -> bb2;
+    }
+
+    bb2: {
+        _2 = const 0;
+        switchInt(_2) -> [1: bb4, otherwise: bb3];
+    }
+
+    bb3: {
+        unsafe _3 = call dealloc(_1) -> bb4;
+    }
+
+    bb4: {
+        unsafe _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+/// Target 4: a function returns a pointer to its own local (every caller
+/// inherits a dangling pointer).
+pub const UAF_TARGET_RETURN: CorpusEntry = CorpusEntry {
+    name: "uaf_target_return",
+    description: "§7.1 target 4: function returns the address of its own local",
+    static_bugs: &["use-after-free", "dangling-return"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn make_ptr() -> *mut int {
+    let _1 as local: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 3;
+        _0 = &raw mut _1;
+        StorageDead(_1);
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call make_ptr() -> bb1;
+    }
+
+    bb1: {
+        unsafe _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+// --- the three §7.1 naive-interprocedural false positives ----------------
+
+/// FP 1: the dangling pointer is passed to a logger that only stores it.
+pub const UAF_FP_LOGGER: CorpusEntry = CorpusEntry {
+    name: "uaf_fp_logger",
+    description: "§7.1 FP 1: dead pointer passed to a callee that never dereferences",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn log_ptr(_1 as p: *mut int) -> int {
+    bb0: {
+        _0 = const 0;
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageDead(_1);
+        _0 = call log_ptr(_2) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// FP 2: the callee only compares the pointer against null.
+pub const UAF_FP_NULLCHECK: CorpusEntry = CorpusEntry {
+    name: "uaf_fp_nullcheck",
+    description: "§7.1 FP 2: callee only tests the pointer, never loads through it",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn is_null(_1 as p: *mut int) -> bool {
+    let _2 as z: *mut int;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = const 0 as *mut int;
+        _0 = _1 == _2;
+        return;
+    }
+}
+
+fn main() -> bool {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageDead(_1);
+        _0 = call is_null(_2) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// FP 3: the pointer is forwarded to a second non-dereferencing callee.
+pub const UAF_FP_FORWARD: CorpusEntry = CorpusEntry {
+    name: "uaf_fp_forward",
+    description: "§7.1 FP 3: dead pointer forwarded through a wrapper, still never loaded",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn sink(_1 as p: *mut int) -> int {
+    bb0: {
+        _0 = const 7;
+        return;
+    }
+}
+
+fn wrapper(_1 as p: *mut int) -> int {
+    bb0: {
+        _0 = call sink(_1) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageDead(_1);
+        _0 = call wrapper(_2) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+// --- the six §7.2 double-lock targets ------------------------------------
+
+/// DL 1: second lock in the same block.
+pub const DL_TARGET_SEQ: CorpusEntry = CorpusEntry {
+    name: "dl_target_seq",
+    description: "§7.2 target 1: straight-line relock",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g1: Guard<int>;
+    let _4 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 1) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        return;
+    }
+}
+"#,
+};
+
+/// DL 2: first lock in an `if` condition, second in the branch (one of
+/// the five §6.1 if-shaped double locks).
+pub const DL_TARGET_IF: CorpusEntry = CorpusEntry {
+    name: "dl_target_if",
+    description: "§7.2 target 2: lock in if-condition, relock in the then-block",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g1: Guard<int>;
+    let _4 as v: int;
+    let _5 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 1) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = (*_3);
+        switchInt(_4) -> [1: bb3, otherwise: bb4];
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = call mutex::lock(_2) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// DL 3: the Fig. 8 match shape on an `RwLock` (read then write).
+pub const DL_TARGET_MATCH: CorpusEntry = CorpusEntry {
+    name: "dl_target_match",
+    description: "§7.2 target 3: read guard spans the match, write in the arm",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as l: RwLock<int>;
+    let _2 as r: &RwLock<int>;
+    let _3 as g1: Guard<int>;
+    let _4 as v: int;
+    let _5 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call rwlock::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call rwlock::read(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_4);
+        _4 = (*_3);
+        switchInt(_4) -> [1: bb4, otherwise: bb3];
+    }
+
+    bb3: {
+        StorageLive(_5);
+        _5 = call rwlock::write(_2) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// DL 4: cross-function relock through a helper.
+pub const DL_TARGET_HELPER: CorpusEntry = CorpusEntry {
+    name: "dl_target_helper",
+    description: "§7.2 target 4: helper relocks the caller's mutex",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn tick(_1 as r: &Mutex<int>) -> unit {
+    let _2 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        (*_2) = (*_2) + const 1;
+        StorageDead(_2);
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        _0 = call tick(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// DL 5: two-level cross-function relock (caller → wrapper → locker).
+pub const DL_TARGET_NESTED: CorpusEntry = CorpusEntry {
+    name: "dl_target_nested",
+    description: "§7.2 target 5: relock two calls deep",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn locker(_1 as r: &Mutex<int>) -> unit {
+    let _2 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        StorageDead(_2);
+        return;
+    }
+}
+
+fn wrapper(_1 as r: &Mutex<int>) -> unit {
+    bb0: {
+        _0 = call locker(_1) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        _0 = call wrapper(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// DL 6: relock inside a loop body while the guard from the previous
+/// acquisition is still alive.
+pub const DL_TARGET_LOOP: CorpusEntry = CorpusEntry {
+    name: "dl_target_loop",
+    description: "§7.2 target 6: loop reacquires before releasing",
+    static_bugs: &["double-lock"],
+    dynamic: DynamicExpectation::Deadlock,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g: Guard<int>;
+    let _4 as i: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_4);
+        _4 = const 0;
+        StorageLive(_3);
+        goto -> bb2;
+    }
+
+    bb2: {
+        _3 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        _4 = _4 + const 1;
+        switchInt(_4) -> [3: bb4, otherwise: bb2];
+    }
+
+    bb4: {
+        StorageDead(_3);
+        return;
+    }
+}
+"#,
+};
+
+/// A clean control: lock, use, release, relock — no overlap.
+pub const DL_CLEAN_SEQUENTIAL: CorpusEntry = CorpusEntry {
+    name: "dl_clean_sequential",
+    description: "control: guard released between the two acquisitions",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> unit {
+    let _1 as m: Mutex<int>;
+    let _2 as r: &Mutex<int>;
+    let _3 as g1: Guard<int>;
+    let _4 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 1) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = &_1;
+        StorageLive(_3);
+        _3 = call mutex::lock(_2) -> bb2;
+    }
+
+    bb2: {
+        StorageDead(_3);
+        StorageLive(_4);
+        _4 = call mutex::lock(_2) -> bb3;
+    }
+
+    bb3: {
+        StorageDead(_4);
+        return;
+    }
+}
+"#,
+};
+
+/// A clean control with two different locks held in a nest.
+pub const DL_CLEAN_TWO_LOCKS: CorpusEntry = CorpusEntry {
+    name: "dl_clean_two_locks",
+    description: "control: nested acquisition of two distinct mutexes",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> unit {
+    let _1 as a: Mutex<int>;
+    let _2 as b: Mutex<int>;
+    let _3 as ra: &Mutex<int>;
+    let _4 as rb: &Mutex<int>;
+    let _5 as g1: Guard<int>;
+    let _6 as g2: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call mutex::new(const 0) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = &_1;
+        StorageLive(_4);
+        _4 = &_2;
+        StorageLive(_5);
+        _5 = call mutex::lock(_3) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_6);
+        _6 = call mutex::lock(_4) -> bb4;
+    }
+
+    bb4: {
+        StorageDead(_6);
+        StorageDead(_5);
+        return;
+    }
+}
+"#,
+};
+
+/// The §7.1 detector-evaluation population.
+pub const UAF_TARGETS: &[&CorpusEntry] = &[
+    &UAF_TARGET_COND,
+    &UAF_TARGET_MOVE,
+    &UAF_TARGET_SHRINK,
+    &UAF_TARGET_RETURN,
+];
+
+/// The programs only a naive interprocedural pass flags.
+pub const UAF_FALSE_POSITIVES: &[&CorpusEntry] =
+    &[&UAF_FP_LOGGER, &UAF_FP_NULLCHECK, &UAF_FP_FORWARD];
+
+/// The §7.2 detector-evaluation population.
+pub const DL_TARGETS: &[&CorpusEntry] = &[
+    &DL_TARGET_SEQ,
+    &DL_TARGET_IF,
+    &DL_TARGET_MATCH,
+    &DL_TARGET_HELPER,
+    &DL_TARGET_NESTED,
+    &DL_TARGET_LOOP,
+];
+
+/// Clean lock programs for the §7.2 false-positive measurement.
+pub const DL_CLEAN: &[&CorpusEntry] = &[&DL_CLEAN_SEQUENTIAL, &DL_CLEAN_TWO_LOCKS];
+
+/// All detector-evaluation entries.
+pub const ENTRIES: &[&CorpusEntry] = &[
+    &UAF_TARGET_COND,
+    &UAF_TARGET_MOVE,
+    &UAF_TARGET_SHRINK,
+    &UAF_TARGET_RETURN,
+    &UAF_FP_LOGGER,
+    &UAF_FP_NULLCHECK,
+    &UAF_FP_FORWARD,
+    &DL_TARGET_SEQ,
+    &DL_TARGET_IF,
+    &DL_TARGET_MATCH,
+    &DL_TARGET_HELPER,
+    &DL_TARGET_NESTED,
+    &DL_TARGET_LOOP,
+    &DL_CLEAN_SEQUENTIAL,
+    &DL_CLEAN_TWO_LOCKS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_parse() {
+        for e in ENTRIES {
+            let _ = e.program();
+        }
+    }
+
+    #[test]
+    fn populations_match_the_papers_counts() {
+        assert_eq!(UAF_TARGETS.len(), 4, "§7.1: four unknown UAF bugs");
+        assert_eq!(UAF_FALSE_POSITIVES.len(), 3, "§7.1: three false positives");
+        assert_eq!(DL_TARGETS.len(), 6, "§7.2: six unknown double locks");
+    }
+
+    #[test]
+    fn false_positive_programs_are_clean_ground_truth() {
+        for e in UAF_FALSE_POSITIVES {
+            assert!(e.is_statically_clean(), "{}", e.name);
+            assert_eq!(e.dynamic, DynamicExpectation::Clean, "{}", e.name);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! A labelled corpus of MIR programs reproducing every bug pattern the
+//! study describes, plus safe variants for false-positive measurement.
+//!
+//! Each [`CorpusEntry`] carries ground truth on two axes:
+//!
+//! * `static_bugs` — the bug-class codes (matching
+//!   `rstudy_core::BugClass::code()`) a sound-and-precise static pass
+//!   should report, and
+//! * `dynamic` — what actually happens when the program runs under the
+//!   `rstudy-interp` checked interpreter.
+//!
+//! The two axes intentionally diverge on some entries (a static detector
+//! sees the `ptr::read` double free that a value-level dynamic model
+//! misses; a dynamic scheduler trips the ABBA deadlock that intraprocedural
+//! static analysis cannot order) — that divergence *is* the paper's
+//! static-vs-dynamic comparison, made testable.
+
+#![warn(missing_docs)]
+pub mod blocking;
+pub mod detector_eval;
+pub mod memory;
+pub mod mutate;
+pub mod nonblocking;
+
+use rstudy_mir::parse::parse_program;
+use rstudy_mir::validate::validate_program;
+use rstudy_mir::Program;
+
+/// What running an entry under the checked interpreter must produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DynamicExpectation {
+    /// Completes without fault or race.
+    Clean,
+    /// Stops on a memory fault (any of the study's memory classes).
+    MemoryFault,
+    /// Deadlocks (including self-deadlock and recursive once).
+    Deadlock,
+    /// Completes but reports a data race.
+    Race,
+    /// Completes cleanly with this return value — used for bugs that
+    /// manifest as wrong results (e.g. the Fig. 9 atomicity violation).
+    ReturnsInt(i64),
+}
+
+/// One corpus program with ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Unique name.
+    pub name: &'static str,
+    /// What the program models (with the paper section it comes from).
+    pub description: &'static str,
+    /// Textual MIR source.
+    pub source: &'static str,
+    /// Bug-class codes static analysis should report (exact set).
+    pub static_bugs: &'static [&'static str],
+    /// Expected dynamic behaviour.
+    pub dynamic: DynamicExpectation,
+}
+
+impl CorpusEntry {
+    /// Parses (and validates) the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled source is malformed — corpus entries are
+    /// compile-time constants, so that is a bug in this crate.
+    pub fn program(&self) -> Program {
+        let program = parse_program(self.source)
+            .unwrap_or_else(|e| panic!("corpus entry `{}` fails to parse: {e}", self.name));
+        if let Err(errs) = validate_program(&program) {
+            panic!("corpus entry `{}` is invalid: {errs:?}", self.name);
+        }
+        program
+    }
+
+    /// Returns `true` if ground truth marks this entry bug-free for
+    /// static analysis.
+    pub fn is_statically_clean(&self) -> bool {
+        self.static_bugs.is_empty()
+    }
+}
+
+/// Every corpus entry, across all categories.
+pub fn all_entries() -> Vec<&'static CorpusEntry> {
+    let mut out: Vec<&'static CorpusEntry> = Vec::new();
+    out.extend(memory::ENTRIES);
+    out.extend(blocking::ENTRIES);
+    out.extend(nonblocking::ENTRIES);
+    out.extend(detector_eval::ENTRIES);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_entry_parses_and_validates() {
+        for e in all_entries() {
+            let p = e.program();
+            assert!(!p.is_empty(), "{} has no functions", e.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_entries().iter().map(|e| e.name).collect();
+        let total = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn corpus_covers_buggy_and_clean_programs() {
+        let entries = all_entries();
+        assert!(entries.iter().any(|e| e.is_statically_clean()));
+        assert!(entries.iter().any(|e| !e.is_statically_clean()));
+        assert!(entries.len() >= 30, "corpus too small: {}", entries.len());
+    }
+
+    #[test]
+    fn every_memory_class_is_represented() {
+        let entries = all_entries();
+        for code in [
+            "use-after-free",
+            "double-free",
+            "invalid-free",
+            "uninit-read",
+            "null-deref",
+            "buffer-overflow",
+            "double-lock",
+            "lock-order-inversion",
+            "recursive-once",
+            "missed-wakeup",
+            "channel-never-sent",
+            "interior-mutation",
+        ] {
+            assert!(
+                entries
+                    .iter()
+                    .any(|e| e.static_bugs.contains(&code)),
+                "no corpus entry for {code}"
+            );
+        }
+    }
+}

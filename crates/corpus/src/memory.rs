@@ -1,0 +1,792 @@
+//! Memory-safety bug patterns (§5.1, Table 2), each with the paper shape
+//! noted, plus safe variants.
+
+use crate::{CorpusEntry, DynamicExpectation};
+
+/// Use after free via `StorageDead` before the dereference — the basic
+/// lifetime misjudgement behind most of the study's UAF bugs.
+pub const UAF_STORAGE_DEAD: CorpusEntry = CorpusEntry {
+    name: "uaf_storage_dead",
+    description: "pointer dereferenced after its target's storage ends (§5.1 use-after-free)",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 42;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageDead(_1);
+        unsafe _0 = (*_2);
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Fig. 7 (RustSec `sign`): object dropped at the end of a
+/// match arm while a raw pointer into it lives on.
+pub const UAF_FIG7_DROP: CorpusEntry = CorpusEntry {
+    name: "uaf_fig7_drop",
+    description: "Fig. 7: BioSlice dropped while its address is still used by CMS_sign",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as bio: BioSlice;
+    let _2 as p: *const BioSlice;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 7;
+        StorageLive(_2);
+        _2 = &raw const _1;
+        drop(_1) -> bb1;
+    }
+
+    bb1: {
+        unsafe _0 = (*_2);
+        return;
+    }
+}
+"#,
+};
+
+/// Use after free on the heap: dealloc then deref.
+pub const UAF_HEAP: CorpusEntry = CorpusEntry {
+    name: "uaf_heap",
+    description: "heap block freed, then read through a stale pointer",
+    static_bugs: &["use-after-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as p: *mut int;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        unsafe _1 = call alloc(const 1) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call ptr::write(_1, const 5) -> bb2;
+    }
+
+    bb2: {
+        unsafe _2 = call dealloc(_1) -> bb3;
+    }
+
+    bb3: {
+        unsafe _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant (paper §5.2 "adjust lifetime"): the use precedes the
+/// end of the pointee's lifetime.
+pub const UAF_FIXED: CorpusEntry = CorpusEntry {
+    name: "uaf_fixed",
+    description: "fixed Fig. 7: lifetime extended past the last use",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> int {
+    let _1 as bio: BioSlice;
+    let _2 as p: *const BioSlice;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 7;
+        StorageLive(_2);
+        _2 = &raw const _1;
+        unsafe _0 = (*_2);
+        drop(_1) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// Heap block deallocated twice along one path.
+pub const DOUBLE_FREE_DEALLOC: CorpusEntry = CorpusEntry {
+    name: "double_free_dealloc",
+    description: "same allocation deallocated twice (§5.1 double free)",
+    static_bugs: &["double-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> unit {
+    let _1 as p: *mut int;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        unsafe _1 = call alloc(const 1) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call dealloc(_1) -> bb2;
+    }
+
+    bb2: {
+        unsafe _2 = call dealloc(_1) -> bb3;
+    }
+
+    bb3: {
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Rust-unique double free: `t2 = ptr::read(&t1)` duplicates
+/// ownership, then both owners are dropped by safe code. A value-level
+/// dynamic model (ours, like early Miri) runs this "cleanly" — only the
+/// static ownership analysis sees it, which is the point of §7.1.
+pub const DOUBLE_FREE_PTR_READ: CorpusEntry = CorpusEntry {
+    name: "double_free_ptr_read",
+    description: "ptr::read duplicates ownership; both owners dropped (unsafe->safe, Table 2)",
+    static_bugs: &["double-free"],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> unit {
+    let _1 as t1: T;
+    let _2 as t2: T;
+    let _3 as r: *const T;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        StorageLive(_3);
+        _3 = &raw const _1;
+        StorageLive(_2);
+        unsafe _2 = call ptr::read(_3) -> bb1;
+    }
+
+    bb1: {
+        drop(_2) -> bb2;
+    }
+
+    bb2: {
+        drop(_1) -> bb3;
+    }
+
+    bb3: {
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's fix: move ownership (`t2 = t1`) instead of ptr::read.
+pub const DOUBLE_FREE_FIXED: CorpusEntry = CorpusEntry {
+    name: "double_free_fixed",
+    description: "fixed: ownership moved with t2 = t1, single drop",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> unit {
+    let _1 as t1: T;
+    let _2 as t2: T;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        StorageLive(_2);
+        _2 = move _1;
+        drop(_2) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Fig. 6 (Redox `_fdopen`): `*f = FILE{..}` drops the
+/// uninitialized previous value.
+pub const INVALID_FREE_FIG6: CorpusEntry = CorpusEntry {
+    name: "invalid_free_fig6",
+    description: "Fig. 6: assignment into fresh alloc drops garbage (invalid free)",
+    static_bugs: &["invalid-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+unsafe fn _fdopen() -> unit {
+    let _1 as f: *mut FILE;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call alloc(const 2) -> bb1;
+    }
+
+    bb1: {
+        (*_1) = const 0;
+        return;
+    }
+}
+
+fn main() -> unit {
+    bb0: {
+        _0 = call _fdopen() -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's fix for Fig. 6: `ptr::write` does not drop.
+pub const INVALID_FREE_FIXED: CorpusEntry = CorpusEntry {
+    name: "invalid_free_fixed",
+    description: "fixed Fig. 6: ptr::write skips the drop of garbage",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+unsafe fn _fdopen() -> unit {
+    let _1 as f: *mut FILE;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        _1 = call alloc(const 2) -> bb1;
+    }
+
+    bb1: {
+        _2 = call ptr::write(_1, const 0) -> bb2;
+    }
+
+    bb2: {
+        return;
+    }
+}
+
+fn main() -> unit {
+    bb0: {
+        _0 = call _fdopen() -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// Uninitialized buffer created in unsafe code, read by safe code —
+/// the "unsafe → safe" shape all seven §5.1 uninitialized reads share.
+pub const UNINIT_READ_HEAP: CorpusEntry = CorpusEntry {
+    name: "uninit_read_heap",
+    description: "uninitialized heap buffer read by safe code (unsafe->safe)",
+    static_bugs: &["uninit-read"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        unsafe _1 = call alloc(const 4) -> bb1;
+    }
+
+    bb1: {
+        _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+/// A local read on a path that skipped its initialization.
+pub const UNINIT_READ_BRANCH: CorpusEntry = CorpusEntry {
+    name: "uninit_read_branch",
+    description: "only one branch initializes the local before the read",
+    static_bugs: &["uninit-read"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as c: bool;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        _2 = const false;
+        switchInt(_2) -> [1: bb1, otherwise: bb2];
+    }
+
+    bb1: {
+        _1 = const 9;
+        goto -> bb2;
+    }
+
+    bb2: {
+        _0 = _1;
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant: the buffer is written before any read.
+pub const UNINIT_FIXED: CorpusEntry = CorpusEntry {
+    name: "uninit_fixed",
+    description: "fixed: buffer fully initialized before the read",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> int {
+    let _1 as p: *mut int;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        unsafe _1 = call alloc(const 1) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call ptr::write(_1, const 3) -> bb2;
+    }
+
+    bb2: {
+        _0 = (*_1);
+        return;
+    }
+}
+"#,
+};
+
+/// Null produced in safe code (one match arm), dereferenced in unsafe code
+/// — the §5.1 null-dereference shape.
+pub const NULL_DEREF_MATCH: CorpusEntry = CorpusEntry {
+    name: "null_deref_match",
+    description: "match arm yields null; later unsafe deref (§5.1 null deref)",
+    static_bugs: &["null-deref"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+    let _3 as has_data: bool;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 5;
+        StorageLive(_2);
+        StorageLive(_3);
+        _3 = const false;
+        switchInt(_3) -> [1: bb1, otherwise: bb2];
+    }
+
+    bb1: {
+        _2 = &raw mut _1;
+        goto -> bb3;
+    }
+
+    bb2: {
+        _2 = const 0 as *mut int;
+        goto -> bb3;
+    }
+
+    bb3: {
+        unsafe _0 = (*_2);
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant: the pointer is unconditionally valid.
+pub const NULL_FIXED: CorpusEntry = CorpusEntry {
+    name: "null_fixed",
+    description: "fixed: pointer always re-bound to valid memory before deref",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 5;
+        StorageLive(_2);
+        _2 = const 0 as *mut int;
+        _2 = &raw mut _1;
+        unsafe _0 = (*_2);
+        return;
+    }
+}
+"#,
+};
+
+/// The dominant §5.1 buffer-overflow shape: index computed in safe code,
+/// unchecked access in unsafe code.
+pub const BUFFER_OVERFLOW_COMPUTED: CorpusEntry = CorpusEntry {
+    name: "buffer_overflow_computed",
+    description: "17-of-21 shape: safe code computes a wrong index; unsafe code indexes",
+    static_bugs: &["buffer-overflow"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as buf: [int; 4];
+    let _2 as i: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = [const 10, const 11, const 12, const 13];
+        StorageLive(_2);
+        _2 = const 2 + const 3;
+        unsafe _0 = _1[_2];
+        return;
+    }
+}
+"#,
+};
+
+/// Pointer-offset overflow: `get_unchecked`-style pointer arithmetic past
+/// the end.
+pub const BUFFER_OVERFLOW_OFFSET: CorpusEntry = CorpusEntry {
+    name: "buffer_overflow_offset",
+    description: "pointer offset one past the end, then dereferenced",
+    static_bugs: &["buffer-overflow"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as buf: [int; 4];
+    let _2 as p: *mut int;
+    let _3 as q: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = [const 1, const 2, const 3, const 4];
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageLive(_3);
+        unsafe _3 = _2 offset const 4;
+        unsafe _0 = (*_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant: in-bounds access.
+pub const BUFFER_FIXED: CorpusEntry = CorpusEntry {
+    name: "buffer_fixed",
+    description: "fixed: boundary-checked index stays in bounds",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(13),
+    source: r#"
+fn main() -> int {
+    let _1 as buf: [int; 4];
+    let _2 as i: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = [const 10, const 11, const 12, const 13];
+        StorageLive(_2);
+        _2 = const 3;
+        _0 = _1[_2];
+        return;
+    }
+}
+"#,
+};
+
+/// §5.1's "initialize buffers incorrectly, e.g., using memcpy with wrong
+/// input parameters": the copy only fills part of the destination, and a
+/// later read hits the uninitialized tail. Our field-insensitive static
+/// heap model treats the whole allocation as written (a documented
+/// precision gap); the cell-level dynamic model catches it.
+pub const UNINIT_MEMCPY_SHORT: CorpusEntry = CorpusEntry {
+    name: "uninit_memcpy_short",
+    description: "memcpy with wrong length leaves the tail uninitialized (§5.1)",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> int {
+    let _1 as src: *mut int;
+    let _2 as dst: *mut int;
+    let _3 as p: *mut int;
+    let _4: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        StorageLive(_3);
+        StorageLive(_4);
+        unsafe _1 = call alloc(const 4) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call alloc(const 4) -> bb2;
+    }
+
+    bb2: {
+        unsafe _4 = call ptr::write(_1, const 1) -> bb3;
+    }
+
+    bb3: {
+        unsafe _3 = _1 offset const 1;
+        unsafe _4 = call ptr::write(_3, const 2) -> bb4;
+    }
+
+    bb4: {
+        unsafe _4 = call ptr::copy_nonoverlapping(_1, _2, const 2) -> bb5;
+    }
+
+    bb5: {
+        unsafe _3 = _2 offset const 3;
+        unsafe _0 = (*_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant: the copy covers the whole destination before the
+/// read of its last element.
+pub const MEMCPY_FULL: CorpusEntry = CorpusEntry {
+    name: "memcpy_full",
+    description: "fixed: memcpy length covers every cell that is later read",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(2),
+    source: r#"
+fn main() -> int {
+    let _1 as src: *mut int;
+    let _2 as dst: *mut int;
+    let _3 as p: *mut int;
+    let _4: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        StorageLive(_3);
+        StorageLive(_4);
+        unsafe _1 = call alloc(const 2) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call alloc(const 2) -> bb2;
+    }
+
+    bb2: {
+        unsafe _4 = call ptr::write(_1, const 1) -> bb3;
+    }
+
+    bb3: {
+        unsafe _3 = _1 offset const 1;
+        unsafe _4 = call ptr::write(_3, const 2) -> bb4;
+    }
+
+    bb4: {
+        unsafe _4 = call ptr::copy_nonoverlapping(_1, _2, const 2) -> bb5;
+    }
+
+    bb5: {
+        unsafe _3 = _2 offset const 1;
+        unsafe _0 = (*_3);
+        return;
+    }
+}
+"#,
+};
+
+/// The Arc variant of the ptr::read double free: duplicating the *handle*
+/// without bumping the count means the second drop underflows — here the
+/// dynamic model catches it too (unlike the opaque-struct variant), because
+/// the reference count makes the shared resource explicit.
+pub const DOUBLE_FREE_ARC: CorpusEntry = CorpusEntry {
+    name: "double_free_arc",
+    description: "ptr::read duplicates an Arc handle; both drops free the allocation",
+    static_bugs: &["double-free"],
+    dynamic: DynamicExpectation::MemoryFault,
+    source: r#"
+fn main() -> unit {
+    let _1 as a1: Arc<int>;
+    let _2 as a2: Arc<int>;
+    let _3 as r: *const Arc<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call arc::new(const 9) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_3);
+        _3 = &raw const _1;
+        StorageLive(_2);
+        unsafe _2 = call ptr::read(_3) -> bb2;
+    }
+
+    bb2: {
+        drop(_2) -> bb3;
+    }
+
+    bb3: {
+        drop(_1) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// Correct Arc sharing: clone bumps the count, each owner drops once, the
+/// shared value survives until the last drop (Table 4's dominant safe
+/// sharing mechanism).
+pub const ARC_CLONE_CLEAN: CorpusEntry = CorpusEntry {
+    name: "arc_clone_clean",
+    description: "arc::clone + two drops: refcount discipline keeps it clean",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(9),
+    source: r#"
+fn main() -> int {
+    let _1 as a1: Arc<int>;
+    let _2 as a2: Arc<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call arc::new(const 9) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call arc::clone(_1) -> bb2;
+    }
+
+    bb2: {
+        drop(_1) -> bb3;
+    }
+
+    bb3: {
+        _0 = (*_2);
+        drop(_2) -> bb4;
+    }
+
+    bb4: {
+        return;
+    }
+}
+"#,
+};
+
+/// An Arc moved into a worker thread; the worker reads the shared value
+/// and main joins for it — the ownership-transfer sharing shape.
+pub const ARC_ACROSS_THREADS: CorpusEntry = CorpusEntry {
+    name: "arc_across_threads",
+    description: "Arc cloned into a spawned thread; both sides read the shared value",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(14),
+    source: r#"
+fn worker(_1 as a: Arc<int>) -> int {
+    bb0: {
+        _0 = (*_1);
+        drop(_1) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as a1: Arc<int>;
+    let _2 as a2: Arc<int>;
+    let _3 as h: JoinHandle<int>;
+    let _4 as from_worker: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call arc::new(const 7) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call arc::clone(_1) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = call thread::spawn(const fn worker, move _2) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_4);
+        _4 = call thread::join(_3) -> bb4;
+    }
+
+    bb4: {
+        _0 = _4 + (*_1);
+        drop(_1) -> bb5;
+    }
+
+    bb5: {
+        return;
+    }
+}
+"#,
+};
+
+/// All memory-pattern corpus entries.
+pub const ENTRIES: &[&CorpusEntry] = &[
+    &UAF_STORAGE_DEAD,
+    &UAF_FIG7_DROP,
+    &UAF_HEAP,
+    &UAF_FIXED,
+    &DOUBLE_FREE_DEALLOC,
+    &DOUBLE_FREE_PTR_READ,
+    &DOUBLE_FREE_FIXED,
+    &INVALID_FREE_FIG6,
+    &INVALID_FREE_FIXED,
+    &UNINIT_READ_HEAP,
+    &UNINIT_READ_BRANCH,
+    &UNINIT_FIXED,
+    &NULL_DEREF_MATCH,
+    &NULL_FIXED,
+    &BUFFER_OVERFLOW_COMPUTED,
+    &BUFFER_OVERFLOW_OFFSET,
+    &BUFFER_FIXED,
+    &UNINIT_MEMCPY_SHORT,
+    &MEMCPY_FULL,
+    &DOUBLE_FREE_ARC,
+    &ARC_CLONE_CLEAN,
+    &ARC_ACROSS_THREADS,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_parse() {
+        for e in ENTRIES {
+            let _ = e.program();
+        }
+    }
+
+    #[test]
+    fn buggy_and_fixed_pairs_exist() {
+        let buggy = ENTRIES.iter().filter(|e| !e.is_statically_clean()).count();
+        let clean = ENTRIES.iter().filter(|e| e.is_statically_clean()).count();
+        assert!(buggy >= 10, "{buggy}");
+        assert!(clean >= 5, "{clean}");
+    }
+}

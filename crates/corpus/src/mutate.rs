@@ -1,0 +1,273 @@
+//! Failure injection: mutators that turn a safe program into a specific
+//! bug class, for testing that the *right* detector fires.
+//!
+//! Each mutator takes a program and rewrites it into a buggy variant; the
+//! `failure_injection` integration suite asserts the corresponding
+//! detector (and only a sensible set of detectors) reports it.
+
+use rstudy_mir::{
+    BasicBlock, Body, Local, Operand, Place, Program, Statement, StatementKind, Terminator,
+    TerminatorKind,
+};
+
+/// Where a mutation was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationSite {
+    /// Function mutated.
+    pub function: String,
+    /// Block mutated.
+    pub block: BasicBlock,
+    /// Human-readable description of the rewrite.
+    pub description: String,
+}
+
+/// Moves the first `StorageDead(l)` of a pointed-to local up to directly
+/// after the pointer to it is created — manufacturing a use-after-free if
+/// the pointer is dereferenced later. Returns the site, or `None` if the
+/// program has no suitable shape.
+pub fn hoist_storage_dead(program: &mut Program) -> Option<MutationSite> {
+    let names: Vec<String> = program.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names {
+        let body = program.function(&name)?.clone();
+        if let Some((bb, creation_idx, dead_local)) = find_hoist_candidate(&body) {
+            let mut new_body = body;
+            // Remove the original StorageDead wherever it is.
+            for data in &mut new_body.blocks {
+                data.statements.retain(|s| {
+                    !matches!(s.kind, StatementKind::StorageDead(l) if l == dead_local)
+                });
+            }
+            let block = &mut new_body.blocks[bb.index()];
+            block.statements.insert(
+                creation_idx + 1,
+                Statement::new(StatementKind::StorageDead(dead_local)),
+            );
+            program.insert(new_body);
+            return Some(MutationSite {
+                function: name,
+                block: bb,
+                description: format!("StorageDead({dead_local}) hoisted above later uses"),
+            });
+        }
+    }
+    None
+}
+
+/// Finds `(block, statement index, pointee)` where a raw address of a
+/// local is taken and that local is storage-killed later.
+fn find_hoist_candidate(body: &Body) -> Option<(BasicBlock, usize, Local)> {
+    let killed: Vec<Local> = body
+        .blocks
+        .iter()
+        .flat_map(|b| &b.statements)
+        .filter_map(|s| match s.kind {
+            StatementKind::StorageDead(l) => Some(l),
+            _ => None,
+        })
+        .collect();
+    for bb in body.block_indices() {
+        for (i, stmt) in body.block(bb).statements.iter().enumerate() {
+            if let StatementKind::Assign(_, rv) = &stmt.kind {
+                if let Some(place) = rv.pointer_base() {
+                    if place.is_local() && killed.contains(&place.local) {
+                        return Some((bb, i, place.local));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Duplicates the first `dealloc` call: the continuation re-runs the same
+/// dealloc before proceeding — a double free.
+pub fn duplicate_dealloc(program: &mut Program) -> Option<MutationSite> {
+    let names: Vec<String> = program.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names {
+        let body = program.function(&name)?.clone();
+        for bb in body.block_indices() {
+            let data = body.block(bb);
+            let Some(term) = &data.terminator else { continue };
+            let TerminatorKind::Call {
+                func: rstudy_mir::Callee::Intrinsic(rstudy_mir::Intrinsic::Dealloc),
+                args,
+                destination,
+                target: Some(target),
+            } = &term.kind
+            else {
+                continue;
+            };
+            // Insert a new block performing the second dealloc between the
+            // first dealloc and its continuation.
+            let mut new_body = body.clone();
+            let second = BasicBlock(new_body.blocks.len() as u32);
+            let mut second_data = rstudy_mir::BasicBlockData::new();
+            second_data.terminator = Some(Terminator::new(TerminatorKind::Call {
+                func: rstudy_mir::Callee::Intrinsic(rstudy_mir::Intrinsic::Dealloc),
+                args: args.clone(),
+                destination: destination.clone(),
+                target: Some(*target),
+            }));
+            new_body.blocks.push(second_data);
+            if let Some(t) = new_body.blocks[bb.index()].terminator.as_mut() {
+                if let TerminatorKind::Call { target, .. } = &mut t.kind {
+                    *target = Some(second);
+                }
+            }
+            program.insert(new_body);
+            return Some(MutationSite {
+                function: name,
+                block: bb,
+                description: "dealloc duplicated along the same path".to_owned(),
+            });
+        }
+    }
+    None
+}
+
+/// Removes the statement or call that releases the first lock guard
+/// before a later acquisition — manufacturing a double lock. Concretely:
+/// deletes the first `StorageDead` of a call-destination guard local when
+/// another lock acquisition appears later.
+pub fn drop_guard_release(program: &mut Program) -> Option<MutationSite> {
+    let names: Vec<String> = program.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names {
+        let body = program.function(&name)?.clone();
+        let guards: Vec<Local> = guard_locals(&body);
+        if guards.is_empty() {
+            continue;
+        }
+        let mut new_body = body.clone();
+        let mut removed = false;
+        for data in &mut new_body.blocks {
+            if removed {
+                break;
+            }
+            let before = data.statements.len();
+            let mut kept = Vec::with_capacity(before);
+            for s in data.statements.drain(..) {
+                let is_release = !removed
+                    && matches!(s.kind, StatementKind::StorageDead(l) if guards.contains(&l));
+                if is_release {
+                    removed = true;
+                } else {
+                    kept.push(s);
+                }
+            }
+            data.statements = kept;
+        }
+        if removed {
+            program.insert(new_body);
+            return Some(MutationSite {
+                function: name,
+                block: BasicBlock::ENTRY,
+                description: "guard release (StorageDead) removed".to_owned(),
+            });
+        }
+    }
+    None
+}
+
+/// Guard locals: destinations of lock-acquiring intrinsic calls.
+fn guard_locals(body: &Body) -> Vec<Local> {
+    let mut out = Vec::new();
+    for bb in body.block_indices() {
+        if let Some(term) = &body.block(bb).terminator {
+            if let TerminatorKind::Call {
+                func: rstudy_mir::Callee::Intrinsic(i),
+                destination,
+                ..
+            } = &term.kind
+            {
+                if i.acquires_lock() && destination.is_local() {
+                    out.push(destination.local);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Replaces the first initializing `ptr::write` with a plain assignment
+/// through the pointer — manufacturing the Fig. 6 invalid free when the
+/// pointee type has drop glue.
+pub fn unwrite_initialization(program: &mut Program) -> Option<MutationSite> {
+    let names: Vec<String> = program.iter().map(|(n, _)| n.to_owned()).collect();
+    for name in names {
+        let body = program.function(&name)?.clone();
+        for bb in body.block_indices() {
+            let data = body.block(bb);
+            let Some(term) = &data.terminator else { continue };
+            let TerminatorKind::Call {
+                func: rstudy_mir::Callee::Intrinsic(rstudy_mir::Intrinsic::PtrWrite),
+                args,
+                target: Some(target),
+                ..
+            } = &term.kind
+            else {
+                continue;
+            };
+            let Some(ptr) = args.first().and_then(Operand::place).filter(|p| p.is_local())
+            else {
+                continue;
+            };
+            let value = args.get(1).cloned().unwrap_or(Operand::int(0));
+            let mut new_body = body.clone();
+            // Replace the call with: `*p = v; goto target`.
+            let block = &mut new_body.blocks[bb.index()];
+            block.statements.push(Statement::new_unsafe(StatementKind::Assign(
+                Place::from_local(ptr.local).deref(),
+                rstudy_mir::Rvalue::Use(value),
+            )));
+            block.terminator = Some(Terminator::new(TerminatorKind::Goto { target: *target }));
+            program.insert(new_body);
+            return Some(MutationSite {
+                function: name,
+                block: bb,
+                description: "ptr::write replaced by a dropping assignment".to_owned(),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocking::DOUBLE_LOCK_FIG8_FIXED;
+    use crate::memory::{INVALID_FREE_FIXED, UAF_FIXED, UNINIT_FIXED};
+    use rstudy_mir::validate::validate_program;
+
+    #[test]
+    fn hoist_storage_dead_produces_valid_program() {
+        let mut p = UAF_FIXED.program();
+        // UAF_FIXED uses Drop, not StorageDead; use UNINIT_FIXED-like shape.
+        let site = hoist_storage_dead(&mut p);
+        // Whether or not a candidate exists, the program must stay valid.
+        assert!(validate_program(&p).is_ok(), "{site:?}");
+    }
+
+    #[test]
+    fn duplicate_dealloc_mutates_fixed_heap_program() {
+        let mut p = UNINIT_FIXED.program();
+        // UNINIT_FIXED has alloc + ptr::write, no dealloc: mutation is None.
+        assert!(duplicate_dealloc(&mut p).is_none());
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn drop_guard_release_mutates_lock_program() {
+        let mut p = DOUBLE_LOCK_FIG8_FIXED.program();
+        let site = drop_guard_release(&mut p).expect("guard release exists");
+        assert!(site.description.contains("StorageDead"));
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn unwrite_initialization_mutates_ptr_write() {
+        let mut p = INVALID_FREE_FIXED.program();
+        let site = unwrite_initialization(&mut p).expect("ptr::write exists");
+        assert!(site.description.contains("dropping assignment"));
+        assert!(validate_program(&p).is_ok());
+    }
+}

@@ -1,0 +1,376 @@
+//! Non-blocking bug patterns (§6.2, Table 4), plus fixed variants.
+
+use crate::{CorpusEntry, DynamicExpectation};
+
+/// The most common Table 4 sharing mechanism: a raw pointer handed to two
+/// threads, which update the pointee without synchronization.
+pub const RACE_RAW_POINTER: CorpusEntry = CorpusEntry {
+    name: "race_raw_pointer",
+    description: "two threads bump a counter through a shared raw pointer (Table 4 'Pointer')",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Race,
+    source: r#"
+fn bump(_1 as p: *mut int) -> unit {
+    bb0: {
+        unsafe (*_1) = (*_1) + const 1;
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+    let _3 as h1: JoinHandle<unit>;
+    let _4 as h2: JoinHandle<unit>;
+    let _5: unit;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 0;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        StorageLive(_3);
+        _3 = call thread::spawn(const fn bump, _2) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_4);
+        _4 = call thread::spawn(const fn bump, _2) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_5);
+        _5 = call thread::join(_3) -> bb3;
+    }
+
+    bb3: {
+        _5 = call thread::join(_4) -> bb4;
+    }
+
+    bb4: {
+        _0 = _1;
+        return;
+    }
+}
+"#,
+};
+
+/// The fixed variant: the counter lives in a mutex; both threads lock.
+pub const RACE_FIXED_MUTEX: CorpusEntry = CorpusEntry {
+    name: "race_fixed_mutex",
+    description: "fixed: counter wrapped in a Mutex, updates under the lock",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(2),
+    source: r#"
+fn bump(_1 as m: Mutex<int>) -> unit {
+    let _2 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call mutex::lock(_1) -> bb1;
+    }
+
+    bb1: {
+        (*_2) = (*_2) + const 1;
+        StorageDead(_2);
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as m: Mutex<int>;
+    let _2 as h1: JoinHandle<unit>;
+    let _3 as h2: JoinHandle<unit>;
+    let _4: unit;
+    let _5 as r: &Mutex<int>;
+    let _6 as g: Guard<int>;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call mutex::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call thread::spawn(const fn bump, _1) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = call thread::spawn(const fn bump, _1) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_4);
+        _4 = call thread::join(_2) -> bb4;
+    }
+
+    bb4: {
+        _4 = call thread::join(_3) -> bb5;
+    }
+
+    bb5: {
+        StorageLive(_5);
+        _5 = &_1;
+        StorageLive(_6);
+        _6 = call mutex::lock(_5) -> bb6;
+    }
+
+    bb6: {
+        _0 = (*_6);
+        StorageDead(_6);
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Fig. 9 (`AuthorityRound::generate_seal`): load an atomic
+/// flag, branch, then store — two threads can both obtain a seal. The bug
+/// manifests as the wrong result 2 (both threads sealed) instead of 1.
+pub const ATOMIC_CHECK_THEN_ACT: CorpusEntry = CorpusEntry {
+    name: "atomic_check_then_act",
+    description: "Fig. 9: atomic load/branch/store window lets both threads seal",
+    static_bugs: &["interior-mutation"],
+    dynamic: DynamicExpectation::ReturnsInt(2),
+    source: r#"
+fn generate_seal(_1 as proposed: AtomicInt) -> int {
+    let _2 as seen: int;
+    let _3: unit;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call atomic::load(_1) -> bb1;
+    }
+
+    bb1: {
+        switchInt(_2) -> [1: bb2, otherwise: bb3];
+    }
+
+    bb2: {
+        _0 = const 0;
+        return;
+    }
+
+    bb3: {
+        StorageLive(_3);
+        _3 = call atomic::store(_1, const 1) -> bb4;
+    }
+
+    bb4: {
+        _0 = const 1;
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as proposed: AtomicInt;
+    let _2 as h1: JoinHandle<int>;
+    let _3 as h2: JoinHandle<int>;
+    let _4 as s1: int;
+    let _5 as s2: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call atomic::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call thread::spawn(const fn generate_seal, _1) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = call thread::spawn(const fn generate_seal, _1) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_4);
+        _4 = call thread::join(_2) -> bb4;
+    }
+
+    bb4: {
+        StorageLive(_5);
+        _5 = call thread::join(_3) -> bb5;
+    }
+
+    bb5: {
+        _0 = _4 + _5;
+        return;
+    }
+}
+"#,
+};
+
+/// The Fig. 9 patch: one `compare_and_swap`; exactly one thread seals.
+pub const ATOMIC_CAS_FIXED: CorpusEntry = CorpusEntry {
+    name: "atomic_cas_fixed",
+    description: "Fig. 9 patch: compare_and_swap closes the window; one seal total",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::ReturnsInt(1),
+    source: r#"
+fn generate_seal(_1 as proposed: AtomicInt) -> int {
+    let _2 as prev: int;
+
+    bb0: {
+        StorageLive(_2);
+        _2 = call atomic::compare_and_swap(_1, const 0, const 1) -> bb1;
+    }
+
+    bb1: {
+        switchInt(_2) -> [0: bb2, otherwise: bb3];
+    }
+
+    bb2: {
+        _0 = const 1;
+        return;
+    }
+
+    bb3: {
+        _0 = const 0;
+        return;
+    }
+}
+
+fn main() -> int {
+    let _1 as proposed: AtomicInt;
+    let _2 as h1: JoinHandle<int>;
+    let _3 as h2: JoinHandle<int>;
+    let _4 as s1: int;
+    let _5 as s2: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = call atomic::new(const 0) -> bb1;
+    }
+
+    bb1: {
+        StorageLive(_2);
+        _2 = call thread::spawn(const fn generate_seal, _1) -> bb2;
+    }
+
+    bb2: {
+        StorageLive(_3);
+        _3 = call thread::spawn(const fn generate_seal, _1) -> bb3;
+    }
+
+    bb3: {
+        StorageLive(_4);
+        _4 = call thread::join(_2) -> bb4;
+    }
+
+    bb4: {
+        StorageLive(_5);
+        _5 = call thread::join(_3) -> bb5;
+    }
+
+    bb5: {
+        _0 = _4 + _5;
+        return;
+    }
+}
+"#,
+};
+
+/// The paper's Fig. 4 `TestCell::set`: a `&self` method writes through a
+/// raw-pointer cast of the shared reference, no synchronization.
+pub const INTERIOR_MUT_SHARED_SELF: CorpusEntry = CorpusEntry {
+    name: "interior_mut_shared_self",
+    description: "Fig. 4: &self method mutates through a pointer cast (Suggestion 8)",
+    static_bugs: &["interior-mutation"],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn set(_1 as self: &TestCell, _2 as i: int) -> unit {
+    let _3 as p: *mut int;
+
+    bb0: {
+        StorageLive(_3);
+        _3 = _1 as *mut int;
+        unsafe (*_3) = _2;
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as cell: TestCell;
+    let _2 as r: &TestCell;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 0;
+        StorageLive(_2);
+        _2 = &_1;
+        _0 = call set(_2, const 7) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// The compiler-sanctioned variant: `&mut self` receiver.
+pub const INTERIOR_MUT_FIXED: CorpusEntry = CorpusEntry {
+    name: "interior_mut_fixed",
+    description: "fixed Fig. 4: &mut self lets the compiler enforce exclusivity",
+    static_bugs: &[],
+    dynamic: DynamicExpectation::Clean,
+    source: r#"
+fn set(_1 as self: &mut TestCell, _2 as i: int) -> unit {
+    bb0: {
+        (*_1) = _2;
+        return;
+    }
+}
+
+fn main() -> unit {
+    let _1 as cell: TestCell;
+    let _2 as r: &mut TestCell;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 0;
+        StorageLive(_2);
+        _2 = &mut _1;
+        _0 = call set(_2, const 7) -> bb1;
+    }
+
+    bb1: {
+        return;
+    }
+}
+"#,
+};
+
+/// All non-blocking corpus entries.
+pub const ENTRIES: &[&CorpusEntry] = &[
+    &RACE_RAW_POINTER,
+    &RACE_FIXED_MUTEX,
+    &ATOMIC_CHECK_THEN_ACT,
+    &ATOMIC_CAS_FIXED,
+    &INTERIOR_MUT_SHARED_SELF,
+    &INTERIOR_MUT_FIXED,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_parse() {
+        for e in ENTRIES {
+            let _ = e.program();
+        }
+    }
+
+    #[test]
+    fn fig9_pair_expects_different_seal_counts() {
+        assert_eq!(
+            ATOMIC_CHECK_THEN_ACT.dynamic,
+            DynamicExpectation::ReturnsInt(2)
+        );
+        assert_eq!(ATOMIC_CAS_FIXED.dynamic, DynamicExpectation::ReturnsInt(1));
+    }
+}

@@ -1,0 +1,652 @@
+//! The 170 studied bugs (70 memory-safety, 59 blocking, 41 non-blocking),
+//! encoded as records whose marginals match every number the paper reports.
+//!
+//! Where the paper publishes a full joint distribution (Table 3's
+//! project × synchronization for blocking bugs, Table 4's project ×
+//! sharing-mechanism for non-blocking bugs) the records reproduce it cell
+//! by cell. Where it publishes only marginals (memory bugs: per-project
+//! counts in Table 1, category cells in Table 2, fix strategies in §5.2),
+//! the records use a deterministic pairing that satisfies all of them
+//! simultaneously. One bookkeeping note: Table 1 attributes 49 memory bugs
+//! to codebases and the text says 22 came from the vulnerability databases
+//! (49 + 22 = 71 > 70, i.e. one overlap); we attribute 21 records to the
+//! databases so that the total stays exactly 70.
+
+use serde::{Deserialize, Serialize};
+
+use crate::projects::ProjectId;
+
+/// A calendar quarter.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Quarter {
+    /// Year (e.g. 2017).
+    pub year: u16,
+    /// Quarter 1–4.
+    pub q: u8,
+}
+
+impl Quarter {
+    /// Creates a quarter.
+    pub fn new(year: u16, q: u8) -> Quarter {
+        assert!((1..=4).contains(&q), "quarter out of range: {q}");
+        Quarter { year, q }
+    }
+}
+
+impl std::fmt::Display for Quarter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}Q{}", self.year, self.q)
+    }
+}
+
+/// Memory-bug effect classes (Table 2 columns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MemClass {
+    /// Buffer overflow.
+    Buffer,
+    /// Null pointer dereference.
+    Null,
+    /// Read of uninitialized memory.
+    Uninit,
+    /// Invalid free.
+    Invalid,
+    /// Use after free.
+    Uaf,
+    /// Double free.
+    DoubleFree,
+}
+
+/// Cause-to-effect safety propagation (Table 2 rows).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Propagation {
+    /// safe → safe.
+    Safe,
+    /// unsafe → unsafe.
+    Unsafe,
+    /// safe → unsafe.
+    SafeToUnsafe,
+    /// unsafe → safe.
+    UnsafeToSafe,
+}
+
+/// Memory-bug fix strategies (§5.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum MemFix {
+    /// Conditionally skip the dangerous code (30 bugs).
+    SkipCondition,
+    /// Adjust object lifetimes (22 bugs).
+    AdjustLifetime,
+    /// Change unsafe operands (9 bugs).
+    ChangeOperands,
+    /// Other (9 bugs).
+    Other,
+}
+
+/// Synchronization primitive behind a blocking bug (Table 3 columns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum SyncPrim {
+    /// `Mutex` / `RwLock` (38 bugs).
+    MutexRwLock,
+    /// Condition variables (10).
+    Condvar,
+    /// Channels (6).
+    Channel,
+    /// `Once` (1).
+    Once,
+    /// Other blocking operations (4).
+    Other,
+}
+
+/// Blocking-bug fix strategies (§6.1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum BlockingFix {
+    /// Add/remove/move synchronization operations (30 of the 51).
+    AdjustSync,
+    /// Adjust the lock-guard's lifetime to move the implicit unlock
+    /// (the Fig. 8 fix plus 20 more — 21 in total).
+    AdjustGuardLifetime,
+    /// Not a synchronization adjustment (8).
+    Other,
+}
+
+/// How the racing threads shared data (Table 4 columns).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Sharing {
+    /// Global static mutable variable (3).
+    GlobalStatic,
+    /// Raw pointer passed between threads (12).
+    RawPointer,
+    /// `unsafe impl Sync` (3).
+    SyncTrait,
+    /// OS or hardware resources (5).
+    OsHardware,
+    /// Atomics (5).
+    Atomic,
+    /// `Mutex`-wrapped data (10).
+    MutexProtected,
+    /// Message passing (3) — the non-shared-memory bugs.
+    MessagePassing,
+}
+
+/// Non-blocking fix strategies (§6.2).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum NonBlockingFix {
+    /// Enforce atomicity of accesses (20).
+    EnforceAtomicity,
+    /// Enforce ordering between accesses (10).
+    EnforceOrdering,
+    /// Avoid the problematic sharing (5).
+    AvoidSharing,
+    /// Make a local copy (1).
+    LocalCopy,
+    /// Change application logic (2 shared-memory + the 3 message-passing).
+    AppLogic,
+}
+
+/// Category-specific data of one bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BugKind {
+    /// A memory-safety bug (§5).
+    Memory {
+        /// Effect class.
+        class: MemClass,
+        /// Safety propagation.
+        propagation: Propagation,
+        /// Fix strategy.
+        fix: MemFix,
+    },
+    /// A blocking concurrency bug (§6.1).
+    Blocking {
+        /// Primitive involved.
+        sync: SyncPrim,
+        /// Fix strategy.
+        fix: BlockingFix,
+    },
+    /// A non-blocking concurrency bug (§6.2).
+    NonBlocking {
+        /// Sharing mechanism.
+        sharing: Sharing,
+        /// Fix strategy.
+        fix: NonBlockingFix,
+    },
+}
+
+/// One studied bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugRecord {
+    /// Stable id (1-based, in dataset order).
+    pub id: u32,
+    /// Source codebase or database.
+    pub project: ProjectId,
+    /// Quarter the fix landed.
+    pub fixed: Quarter,
+    /// Category data.
+    pub kind: BugKind,
+}
+
+/// Table 2's cells: (propagation, class, count).
+const MEM_CELLS: &[(Propagation, MemClass, u32)] = &[
+    (Propagation::Safe, MemClass::Uaf, 1),
+    (Propagation::Unsafe, MemClass::Buffer, 4),
+    (Propagation::Unsafe, MemClass::Null, 12),
+    (Propagation::Unsafe, MemClass::Invalid, 5),
+    (Propagation::Unsafe, MemClass::Uaf, 2),
+    (Propagation::SafeToUnsafe, MemClass::Buffer, 17),
+    (Propagation::SafeToUnsafe, MemClass::Invalid, 1),
+    (Propagation::SafeToUnsafe, MemClass::Uaf, 11),
+    (Propagation::SafeToUnsafe, MemClass::DoubleFree, 2),
+    (Propagation::UnsafeToSafe, MemClass::Uninit, 7),
+    (Propagation::UnsafeToSafe, MemClass::Invalid, 4),
+    (Propagation::UnsafeToSafe, MemClass::DoubleFree, 4),
+];
+
+/// Memory bugs per source (Table 1 plus the vulnerability databases).
+const MEM_PROJECTS: &[(ProjectId, u32)] = &[
+    (ProjectId::Servo, 14),
+    (ProjectId::Tock, 5),
+    (ProjectId::Ethereum, 2),
+    (ProjectId::TiKV, 1),
+    (ProjectId::Redox, 20),
+    (ProjectId::Libraries, 7),
+    (ProjectId::VulnDb, 21),
+];
+
+/// §5.2's fix-strategy counts.
+const MEM_FIXES: &[(MemFix, u32)] = &[
+    (MemFix::SkipCondition, 30),
+    (MemFix::AdjustLifetime, 22),
+    (MemFix::ChangeOperands, 9),
+    (MemFix::Other, 9),
+];
+
+/// Table 3's joint distribution.
+const BLOCKING_CELLS: &[(ProjectId, SyncPrim, u32)] = &[
+    (ProjectId::Servo, SyncPrim::MutexRwLock, 6),
+    (ProjectId::Servo, SyncPrim::Channel, 5),
+    (ProjectId::Servo, SyncPrim::Other, 2),
+    (ProjectId::Ethereum, SyncPrim::MutexRwLock, 27),
+    (ProjectId::Ethereum, SyncPrim::Condvar, 6),
+    (ProjectId::Ethereum, SyncPrim::Other, 1),
+    (ProjectId::TiKV, SyncPrim::MutexRwLock, 3),
+    (ProjectId::TiKV, SyncPrim::Condvar, 1),
+    (ProjectId::Redox, SyncPrim::MutexRwLock, 2),
+    (ProjectId::Libraries, SyncPrim::Condvar, 3),
+    (ProjectId::Libraries, SyncPrim::Channel, 1),
+    (ProjectId::Libraries, SyncPrim::Once, 1),
+    (ProjectId::Libraries, SyncPrim::Other, 1),
+];
+
+/// §6.1's fix-strategy counts (51 sync adjustments of which 21 move the
+/// implicit unlock, plus 8 others).
+const BLOCKING_FIXES: &[(BlockingFix, u32)] = &[
+    (BlockingFix::AdjustSync, 30),
+    (BlockingFix::AdjustGuardLifetime, 21),
+    (BlockingFix::Other, 8),
+];
+
+/// Table 4's joint distribution, plus the three message-passing bugs the
+/// text attributes to Servo (2) and Ethereum (1).
+const NONBLOCKING_CELLS: &[(ProjectId, Sharing, u32)] = &[
+    (ProjectId::Servo, Sharing::GlobalStatic, 1),
+    (ProjectId::Servo, Sharing::RawPointer, 7),
+    (ProjectId::Servo, Sharing::SyncTrait, 1),
+    (ProjectId::Servo, Sharing::MutexProtected, 7),
+    (ProjectId::Servo, Sharing::MessagePassing, 2),
+    (ProjectId::Tock, Sharing::OsHardware, 2),
+    (ProjectId::Ethereum, Sharing::Atomic, 1),
+    (ProjectId::Ethereum, Sharing::MutexProtected, 2),
+    (ProjectId::Ethereum, Sharing::MessagePassing, 1),
+    (ProjectId::TiKV, Sharing::OsHardware, 1),
+    (ProjectId::TiKV, Sharing::Atomic, 1),
+    (ProjectId::TiKV, Sharing::MutexProtected, 1),
+    (ProjectId::Redox, Sharing::GlobalStatic, 1),
+    (ProjectId::Redox, Sharing::OsHardware, 2),
+    (ProjectId::Libraries, Sharing::GlobalStatic, 1),
+    (ProjectId::Libraries, Sharing::RawPointer, 5),
+    (ProjectId::Libraries, Sharing::SyncTrait, 2),
+    (ProjectId::Libraries, Sharing::Atomic, 3),
+];
+
+/// §6.2's fix-strategy counts for the 38 shared-memory bugs.
+const NONBLOCKING_FIXES: &[(NonBlockingFix, u32)] = &[
+    (NonBlockingFix::EnforceAtomicity, 20),
+    (NonBlockingFix::EnforceOrdering, 10),
+    (NonBlockingFix::AvoidSharing, 5),
+    (NonBlockingFix::LocalCopy, 1),
+    (NonBlockingFix::AppLogic, 2),
+];
+
+fn expand<T: Copy>(pool: &[(T, u32)]) -> Vec<T> {
+    let mut out = Vec::new();
+    for (v, n) in pool {
+        for _ in 0..*n {
+            out.push(*v);
+        }
+    }
+    out
+}
+
+/// The quarters used for the 25 pre-2016 fixes (Figure 2's early tail).
+const PRE_2016: &[Quarter] = &[
+    Quarter { year: 2013, q: 2 },
+    Quarter { year: 2013, q: 4 },
+    Quarter { year: 2014, q: 1 },
+    Quarter { year: 2014, q: 3 },
+    Quarter { year: 2015, q: 1 },
+    Quarter { year: 2015, q: 2 },
+    Quarter { year: 2015, q: 3 },
+    Quarter { year: 2015, q: 4 },
+];
+
+/// Deterministic post-2016 quarter for the `i`-th such bug of a project,
+/// respecting the project's start date (Redox and TiKV started in 2016).
+fn post_quarter(project: ProjectId, i: usize) -> Quarter {
+    let (first_year, first_q) = match project {
+        ProjectId::Redox => (2017u16, 1u8),
+        ProjectId::TiKV => (2016, 3),
+        _ => (2016, 1),
+    };
+    let start = (first_year as usize - 2016) * 4 + (first_q as usize - 1);
+    let total = 15; // 2016Q1 ..= 2019Q3
+    let slot = start + (i % (total - start));
+    Quarter {
+        year: 2016 + (slot / 4) as u16,
+        q: (slot % 4) as u8 + 1,
+    }
+}
+
+/// Builds all 170 bug records.
+pub fn all_bugs() -> Vec<BugRecord> {
+    let mut records = Vec::with_capacity(170);
+
+    // --- memory bugs: zip the three pools --------------------------------
+    let mut classes = Vec::new();
+    for (prop, class, n) in MEM_CELLS {
+        for _ in 0..*n {
+            classes.push((*prop, *class));
+        }
+    }
+    let projects = expand(MEM_PROJECTS);
+    let fixes = expand(MEM_FIXES);
+    assert_eq!(classes.len(), 70);
+    assert_eq!(projects.len(), 70);
+    assert_eq!(fixes.len(), 70);
+    for i in 0..70 {
+        let (propagation, class) = classes[i];
+        records.push(BugRecord {
+            id: 0,
+            project: projects[i],
+            fixed: Quarter::new(2016, 1), // assigned below
+            kind: BugKind::Memory {
+                class,
+                propagation,
+                fix: fixes[i],
+            },
+        });
+    }
+
+    // --- blocking bugs: Table 3 joint ------------------------------------
+    let mut blocking = Vec::new();
+    for (project, sync, n) in BLOCKING_CELLS {
+        for _ in 0..*n {
+            blocking.push((*project, *sync));
+        }
+    }
+    let bfixes = expand(BLOCKING_FIXES);
+    assert_eq!(blocking.len(), 59);
+    assert_eq!(bfixes.len(), 59);
+    for (i, (project, sync)) in blocking.into_iter().enumerate() {
+        records.push(BugRecord {
+            id: 0,
+            project,
+            fixed: Quarter::new(2016, 1),
+            kind: BugKind::Blocking {
+                sync,
+                fix: bfixes[i],
+            },
+        });
+    }
+
+    // --- non-blocking bugs: Table 4 joint ---------------------------------
+    let mut nonblocking = Vec::new();
+    for (project, sharing, n) in NONBLOCKING_CELLS {
+        for _ in 0..*n {
+            nonblocking.push((*project, *sharing));
+        }
+    }
+    assert_eq!(nonblocking.len(), 41);
+    let nfixes = expand(NONBLOCKING_FIXES);
+    assert_eq!(nfixes.len(), 38);
+    let mut shared_i = 0;
+    for (project, sharing) in nonblocking {
+        let fix = if sharing == Sharing::MessagePassing {
+            NonBlockingFix::AppLogic
+        } else {
+            let f = nfixes[shared_i];
+            shared_i += 1;
+            f
+        };
+        records.push(BugRecord {
+            id: 0,
+            project,
+            fixed: Quarter::new(2016, 1),
+            kind: BugKind::NonBlocking { sharing, fix },
+        });
+    }
+
+    // --- ids and fix dates -------------------------------------------------
+    // Exactly 25 of the 170 fixes land before 2016 (Figure 2 / §2.1 says
+    // 145 were fixed after 2016). Only codebases that existed then qualify.
+    let mut pre_assigned = 0;
+    let mut post_counters: std::collections::BTreeMap<ProjectId, usize> = Default::default();
+    for (i, r) in records.iter_mut().enumerate() {
+        r.id = (i + 1) as u32;
+        let eligible_pre = matches!(
+            r.project,
+            ProjectId::Servo | ProjectId::Libraries | ProjectId::VulnDb
+        );
+        if pre_assigned < 25 && eligible_pre && i % 3 == 0 {
+            r.fixed = PRE_2016[pre_assigned % PRE_2016.len()];
+            pre_assigned += 1;
+        } else {
+            let c = post_counters.entry(r.project).or_insert(0);
+            r.fixed = post_quarter(r.project, *c);
+            *c += 1;
+        }
+    }
+    // Top up if the stride skipped some eligible records.
+    if pre_assigned < 25 {
+        for r in records.iter_mut() {
+            if pre_assigned == 25 {
+                break;
+            }
+            let eligible = matches!(
+                r.project,
+                ProjectId::Servo | ProjectId::Libraries | ProjectId::VulnDb
+            );
+            if eligible && r.fixed.year >= 2016 {
+                r.fixed = PRE_2016[pre_assigned % PRE_2016.len()];
+                pre_assigned += 1;
+            }
+        }
+    }
+    assert_eq!(pre_assigned, 25, "exactly 25 pre-2016 fixes");
+    records
+}
+
+/// Only the memory bugs.
+pub fn memory_bugs() -> Vec<BugRecord> {
+    all_bugs()
+        .into_iter()
+        .filter(|b| matches!(b.kind, BugKind::Memory { .. }))
+        .collect()
+}
+
+/// Only the blocking bugs.
+pub fn blocking_bugs() -> Vec<BugRecord> {
+    all_bugs()
+        .into_iter()
+        .filter(|b| matches!(b.kind, BugKind::Blocking { .. }))
+        .collect()
+}
+
+/// Only the non-blocking bugs.
+pub fn non_blocking_bugs() -> Vec<BugRecord> {
+    all_bugs()
+        .into_iter()
+        .filter(|b| matches!(b.kind, BugKind::NonBlocking { .. }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_totals() {
+        assert_eq!(all_bugs().len(), 170);
+        assert_eq!(memory_bugs().len(), 70);
+        assert_eq!(blocking_bugs().len(), 59);
+        assert_eq!(non_blocking_bugs().len(), 41);
+    }
+
+    #[test]
+    fn table2_cells_match_the_paper() {
+        let bugs = memory_bugs();
+        let count = |p: Propagation, c: MemClass| {
+            bugs.iter()
+                .filter(|b| {
+                    matches!(b.kind, BugKind::Memory { class, propagation, .. }
+                        if class == c && propagation == p)
+                })
+                .count() as u32
+        };
+        for (p, c, n) in MEM_CELLS {
+            assert_eq!(count(*p, *c), *n, "{p:?}/{c:?}");
+        }
+        // Row totals: 1 / 23 / 31 / 15.
+        let row = |p: Propagation| {
+            bugs.iter()
+                .filter(|b| matches!(b.kind, BugKind::Memory { propagation, .. } if propagation == p))
+                .count()
+        };
+        assert_eq!(row(Propagation::Safe), 1);
+        assert_eq!(row(Propagation::Unsafe), 23);
+        assert_eq!(row(Propagation::SafeToUnsafe), 31);
+        assert_eq!(row(Propagation::UnsafeToSafe), 15);
+    }
+
+    #[test]
+    fn memory_fix_strategies_match_section_5_2() {
+        let bugs = memory_bugs();
+        let count = |f: MemFix| {
+            bugs.iter()
+                .filter(|b| matches!(b.kind, BugKind::Memory { fix, .. } if fix == f))
+                .count()
+        };
+        assert_eq!(count(MemFix::SkipCondition), 30);
+        assert_eq!(count(MemFix::AdjustLifetime), 22);
+        assert_eq!(count(MemFix::ChangeOperands), 9);
+        assert_eq!(count(MemFix::Other), 9);
+    }
+
+    #[test]
+    fn table3_joint_matches_the_paper() {
+        let bugs = blocking_bugs();
+        for (proj, sync, n) in BLOCKING_CELLS {
+            let count = bugs
+                .iter()
+                .filter(|b| {
+                    b.project == *proj
+                        && matches!(b.kind, BugKind::Blocking { sync: s, .. } if s == *sync)
+                })
+                .count() as u32;
+            assert_eq!(count, *n, "{proj:?}/{sync:?}");
+        }
+        // Column totals: 38 / 10 / 6 / 1 / 4.
+        let col = |s: SyncPrim| {
+            bugs.iter()
+                .filter(|b| matches!(b.kind, BugKind::Blocking { sync, .. } if sync == s))
+                .count()
+        };
+        assert_eq!(col(SyncPrim::MutexRwLock), 38);
+        assert_eq!(col(SyncPrim::Condvar), 10);
+        assert_eq!(col(SyncPrim::Channel), 6);
+        assert_eq!(col(SyncPrim::Once), 1);
+        assert_eq!(col(SyncPrim::Other), 4);
+    }
+
+    #[test]
+    fn table4_joint_matches_the_paper() {
+        let bugs = non_blocking_bugs();
+        for (proj, sharing, n) in NONBLOCKING_CELLS {
+            let count = bugs
+                .iter()
+                .filter(|b| {
+                    b.project == *proj
+                        && matches!(b.kind, BugKind::NonBlocking { sharing: s, .. } if s == *sharing)
+                })
+                .count() as u32;
+            assert_eq!(count, *n, "{proj:?}/{sharing:?}");
+        }
+        let col = |s: Sharing| {
+            bugs.iter()
+                .filter(|b| matches!(b.kind, BugKind::NonBlocking { sharing, .. } if sharing == s))
+                .count()
+        };
+        assert_eq!(col(Sharing::GlobalStatic), 3);
+        assert_eq!(col(Sharing::RawPointer), 12);
+        assert_eq!(col(Sharing::SyncTrait), 3);
+        assert_eq!(col(Sharing::OsHardware), 5);
+        assert_eq!(col(Sharing::Atomic), 5);
+        assert_eq!(col(Sharing::MutexProtected), 10);
+        assert_eq!(col(Sharing::MessagePassing), 3);
+    }
+
+    #[test]
+    fn nonblocking_fixes_match_section_6_2() {
+        let bugs = non_blocking_bugs();
+        let shared = |f: NonBlockingFix| {
+            bugs.iter()
+                .filter(|b| {
+                    matches!(b.kind, BugKind::NonBlocking { sharing, fix }
+                        if fix == f && sharing != Sharing::MessagePassing)
+                })
+                .count()
+        };
+        assert_eq!(shared(NonBlockingFix::EnforceAtomicity), 20);
+        assert_eq!(shared(NonBlockingFix::EnforceOrdering), 10);
+        assert_eq!(shared(NonBlockingFix::AvoidSharing), 5);
+        assert_eq!(shared(NonBlockingFix::LocalCopy), 1);
+        assert_eq!(shared(NonBlockingFix::AppLogic), 2);
+    }
+
+    #[test]
+    fn exactly_145_bugs_fixed_in_2016_or_later() {
+        let bugs = all_bugs();
+        let post = bugs.iter().filter(|b| b.fixed.year >= 2016).count();
+        assert_eq!(post, 145);
+    }
+
+    #[test]
+    fn no_bug_predates_its_project() {
+        for b in all_bugs() {
+            let (y, _m) = b.project.start();
+            assert!(
+                b.fixed.year >= y,
+                "bug {} in {:?} fixed {} before project start {}",
+                b.id,
+                b.project,
+                b.fixed,
+                y
+            );
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let bugs = all_bugs();
+        for (i, b) in bugs.iter().enumerate() {
+            assert_eq!(b.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn dataset_is_deterministic() {
+        assert_eq!(all_bugs(), all_bugs());
+    }
+
+    #[test]
+    fn blocking_fixes_match_section_6_1() {
+        let bugs = blocking_bugs();
+        let count = |f: BlockingFix| {
+            bugs.iter()
+                .filter(|b| matches!(b.kind, BugKind::Blocking { fix, .. } if fix == f))
+                .count()
+        };
+        assert_eq!(count(BlockingFix::AdjustSync), 30);
+        assert_eq!(count(BlockingFix::AdjustGuardLifetime), 21);
+        assert_eq!(count(BlockingFix::Other), 8);
+        // 51 of 59 adjust synchronization in some way.
+        assert_eq!(
+            count(BlockingFix::AdjustSync) + count(BlockingFix::AdjustGuardLifetime),
+            51
+        );
+    }
+}

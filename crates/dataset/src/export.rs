@@ -1,0 +1,101 @@
+//! JSON export/import of the datasets, so experiment results are
+//! machine-checkable and extensible without recompiling consumers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bugs::{all_bugs, BugRecord};
+use crate::projects::{Project, PROJECTS};
+use crate::releases::RELEASES;
+
+/// An owned, serializable mirror of [`crate::releases::Release`] (the
+/// in-crate table borrows `&'static str` version labels).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseRecord {
+    /// Version string.
+    pub version: String,
+    /// Release year.
+    pub year: u16,
+    /// Release month.
+    pub month: u8,
+    /// Feature changes in this release.
+    pub feature_changes: u32,
+    /// Total source KLOC at this release.
+    pub kloc: u32,
+}
+
+/// Everything the study datasets contain, in one serializable bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetBundle {
+    /// Table 1 rows.
+    pub projects: Vec<Project>,
+    /// Figure 1 points.
+    pub releases: Vec<ReleaseRecord>,
+    /// All 170 bug records.
+    pub bugs: Vec<BugRecord>,
+}
+
+impl DatasetBundle {
+    /// Builds the bundle from the encoded data.
+    pub fn build() -> DatasetBundle {
+        DatasetBundle {
+            projects: PROJECTS.to_vec(),
+            releases: RELEASES
+                .iter()
+                .map(|r| ReleaseRecord {
+                    version: r.version.to_owned(),
+                    year: r.year,
+                    month: r.month,
+                    feature_changes: r.feature_changes,
+                    kloc: r.kloc,
+                })
+                .collect(),
+            bugs: all_bugs(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `serde_json` failures (none are expected for this data).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(s: &str) -> Result<DatasetBundle, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let bundle = DatasetBundle::build();
+        let json = bundle.to_json().expect("serialize");
+        let back = DatasetBundle::from_json(&json).expect("deserialize");
+        assert_eq!(bundle, back);
+    }
+
+    #[test]
+    fn json_contains_headline_counts() {
+        let json = DatasetBundle::build().to_json().expect("serialize");
+        assert!(json.contains("Servo"));
+        assert!(json.contains("\"bugs\""));
+        let bundle = DatasetBundle::from_json(&json).unwrap();
+        assert_eq!(bundle.bugs.len(), 170);
+        assert_eq!(bundle.projects.len(), 6);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(DatasetBundle::from_json("{not json").is_err());
+    }
+}

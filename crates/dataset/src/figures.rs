@@ -1,0 +1,121 @@
+//! Series renderers for Figures 1 and 2.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::bugs::{all_bugs, Quarter};
+use crate::projects::ProjectId;
+use crate::releases::RELEASES;
+
+/// Figure 1's two series as `(year_fraction, value)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1 {
+    /// Feature changes per release.
+    pub feature_changes: Vec<(f64, u32)>,
+    /// Total KLOC per release.
+    pub kloc: Vec<(f64, u32)>,
+}
+
+/// Builds Figure 1's data from the release dataset.
+pub fn figure1() -> Figure1 {
+    let x = |y: u16, m: u8| y as f64 + (m as f64 - 0.5) / 12.0;
+    Figure1 {
+        feature_changes: RELEASES
+            .iter()
+            .map(|r| (x(r.year, r.month), r.feature_changes))
+            .collect(),
+        kloc: RELEASES.iter().map(|r| (x(r.year, r.month), r.kloc)).collect(),
+    }
+}
+
+/// Renders Figure 1 as aligned text columns (release, changes, KLOC).
+pub fn render_figure1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:<10} {:>7} {:>8} {:>6}", "Release", "Date", "Changes", "KLOC");
+    for r in RELEASES {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>4}/{:02} {:>8} {:>6}",
+            r.version, r.year, r.month, r.feature_changes, r.kloc
+        );
+    }
+    s
+}
+
+/// Figure 2: bugs fixed per quarter, per project.
+pub fn figure2() -> BTreeMap<ProjectId, BTreeMap<Quarter, usize>> {
+    let mut out: BTreeMap<ProjectId, BTreeMap<Quarter, usize>> = BTreeMap::new();
+    for b in all_bugs() {
+        *out.entry(b.project).or_default().entry(b.fixed).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Renders Figure 2 as one histogram row per project.
+pub fn render_figure2() -> String {
+    let data = figure2();
+    let mut s = String::new();
+    let mut quarters: Vec<Quarter> = data
+        .values()
+        .flat_map(|m| m.keys().copied())
+        .collect();
+    quarters.sort_unstable();
+    quarters.dedup();
+    let _ = write!(s, "{:<12}", "Project");
+    for q in &quarters {
+        let _ = write!(s, " {q}");
+    }
+    let _ = writeln!(s);
+    for (proj, hist) in &data {
+        let _ = write!(s, "{:<12}", proj.label());
+        for q in &quarters {
+            let n = hist.get(q).copied().unwrap_or(0);
+            let _ = write!(s, " {n:>6}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_series_align_with_releases() {
+        let f = figure1();
+        assert_eq!(f.feature_changes.len(), RELEASES.len());
+        assert_eq!(f.kloc.len(), RELEASES.len());
+        // x-coordinates are increasing.
+        for w in f.kloc.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn figure2_buckets_cover_all_170_bugs() {
+        let total: usize = figure2().values().flat_map(|m| m.values()).sum();
+        assert_eq!(total, 170);
+    }
+
+    #[test]
+    fn figure2_shape_matches_the_paper() {
+        // §3: "Among the 170 bugs, 145 of them were fixed after 2016."
+        let post_2016: usize = figure2()
+            .values()
+            .flat_map(|m| m.iter())
+            .filter(|(q, _)| q.year >= 2016)
+            .map(|(_, n)| n)
+            .sum();
+        assert_eq!(post_2016, 145);
+    }
+
+    #[test]
+    fn renders_are_nonempty_and_labelled() {
+        let f1 = render_figure1();
+        assert!(f1.contains("1.39"));
+        let f2 = render_figure2();
+        assert!(f2.contains("Servo"));
+        assert!(f2.contains("2013Q2"));
+    }
+}

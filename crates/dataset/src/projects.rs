@@ -1,0 +1,175 @@
+//! Table 1: the studied applications and libraries.
+
+use serde::{Deserialize, Serialize};
+
+/// Which studied codebase a record belongs to.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ProjectId {
+    /// Mozilla's browser engine.
+    Servo,
+    /// The embedded OS.
+    Tock,
+    /// Parity Ethereum, the blockchain client.
+    Ethereum,
+    /// The distributed key-value store.
+    TiKV,
+    /// The Redox OS.
+    Redox,
+    /// The five studied libraries (rand, crossbeam, threadpool, rayon,
+    /// lazy_static), aggregated as in the paper's Table 1.
+    Libraries,
+    /// Bugs collected from the CVE and RustSec vulnerability databases.
+    VulnDb,
+}
+
+impl ProjectId {
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProjectId::Servo => "Servo",
+            ProjectId::Tock => "Tock",
+            ProjectId::Ethereum => "Ethereum",
+            ProjectId::TiKV => "TiKV",
+            ProjectId::Redox => "Redox",
+            ProjectId::Libraries => "libraries",
+            ProjectId::VulnDb => "CVE/RustSec",
+        }
+    }
+
+    /// First year+month in which the codebase existed (bugs cannot predate
+    /// it). The vulnerability databases span the whole study window.
+    pub fn start(self) -> (u16, u8) {
+        match self {
+            ProjectId::Servo => (2012, 2),
+            ProjectId::Tock => (2015, 5),
+            ProjectId::Ethereum => (2015, 11),
+            ProjectId::TiKV => (2016, 1),
+            ProjectId::Redox => (2016, 8),
+            ProjectId::Libraries => (2010, 7),
+            ProjectId::VulnDb => (2012, 1),
+        }
+    }
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Project {
+    /// Which codebase.
+    pub id: ProjectId,
+    /// "Start Time" column, `(year, month)`.
+    pub start: (u16, u8),
+    /// GitHub stars at study time.
+    pub stars: u32,
+    /// Commits at study time.
+    pub commits: u32,
+    /// Source lines of code (thousands).
+    pub kloc: u32,
+    /// Studied memory-safety bugs.
+    pub mem_bugs: u32,
+    /// Studied blocking bugs.
+    pub blocking_bugs: u32,
+    /// Studied non-blocking bugs.
+    pub non_blocking_bugs: u32,
+}
+
+/// Table 1 rows exactly as published. The `libraries` row reports the
+/// *maximum* value among the five libraries for stars/commits/LOC (the
+/// paper's footnote) and the per-category bug counts of that row.
+pub const PROJECTS: &[Project] = &[
+    Project {
+        id: ProjectId::Servo,
+        start: (2012, 2),
+        stars: 14574,
+        commits: 38096,
+        kloc: 271,
+        mem_bugs: 14,
+        blocking_bugs: 13,
+        non_blocking_bugs: 18,
+    },
+    Project {
+        id: ProjectId::Tock,
+        start: (2015, 5),
+        stars: 1343,
+        commits: 4621,
+        kloc: 60,
+        mem_bugs: 5,
+        blocking_bugs: 0,
+        non_blocking_bugs: 2,
+    },
+    Project {
+        id: ProjectId::Ethereum,
+        start: (2015, 11),
+        stars: 5565,
+        commits: 12121,
+        kloc: 145,
+        mem_bugs: 2,
+        blocking_bugs: 34,
+        non_blocking_bugs: 4,
+    },
+    Project {
+        id: ProjectId::TiKV,
+        start: (2016, 1),
+        stars: 5717,
+        commits: 3897,
+        kloc: 149,
+        mem_bugs: 1,
+        blocking_bugs: 4,
+        non_blocking_bugs: 3,
+    },
+    Project {
+        id: ProjectId::Redox,
+        start: (2016, 8),
+        stars: 11450,
+        commits: 2129,
+        kloc: 199,
+        mem_bugs: 20,
+        blocking_bugs: 2,
+        non_blocking_bugs: 3,
+    },
+    Project {
+        id: ProjectId::Libraries,
+        start: (2010, 7),
+        stars: 3106,
+        commits: 2402,
+        kloc: 25,
+        mem_bugs: 7,
+        blocking_bugs: 6,
+        non_blocking_bugs: 10,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rows_in_table_order() {
+        assert_eq!(PROJECTS.len(), 6);
+        assert_eq!(PROJECTS[0].id, ProjectId::Servo);
+        assert_eq!(PROJECTS[5].id, ProjectId::Libraries);
+    }
+
+    #[test]
+    fn headline_blocking_counts_sum_to_59() {
+        // Table 1's Blk column: 13+0+34+4+2+6 = 59, the §6.1 total.
+        let blk: u32 = PROJECTS.iter().map(|p| p.blocking_bugs).sum();
+        assert_eq!(blk, 59);
+    }
+
+    #[test]
+    fn starts_match_ids() {
+        for p in PROJECTS {
+            assert_eq!(p.start, p.id.start(), "{}", p.id.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PROJECTS.iter().map(|p| p.id.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PROJECTS.len());
+    }
+}

@@ -1,0 +1,111 @@
+//! Figure 1: Rust's release history — feature changes and code size per
+//! release, 2012 through late 2019 (v1.39).
+//!
+//! The paper's Figure 1 plots, per release, the number of feature changes
+//! (peaking near 2500 around 2013–2014 and settling under ~100 after the
+//! Jan 2016 stabilization, v1.6) and total LOC (growing toward ~800 KLOC).
+//! We encode one representative point per release epoch with that shape;
+//! tests pin the properties the paper derives from the figure.
+
+use serde::{Deserialize, Serialize};
+
+/// One release data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Release {
+    /// Version string.
+    pub version: &'static str,
+    /// Release year.
+    pub year: u16,
+    /// Release month.
+    pub month: u8,
+    /// Feature changes in this release (Figure 1's blue series).
+    pub feature_changes: u32,
+    /// Total source KLOC at this release (Figure 1's red series).
+    pub kloc: u32,
+}
+
+/// The encoded release series.
+pub const RELEASES: &[Release] = &[
+    Release { version: "0.1", year: 2012, month: 1, feature_changes: 980, kloc: 80 },
+    Release { version: "0.2", year: 2012, month: 3, feature_changes: 1240, kloc: 95 },
+    Release { version: "0.3", year: 2012, month: 7, feature_changes: 1460, kloc: 110 },
+    Release { version: "0.4", year: 2012, month: 10, feature_changes: 1690, kloc: 130 },
+    Release { version: "0.5", year: 2012, month: 12, feature_changes: 1880, kloc: 150 },
+    Release { version: "0.6", year: 2013, month: 4, feature_changes: 2290, kloc: 175 },
+    Release { version: "0.7", year: 2013, month: 7, feature_changes: 2480, kloc: 200 },
+    Release { version: "0.8", year: 2013, month: 9, feature_changes: 2350, kloc: 225 },
+    Release { version: "0.9", year: 2014, month: 1, feature_changes: 2210, kloc: 255 },
+    Release { version: "0.10", year: 2014, month: 4, feature_changes: 1980, kloc: 290 },
+    Release { version: "0.11", year: 2014, month: 7, feature_changes: 1720, kloc: 325 },
+    Release { version: "0.12", year: 2014, month: 10, feature_changes: 1450, kloc: 360 },
+    Release { version: "1.0-alpha", year: 2015, month: 1, feature_changes: 1190, kloc: 395 },
+    Release { version: "1.0", year: 2015, month: 5, feature_changes: 870, kloc: 425 },
+    Release { version: "1.3", year: 2015, month: 9, feature_changes: 480, kloc: 455 },
+    Release { version: "1.5", year: 2015, month: 12, feature_changes: 260, kloc: 480 },
+    Release { version: "1.6", year: 2016, month: 1, feature_changes: 110, kloc: 500 },
+    Release { version: "1.9", year: 2016, month: 5, feature_changes: 90, kloc: 525 },
+    Release { version: "1.13", year: 2016, month: 11, feature_changes: 85, kloc: 555 },
+    Release { version: "1.16", year: 2017, month: 3, feature_changes: 75, kloc: 585 },
+    Release { version: "1.19", year: 2017, month: 7, feature_changes: 70, kloc: 615 },
+    Release { version: "1.22", year: 2017, month: 11, feature_changes: 65, kloc: 645 },
+    Release { version: "1.25", year: 2018, month: 3, feature_changes: 70, kloc: 675 },
+    Release { version: "1.28", year: 2018, month: 8, feature_changes: 60, kloc: 700 },
+    Release { version: "1.31", year: 2018, month: 12, feature_changes: 80, kloc: 725 },
+    Release { version: "1.34", year: 2019, month: 4, feature_changes: 55, kloc: 755 },
+    Release { version: "1.37", year: 2019, month: 8, feature_changes: 50, kloc: 780 },
+    Release { version: "1.39", year: 2019, month: 11, feature_changes: 45, kloc: 800 },
+];
+
+/// Returns `true` for releases after the Jan 2016 stabilization (v1.6).
+pub fn is_stable_era(r: &Release) -> bool {
+    (r.year, r.month) >= (2016, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_are_chronological() {
+        for w in RELEASES.windows(2) {
+            assert!(
+                (w[0].year, w[0].month) < (w[1].year, w[1].month),
+                "{} before {}",
+                w[0].version,
+                w[1].version
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_churn_before_2016_stability_after() {
+        // The paper: "Rust went through heavy changes in the first four
+        // years … stable since Jan 2016 (v1.6)".
+        let peak = RELEASES.iter().map(|r| r.feature_changes).max().unwrap();
+        assert!(peak > 2000, "early churn peaks above 2000 changes");
+        for r in RELEASES.iter().filter(|r| is_stable_era(r)) {
+            assert!(
+                r.feature_changes <= 150,
+                "{} in the stable era has {} changes",
+                r.version,
+                r.feature_changes
+            );
+        }
+    }
+
+    #[test]
+    fn kloc_grows_monotonically_toward_800() {
+        for w in RELEASES.windows(2) {
+            assert!(w[0].kloc < w[1].kloc);
+        }
+        assert_eq!(RELEASES.last().unwrap().kloc, 800);
+    }
+
+    #[test]
+    fn v1_6_marks_the_stable_boundary() {
+        let v16 = RELEASES.iter().find(|r| r.version == "1.6").unwrap();
+        assert!(is_stable_era(v16));
+        let v15 = RELEASES.iter().find(|r| r.version == "1.5").unwrap();
+        assert!(!is_stable_era(v15));
+    }
+}

@@ -1,0 +1,241 @@
+//! Text renderers for Tables 1–4, regenerated from the encoded datasets.
+
+use std::fmt::Write as _;
+
+use crate::bugs::{
+    all_bugs, BugKind, MemClass, Propagation, Sharing, SyncPrim,
+};
+use crate::projects::{ProjectId, PROJECTS};
+
+/// The project order used by every table.
+pub const TABLE_PROJECTS: [ProjectId; 6] = [
+    ProjectId::Servo,
+    ProjectId::Tock,
+    ProjectId::Ethereum,
+    ProjectId::TiKV,
+    ProjectId::Redox,
+    ProjectId::Libraries,
+];
+
+/// Renders Table 1 (studied software).
+pub fn render_table1() -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>8} {:>7} {:>8} {:>6} {:>4} {:>4} {:>5}",
+        "Software", "Start", "Stars", "Commits", "LOC", "Mem", "Blk", "NBlk"
+    );
+    for p in PROJECTS {
+        let _ = writeln!(
+            s,
+            "{:<10} {:>5}/{:02} {:>7} {:>8} {:>5}K {:>4} {:>4} {:>5}",
+            p.id.label(),
+            p.start.0,
+            p.start.1,
+            p.stars,
+            p.commits,
+            p.kloc,
+            p.mem_bugs,
+            p.blocking_bugs,
+            p.non_blocking_bugs
+        );
+    }
+    s
+}
+
+/// Renders Table 2 (memory-bug categories) from the bug records.
+pub fn render_table2() -> String {
+    let bugs = all_bugs();
+    let cell = |p: Propagation, c: MemClass| {
+        bugs.iter()
+            .filter(|b| {
+                matches!(b.kind, BugKind::Memory { class, propagation, .. }
+                    if class == c && propagation == p)
+            })
+            .count()
+    };
+    let classes = [
+        MemClass::Buffer,
+        MemClass::Null,
+        MemClass::Uninit,
+        MemClass::Invalid,
+        MemClass::Uaf,
+        MemClass::DoubleFree,
+    ];
+    let rows = [
+        ("safe", Propagation::Safe),
+        ("unsafe", Propagation::Unsafe),
+        ("safe -> unsafe", Propagation::SafeToUnsafe),
+        ("unsafe -> safe", Propagation::UnsafeToSafe),
+    ];
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<16} {:>7} {:>5} {:>7} {:>8} {:>4} {:>8} {:>6}",
+        "Category", "Buffer", "Null", "Uninit", "Invalid", "UAF", "DblFree", "Total"
+    );
+    let mut grand = 0;
+    for (label, p) in rows {
+        let _ = write!(s, "{label:<16}");
+        let mut total = 0;
+        for (c, width) in classes.iter().zip([7usize, 5, 7, 8, 4, 8]) {
+            let n = cell(p, *c);
+            total += n;
+            let _ = write!(s, " {n:>width$}");
+        }
+        grand += total;
+        let _ = writeln!(s, " {total:>6}");
+    }
+    let _ = writeln!(s, "{:<16} {:>48} {:>13}", "Total", "", grand);
+    s
+}
+
+/// Renders Table 3 (synchronization in blocking bugs).
+pub fn render_table3() -> String {
+    let bugs = all_bugs();
+    let cell = |proj: ProjectId, sp: SyncPrim| {
+        bugs.iter()
+            .filter(|b| {
+                b.project == proj
+                    && matches!(b.kind, BugKind::Blocking { sync, .. } if sync == sp)
+            })
+            .count()
+    };
+    let cols = [
+        ("Mutex&Rwlock", SyncPrim::MutexRwLock),
+        ("Condvar", SyncPrim::Condvar),
+        ("Channel", SyncPrim::Channel),
+        ("Once", SyncPrim::Once),
+        ("Other", SyncPrim::Other),
+    ];
+    let mut s = String::new();
+    let _ = write!(s, "{:<10}", "Software");
+    for (label, _) in cols {
+        let _ = write!(s, " {label:>12}");
+    }
+    let _ = writeln!(s);
+    let mut totals = [0usize; 5];
+    for proj in TABLE_PROJECTS {
+        let _ = write!(s, "{:<10}", proj.label());
+        for (i, (_, sp)) in cols.iter().enumerate() {
+            let n = cell(proj, *sp);
+            totals[i] += n;
+            let _ = write!(s, " {n:>12}");
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "{:<10}", "Total");
+    for t in totals {
+        let _ = write!(s, " {t:>12}");
+    }
+    let _ = writeln!(s);
+    s
+}
+
+/// Renders Table 4 (data sharing in non-blocking bugs).
+pub fn render_table4() -> String {
+    let bugs = all_bugs();
+    let cell = |proj: ProjectId, sh: Sharing| {
+        bugs.iter()
+            .filter(|b| {
+                b.project == proj
+                    && matches!(b.kind, BugKind::NonBlocking { sharing, .. } if sharing == sh)
+            })
+            .count()
+    };
+    let cols = [
+        ("Global", Sharing::GlobalStatic),
+        ("Pointer", Sharing::RawPointer),
+        ("Sync", Sharing::SyncTrait),
+        ("O.H.", Sharing::OsHardware),
+        ("Atomic", Sharing::Atomic),
+        ("Mutex", Sharing::MutexProtected),
+        ("MSG", Sharing::MessagePassing),
+    ];
+    let mut s = String::new();
+    let _ = write!(s, "{:<10}", "Software");
+    for (label, _) in cols {
+        let _ = write!(s, " {label:>8}");
+    }
+    let _ = writeln!(s);
+    let mut totals = [0usize; 7];
+    for proj in TABLE_PROJECTS {
+        let _ = write!(s, "{:<10}", proj.label());
+        for (i, (_, sh)) in cols.iter().enumerate() {
+            let n = cell(proj, *sh);
+            totals[i] += n;
+            let _ = write!(s, " {n:>8}");
+        }
+        let _ = writeln!(s);
+    }
+    let _ = write!(s, "{:<10}", "Total");
+    for t in totals {
+        let _ = write!(s, " {t:>8}");
+    }
+    let _ = writeln!(s);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_every_project_row() {
+        let t = render_table1();
+        for p in PROJECTS {
+            assert!(t.contains(p.id.label()), "{t}");
+        }
+        assert!(t.contains("14574"), "Servo stars: {t}");
+    }
+
+    #[test]
+    fn table2_reproduces_paper_cells() {
+        let t = render_table2();
+        // Spot-check the distinctive rows.
+        assert!(t.contains("safe -> unsafe"), "{t}");
+        let line: &str = t
+            .lines()
+            .find(|l| l.starts_with("safe -> unsafe"))
+            .unwrap();
+        // Buffer=17, Null=0, Uninit=0, Invalid=1, UAF=11, DblFree=2, Total=31.
+        let nums: Vec<i64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums, vec![17, 0, 0, 1, 11, 2, 31], "{t}");
+    }
+
+    #[test]
+    fn table3_totals_row_matches_paper() {
+        let t = render_table3();
+        let line: &str = t.lines().find(|l| l.starts_with("Total")).unwrap();
+        let nums: Vec<i64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums, vec![38, 10, 6, 1, 4], "{t}");
+    }
+
+    #[test]
+    fn table4_totals_row_matches_paper() {
+        let t = render_table4();
+        let line: &str = t.lines().find(|l| l.starts_with("Total")).unwrap();
+        let nums: Vec<i64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums, vec![3, 12, 3, 5, 5, 10, 3], "{t}");
+    }
+
+    #[test]
+    fn table4_servo_row_matches_paper() {
+        let t = render_table4();
+        let line: &str = t.lines().find(|l| l.starts_with("Servo")).unwrap();
+        let nums: Vec<i64> = line
+            .split_whitespace()
+            .filter_map(|w| w.parse().ok())
+            .collect();
+        assert_eq!(nums, vec![1, 7, 1, 0, 0, 7, 2], "{t}");
+    }
+}

@@ -1,0 +1,254 @@
+//! §4's unsafe-usage statistics, encoded: overall counts, the 600-usage
+//! sample's operation/purpose breakdown, the 130 unsafe removals, and the
+//! interior-unsafe encapsulation findings.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of unsafe usages by syntactic form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UsageCounts {
+    /// `unsafe { .. }` regions.
+    pub regions: u32,
+    /// `unsafe fn`s.
+    pub functions: u32,
+    /// `unsafe trait`s.
+    pub traits: u32,
+}
+
+impl UsageCounts {
+    /// Total usages.
+    pub fn total(&self) -> u32 {
+        self.regions + self.functions + self.traits
+    }
+}
+
+/// §4: "We found 4990 unsafe usages in our studied applications …
+/// including 3665 unsafe code regions, 1302 unsafe functions, and 23
+/// unsafe traits."
+pub const APP_USAGES: UsageCounts = UsageCounts {
+    regions: 3665,
+    functions: 1302,
+    traits: 23,
+};
+
+/// §4: "In Rust's standard library … 1581 unsafe code regions, 861 unsafe
+/// functions, and 12 unsafe traits."
+pub const STD_USAGES: UsageCounts = UsageCounts {
+    regions: 1581,
+    functions: 861,
+    traits: 12,
+};
+
+/// The sampled-usage analysis (§4.1): 600 sampled usages from applications.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SampledUsages {
+    /// Sample size.
+    pub sample: u32,
+    /// Percent performing unsafe memory operations.
+    pub memory_ops_pct: u32,
+    /// Percent calling unsafe functions.
+    pub unsafe_calls_pct: u32,
+    /// Purpose percentages.
+    pub purpose_reuse_pct: u32,
+    /// Performance escapes.
+    pub purpose_performance_pct: u32,
+    /// Sharing data across threads.
+    pub purpose_sharing_pct: u32,
+    /// Usages whose removal does not break compilation.
+    pub removable_without_error: u32,
+    /// Of those, marked unsafe for cross-platform consistency.
+    pub removable_for_consistency: u32,
+    /// Unsafe-marked struct constructors in the applications.
+    pub marker_constructors: u32,
+    /// Unsafe-marked constructors in the standard library.
+    pub std_marker_constructors: u32,
+}
+
+/// §4.1's sampled statistics.
+pub const SAMPLED: SampledUsages = SampledUsages {
+    sample: 600,
+    memory_ops_pct: 66,
+    unsafe_calls_pct: 29,
+    purpose_reuse_pct: 42,
+    purpose_performance_pct: 22,
+    purpose_sharing_pct: 14,
+    removable_without_error: 32,
+    removable_for_consistency: 21,
+    marker_constructors: 5,
+    std_marker_constructors: 50,
+};
+
+/// Why unsafe code was removed (§4.2: 130 removals in 108 commits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemovalBreakdown {
+    /// Total removals studied.
+    pub total: u32,
+    /// Percent for improving memory safety.
+    pub memory_safety_pct: u32,
+    /// Percent for better code structure.
+    pub code_structure_pct: u32,
+    /// Percent for improving thread safety.
+    pub thread_safety_pct: u32,
+    /// Percent that fixed bugs.
+    pub bug_fix_pct: u32,
+    /// Percent removing unnecessary usages.
+    pub unnecessary_pct: u32,
+    /// Removals that became fully safe code.
+    pub to_safe: u32,
+    /// Removals into std interior-unsafe functions.
+    pub to_std_interior: u32,
+    /// Removals into self-implemented interior-unsafe functions.
+    pub to_self_interior: u32,
+    /// Removals into third-party interior-unsafe functions.
+    pub to_third_party_interior: u32,
+}
+
+/// §4.2's removal statistics.
+pub const REMOVALS: RemovalBreakdown = RemovalBreakdown {
+    total: 130,
+    memory_safety_pct: 61,
+    code_structure_pct: 24,
+    thread_safety_pct: 10,
+    bug_fix_pct: 3,
+    unnecessary_pct: 2,
+    to_safe: 43,
+    to_std_interior: 48,
+    to_self_interior: 29,
+    to_third_party_interior: 10,
+};
+
+/// Interior-unsafe encapsulation findings (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InteriorUnsafe {
+    /// Interior-unsafe functions sampled from std.
+    pub std_sample: u32,
+    /// Interior-unsafe functions sampled from applications.
+    pub app_sample: u32,
+    /// Percent whose conditions are valid memory / valid UTF-8.
+    pub memory_condition_pct: u32,
+    /// Percent whose conditions involve lifetime or ownership.
+    pub lifetime_condition_pct: u32,
+    /// Percent of std interior-unsafe functions with *no* explicit check.
+    pub std_no_explicit_check_pct: u32,
+    /// Improperly encapsulated functions found in std.
+    pub bad_encapsulation_std: u32,
+    /// Improperly encapsulated functions found in the applications.
+    pub bad_encapsulation_apps: u32,
+}
+
+/// §4.3's interior-unsafe statistics.
+pub const INTERIOR: InteriorUnsafe = InteriorUnsafe {
+    std_sample: 250,
+    app_sample: 400,
+    memory_condition_pct: 69,
+    lifetime_condition_pct: 15,
+    std_no_explicit_check_pct: 58,
+    bad_encapsulation_std: 5,
+    bad_encapsulation_apps: 14,
+};
+
+/// Renders the §4 numbers as a report block.
+pub fn render() -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "unsafe usages in applications: {} ({} regions, {} functions, {} traits)",
+        APP_USAGES.total(),
+        APP_USAGES.regions,
+        APP_USAGES.functions,
+        APP_USAGES.traits
+    );
+    let _ = writeln!(
+        s,
+        "unsafe usages in std:          {} ({} regions, {} functions, {} traits)",
+        STD_USAGES.total(),
+        STD_USAGES.regions,
+        STD_USAGES.functions,
+        STD_USAGES.traits
+    );
+    let _ = writeln!(
+        s,
+        "sampled {} usages: {}% memory ops, {}% unsafe calls; purposes: {}% reuse, {}% performance, {}% sharing",
+        SAMPLED.sample,
+        SAMPLED.memory_ops_pct,
+        SAMPLED.unsafe_calls_pct,
+        SAMPLED.purpose_reuse_pct,
+        SAMPLED.purpose_performance_pct,
+        SAMPLED.purpose_sharing_pct
+    );
+    let _ = writeln!(
+        s,
+        "unsafe removals: {} total — {}% memory safety, {}% structure, {}% thread safety, {}% bug fix, {}% unnecessary",
+        REMOVALS.total,
+        REMOVALS.memory_safety_pct,
+        REMOVALS.code_structure_pct,
+        REMOVALS.thread_safety_pct,
+        REMOVALS.bug_fix_pct,
+        REMOVALS.unnecessary_pct
+    );
+    let _ = writeln!(
+        s,
+        "interior unsafe: {} std + {} app functions sampled; {}% of std perform no explicit check; {} bad encapsulations ({} std, {} apps)",
+        INTERIOR.std_sample,
+        INTERIOR.app_sample,
+        INTERIOR.std_no_explicit_check_pct,
+        INTERIOR.bad_encapsulation_std + INTERIOR.bad_encapsulation_apps,
+        INTERIOR.bad_encapsulation_std,
+        INTERIOR.bad_encapsulation_apps
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_total_is_4990() {
+        assert_eq!(APP_USAGES.total(), 4990);
+    }
+
+    #[test]
+    fn std_total_matches() {
+        assert_eq!(STD_USAGES.total(), 1581 + 861 + 12);
+    }
+
+    #[test]
+    fn removal_percentages_sum_to_100() {
+        let sum = REMOVALS.memory_safety_pct
+            + REMOVALS.code_structure_pct
+            + REMOVALS.thread_safety_pct
+            + REMOVALS.bug_fix_pct
+            + REMOVALS.unnecessary_pct;
+        assert_eq!(sum, 100);
+    }
+
+    #[test]
+    fn removal_destinations_cover_all_130() {
+        // 43 became fully safe; the rest became interior unsafe.
+        assert_eq!(
+            REMOVALS.to_safe
+                + REMOVALS.to_std_interior
+                + REMOVALS.to_self_interior
+                + REMOVALS.to_third_party_interior,
+            REMOVALS.total
+        );
+    }
+
+    #[test]
+    fn bad_encapsulations_total_19() {
+        assert_eq!(
+            INTERIOR.bad_encapsulation_std + INTERIOR.bad_encapsulation_apps,
+            19
+        );
+    }
+
+    #[test]
+    fn render_quotes_headline_numbers() {
+        let s = render();
+        assert!(s.contains("4990"));
+        assert!(s.contains("130"));
+        assert!(s.contains("58%"));
+    }
+}

@@ -1,0 +1,286 @@
+//! The checked memory model.
+//!
+//! Every stack slot and heap allocation is an [`Allocation`] of scalar
+//! cells. Dead allocations are *kept* (never recycled), which is what lets
+//! the machine distinguish a use-after-free from a wild pointer — the same
+//! trick Miri uses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::value::{Pointer, Value};
+
+/// Identifier of one allocation (stack slot, heap block, or sync storage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AllocId(pub u32);
+
+impl fmt::Display for AllocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// What kind of memory an allocation is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocKind {
+    /// A local variable's stack slot.
+    Stack,
+    /// An `alloc`-created heap block.
+    Heap,
+    /// Storage owned by a synchronization object (mutex contents).
+    Sync,
+}
+
+/// A block of cells with liveness tracking.
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Cell contents; `None` = uninitialized.
+    pub cells: Vec<Option<Value>>,
+    /// `false` once freed (`StorageDead` / `dealloc`).
+    pub live: bool,
+    /// Stack, heap, or sync storage.
+    pub kind: AllocKind,
+}
+
+/// A memory fault, in the study's taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryFault {
+    /// Access to an allocation after it was freed.
+    UseAfterFree(Pointer),
+    /// Freeing an allocation that is already free.
+    DoubleFree(AllocId),
+    /// Access past the end of an allocation.
+    OutOfBounds(Pointer, u64),
+    /// Read of a cell no write has reached.
+    UninitRead(Pointer),
+    /// Dereferencing the null pointer.
+    NullDeref,
+    /// Freeing stack memory with `dealloc`.
+    InvalidFree(AllocId),
+    /// Dropping a value that was already dropped.
+    DoubleDrop(Pointer),
+    /// Dropping uninitialized memory that owns resources.
+    DropOfUninit(Pointer),
+}
+
+impl fmt::Display for MemoryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryFault::UseAfterFree(p) => write!(f, "use after free at {p}"),
+            MemoryFault::DoubleFree(a) => write!(f, "double free of {a}"),
+            MemoryFault::OutOfBounds(p, size) => {
+                write!(f, "out-of-bounds access at {p} (allocation size {size})")
+            }
+            MemoryFault::UninitRead(p) => write!(f, "read of uninitialized memory at {p}"),
+            MemoryFault::NullDeref => f.write_str("null pointer dereference"),
+            MemoryFault::InvalidFree(a) => write!(f, "invalid free of non-heap allocation {a}"),
+            MemoryFault::DoubleDrop(p) => write!(f, "value at {p} dropped twice"),
+            MemoryFault::DropOfUninit(p) => {
+                write!(f, "drop of uninitialized memory at {p}")
+            }
+        }
+    }
+}
+
+/// The machine's memory: all allocations ever created.
+#[derive(Debug, Default)]
+pub struct Memory {
+    allocations: BTreeMap<AllocId, Allocation>,
+    next: u32,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Creates a new allocation of `size` uninitialized cells.
+    pub fn allocate(&mut self, size: u64, kind: AllocKind) -> AllocId {
+        let id = AllocId(self.next);
+        self.next += 1;
+        self.allocations.insert(
+            id,
+            Allocation {
+                cells: vec![None; size as usize],
+                live: true,
+                kind,
+            },
+        );
+        id
+    }
+
+    /// Looks up an allocation.
+    pub fn get(&self, id: AllocId) -> Option<&Allocation> {
+        self.allocations.get(&id)
+    }
+
+    /// Frees an allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryFault::DoubleFree`] if already freed;
+    /// [`MemoryFault::InvalidFree`] if `require_heap` and it isn't heap.
+    pub fn free(&mut self, id: AllocId, require_heap: bool) -> Result<(), MemoryFault> {
+        let alloc = self
+            .allocations
+            .get_mut(&id)
+            .ok_or(MemoryFault::DoubleFree(id))?;
+        if !alloc.live {
+            return Err(MemoryFault::DoubleFree(id));
+        }
+        if require_heap && alloc.kind != AllocKind::Heap {
+            return Err(MemoryFault::InvalidFree(id));
+        }
+        alloc.live = false;
+        Ok(())
+    }
+
+    /// Returns `true` if the allocation is still live.
+    pub fn is_live(&self, id: AllocId) -> bool {
+        self.allocations.get(&id).is_some_and(|a| a.live)
+    }
+
+    fn checked(&self, ptr: Pointer) -> Result<&Allocation, MemoryFault> {
+        let alloc = self
+            .allocations
+            .get(&ptr.alloc)
+            .ok_or(MemoryFault::UseAfterFree(ptr))?;
+        if !alloc.live {
+            return Err(MemoryFault::UseAfterFree(ptr));
+        }
+        if ptr.offset >= alloc.cells.len() as u64 {
+            return Err(MemoryFault::OutOfBounds(ptr, alloc.cells.len() as u64));
+        }
+        Ok(alloc)
+    }
+
+    /// Reads one cell.
+    ///
+    /// # Errors
+    ///
+    /// Faults on dead allocations, out-of-bounds offsets, and
+    /// uninitialized cells.
+    pub fn read(&self, ptr: Pointer) -> Result<Value, MemoryFault> {
+        let alloc = self.checked(ptr)?;
+        alloc.cells[ptr.offset as usize].ok_or(MemoryFault::UninitRead(ptr))
+    }
+
+    /// Reads one cell without requiring initialization (used by `ptr::read`
+    /// style raw copies; uninitialized reads yield `None`).
+    pub fn read_maybe_uninit(&self, ptr: Pointer) -> Result<Option<Value>, MemoryFault> {
+        let alloc = self.checked(ptr)?;
+        Ok(alloc.cells[ptr.offset as usize])
+    }
+
+    /// Writes one cell.
+    ///
+    /// # Errors
+    ///
+    /// Faults on dead allocations and out-of-bounds offsets.
+    pub fn write(&mut self, ptr: Pointer, value: Value) -> Result<(), MemoryFault> {
+        self.checked(ptr)?;
+        let alloc = self.allocations.get_mut(&ptr.alloc).expect("just checked");
+        alloc.cells[ptr.offset as usize] = Some(value);
+        Ok(())
+    }
+
+    /// Marks a cell uninitialized (move-out / drop bookkeeping).
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::write`].
+    pub fn clear(&mut self, ptr: Pointer) -> Result<(), MemoryFault> {
+        self.checked(ptr)?;
+        let alloc = self.allocations.get_mut(&ptr.alloc).expect("just checked");
+        alloc.cells[ptr.offset as usize] = None;
+        Ok(())
+    }
+
+    /// Number of live allocations of a kind (used for leak accounting).
+    pub fn live_count(&self, kind: AllocKind) -> usize {
+        self.allocations
+            .values()
+            .filter(|a| a.live && a.kind == kind)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ptr(alloc: AllocId, offset: u64) -> Pointer {
+        Pointer { alloc, offset }
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.allocate(2, AllocKind::Stack);
+        m.write(ptr(a, 0), Value::Int(7)).unwrap();
+        assert_eq!(m.read(ptr(a, 0)).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn uninit_read_faults() {
+        let mut m = Memory::new();
+        let a = m.allocate(1, AllocKind::Stack);
+        assert_eq!(
+            m.read(ptr(a, 0)),
+            Err(MemoryFault::UninitRead(ptr(a, 0)))
+        );
+        assert_eq!(m.read_maybe_uninit(ptr(a, 0)), Ok(None));
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut m = Memory::new();
+        let a = m.allocate(2, AllocKind::Heap);
+        assert_eq!(
+            m.write(ptr(a, 2), Value::Int(1)),
+            Err(MemoryFault::OutOfBounds(ptr(a, 2), 2))
+        );
+    }
+
+    #[test]
+    fn use_after_free_faults() {
+        let mut m = Memory::new();
+        let a = m.allocate(1, AllocKind::Heap);
+        m.write(ptr(a, 0), Value::Int(1)).unwrap();
+        m.free(a, true).unwrap();
+        assert_eq!(
+            m.read(ptr(a, 0)),
+            Err(MemoryFault::UseAfterFree(ptr(a, 0)))
+        );
+        assert!(!m.is_live(a));
+    }
+
+    #[test]
+    fn double_free_faults() {
+        let mut m = Memory::new();
+        let a = m.allocate(1, AllocKind::Heap);
+        m.free(a, true).unwrap();
+        assert_eq!(m.free(a, true), Err(MemoryFault::DoubleFree(a)));
+    }
+
+    #[test]
+    fn dealloc_of_stack_is_invalid_free() {
+        let mut m = Memory::new();
+        let a = m.allocate(1, AllocKind::Stack);
+        assert_eq!(m.free(a, true), Err(MemoryFault::InvalidFree(a)));
+        // StorageDead-style free of stack memory is fine.
+        assert!(m.free(a, false).is_ok());
+    }
+
+    #[test]
+    fn live_count_tracks_leaks() {
+        let mut m = Memory::new();
+        let _s = m.allocate(1, AllocKind::Stack);
+        let h1 = m.allocate(1, AllocKind::Heap);
+        let _h2 = m.allocate(1, AllocKind::Heap);
+        assert_eq!(m.live_count(AllocKind::Heap), 2);
+        m.free(h1, true).unwrap();
+        assert_eq!(m.live_count(AllocKind::Heap), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Execution outcomes and fault reports.
+
+use std::fmt;
+
+use crate::memory::MemoryFault;
+use crate::value::{Pointer, ThreadId, Value};
+
+/// One executed step, recorded when tracing is enabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Which thread stepped.
+    pub thread: ThreadId,
+    /// The function it was executing.
+    pub function: String,
+    /// Basic-block index.
+    pub block: u32,
+    /// Statement index within the block (== statement count for the
+    /// terminator).
+    pub statement: usize,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}::bb{}[{}]",
+            self.thread, self.function, self.block, self.statement
+        )
+    }
+}
+
+/// A race detected by the lockset discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The memory cell raced on.
+    pub location: Pointer,
+    /// The second (racing) accessor.
+    pub thread: ThreadId,
+    /// Whether the racing access was a write.
+    pub is_write: bool,
+}
+
+impl fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "data race: unsynchronized {} of {} by {}",
+            if self.is_write { "write" } else { "read" },
+            self.location,
+            self.thread
+        )
+    }
+}
+
+/// Why an execution stopped (or what it tripped on the way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// A memory-model violation.
+    Memory(ThreadId, MemoryFault),
+    /// All live threads are blocked.
+    Deadlock(Vec<ThreadId>),
+    /// A thread blocked on a lock it already holds.
+    SelfDeadlock(ThreadId),
+    /// `call_once` re-entered from its own initializer.
+    RecursiveOnce(ThreadId),
+    /// Explicit abort.
+    Abort(ThreadId),
+    /// The step budget ran out.
+    Timeout,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Memory(t, m) => write!(f, "{t}: {m}"),
+            Fault::Deadlock(ts) => {
+                write!(f, "deadlock: all live threads blocked (")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Fault::SelfDeadlock(t) => write!(f, "{t}: blocked on a lock it already holds"),
+            Fault::RecursiveOnce(t) => write!(f, "{t}: recursive call_once deadlock"),
+            Fault::Abort(t) => write!(f, "{t}: abort"),
+            Fault::Timeout => f.write_str("step budget exhausted"),
+        }
+    }
+}
+
+/// The result of running a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The main thread's return value, when it completed.
+    pub return_value: Option<Value>,
+    /// The first fatal fault, if execution stopped on one.
+    pub fault: Option<Fault>,
+    /// All data races observed (execution continues past races).
+    pub races: Vec<RaceReport>,
+    /// Heap allocations still live at exit (leak accounting).
+    pub leaked_heap_blocks: usize,
+    /// Steps executed.
+    pub steps: u64,
+    /// The tail of the execution trace (empty unless tracing was enabled).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl Outcome {
+    /// The return value as an integer, when the program completed cleanly.
+    pub fn return_int(&self) -> Option<i64> {
+        self.return_value.as_ref().and_then(Value::as_int)
+    }
+
+    /// Returns `true` if execution completed without fault.
+    pub fn is_clean(&self) -> bool {
+        self.fault.is_none() && self.races.is_empty()
+    }
+
+    /// The memory fault, if the outcome is one.
+    pub fn memory_fault(&self) -> Option<&MemoryFault> {
+        match &self.fault {
+            Some(Fault::Memory(_, m)) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if execution deadlocked (including self-deadlock and
+    /// recursive once).
+    pub fn deadlocked(&self) -> bool {
+        matches!(
+            self.fault,
+            Some(Fault::Deadlock(_) | Fault::SelfDeadlock(_) | Fault::RecursiveOnce(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AllocId;
+
+    #[test]
+    fn outcome_helpers() {
+        let clean = Outcome {
+            return_value: Some(Value::Int(3)),
+            fault: None,
+            races: vec![],
+            leaked_heap_blocks: 0,
+            steps: 10,
+            trace: vec![],
+        };
+        assert!(clean.is_clean());
+        assert_eq!(clean.return_int(), Some(3));
+        assert!(!clean.deadlocked());
+
+        let dead = Outcome {
+            return_value: None,
+            fault: Some(Fault::SelfDeadlock(ThreadId(0))),
+            races: vec![],
+            leaked_heap_blocks: 0,
+            steps: 5,
+            trace: vec![],
+        };
+        assert!(dead.deadlocked());
+        assert!(!dead.is_clean());
+    }
+
+    #[test]
+    fn displays_are_descriptive() {
+        let f = Fault::Memory(
+            ThreadId(1),
+            MemoryFault::UseAfterFree(Pointer {
+                alloc: AllocId(2),
+                offset: 0,
+            }),
+        );
+        assert!(f.to_string().contains("use after free"));
+        let d = Fault::Deadlock(vec![ThreadId(0), ThreadId(1)]);
+        assert!(d.to_string().contains("t0, t1"));
+        let r = RaceReport {
+            location: Pointer {
+                alloc: AllocId(0),
+                offset: 1,
+            },
+            thread: ThreadId(2),
+            is_write: true,
+        };
+        assert!(r.to_string().contains("write"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Eraser-style lockset race detection.
+//!
+//! The classic discipline (Savage et al., cited by the paper as [67]):
+//! every shared location should be consistently protected by some lock.
+//! Each cell carries a state machine (virgin → exclusive → shared →
+//! shared-modified) and a candidate lockset that is intersected with the
+//! accessor's held locks; an empty candidate set in the shared-modified
+//! state is a race.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::outcome::RaceReport;
+use crate::value::{Pointer, SyncId, ThreadId};
+
+/// Per-cell monitoring state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CellState {
+    /// Never accessed.
+    Virgin,
+    /// Accessed by a single thread so far.
+    Exclusive(ThreadId),
+    /// Read-shared by multiple threads.
+    Shared,
+    /// Written by multiple threads.
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct CellInfo {
+    state: CellState,
+    candidate_locks: Option<BTreeSet<SyncId>>, // None = not yet constrained
+    reported: bool,
+}
+
+/// The lockset race detector.
+#[derive(Debug, Default)]
+pub struct LocksetDetector {
+    cells: BTreeMap<Pointer, CellInfo>,
+    races: Vec<RaceReport>,
+}
+
+impl LocksetDetector {
+    /// A fresh detector.
+    pub fn new() -> LocksetDetector {
+        LocksetDetector::default()
+    }
+
+    /// Records an access and reports a race if the discipline is violated.
+    pub fn on_access(
+        &mut self,
+        location: Pointer,
+        thread: ThreadId,
+        held: &BTreeSet<SyncId>,
+        is_write: bool,
+    ) {
+        let info = self.cells.entry(location).or_insert(CellInfo {
+            state: CellState::Virgin,
+            candidate_locks: None,
+            reported: false,
+        });
+
+        // State transition.
+        info.state = match (&info.state, is_write) {
+            (CellState::Virgin, _) => CellState::Exclusive(thread),
+            (CellState::Exclusive(t), _) if *t == thread => CellState::Exclusive(thread),
+            (CellState::Exclusive(_), false) => CellState::Shared,
+            (CellState::Exclusive(_), true) => CellState::SharedModified,
+            (CellState::Shared, false) => CellState::Shared,
+            (CellState::Shared, true) => CellState::SharedModified,
+            (CellState::SharedModified, _) => CellState::SharedModified,
+        };
+
+        // Candidate lockset: seeded by the first access's held locks and
+        // intersected on every subsequent access (Eraser's C(v)).
+        match &mut info.candidate_locks {
+            None => info.candidate_locks = Some(held.clone()),
+            Some(c) => {
+                *c = c.intersection(held).copied().collect();
+            }
+        }
+        if matches!(info.state, CellState::SharedModified)
+            && info.candidate_locks.as_ref().is_some_and(BTreeSet::is_empty)
+            && !info.reported
+        {
+            info.reported = true;
+            self.races.push(RaceReport {
+                location,
+                thread,
+                is_write,
+            });
+        }
+    }
+
+    /// All races reported so far.
+    pub fn races(&self) -> &[RaceReport] {
+        &self.races
+    }
+
+    /// Takes ownership of the reports.
+    pub fn into_races(self) -> Vec<RaceReport> {
+        self.races
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::AllocId;
+
+    fn ptr() -> Pointer {
+        Pointer {
+            alloc: AllocId(0),
+            offset: 0,
+        }
+    }
+
+    fn locks(ids: &[u32]) -> BTreeSet<SyncId> {
+        ids.iter().map(|&i| SyncId(i)).collect()
+    }
+
+    #[test]
+    fn single_thread_access_is_never_a_race() {
+        let mut d = LocksetDetector::new();
+        for _ in 0..3 {
+            d.on_access(ptr(), ThreadId(0), &locks(&[]), true);
+        }
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn unprotected_cross_thread_write_races() {
+        let mut d = LocksetDetector::new();
+        d.on_access(ptr(), ThreadId(0), &locks(&[]), true);
+        d.on_access(ptr(), ThreadId(1), &locks(&[]), true);
+        assert_eq!(d.races().len(), 1);
+        assert_eq!(d.races()[0].thread, ThreadId(1));
+    }
+
+    #[test]
+    fn consistently_locked_writes_are_clean() {
+        let mut d = LocksetDetector::new();
+        d.on_access(ptr(), ThreadId(0), &locks(&[7]), true);
+        d.on_access(ptr(), ThreadId(1), &locks(&[7]), true);
+        d.on_access(ptr(), ThreadId(0), &locks(&[7]), true);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_locks_race() {
+        let mut d = LocksetDetector::new();
+        d.on_access(ptr(), ThreadId(0), &locks(&[1]), true);
+        d.on_access(ptr(), ThreadId(1), &locks(&[2]), true);
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn read_sharing_without_writes_is_clean() {
+        let mut d = LocksetDetector::new();
+        d.on_access(ptr(), ThreadId(0), &locks(&[]), false);
+        d.on_access(ptr(), ThreadId(1), &locks(&[]), false);
+        d.on_access(ptr(), ThreadId(2), &locks(&[]), false);
+        assert!(d.races().is_empty());
+    }
+
+    #[test]
+    fn each_cell_reports_at_most_once() {
+        let mut d = LocksetDetector::new();
+        d.on_access(ptr(), ThreadId(0), &locks(&[]), true);
+        d.on_access(ptr(), ThreadId(1), &locks(&[]), true);
+        d.on_access(ptr(), ThreadId(0), &locks(&[]), true);
+        d.on_access(ptr(), ThreadId(1), &locks(&[]), true);
+        assert_eq!(d.races().len(), 1);
+    }
+}

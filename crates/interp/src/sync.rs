@@ -1,0 +1,148 @@
+//! Runtime synchronization objects: mutexes, rwlocks, condvars, channels,
+//! once cells, and atomics.
+
+use std::collections::VecDeque;
+
+use crate::memory::AllocId;
+use crate::value::{SyncId, ThreadId, Value};
+
+/// State of a mutual-exclusion lock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockState {
+    /// Nobody holds it.
+    Unlocked,
+    /// Held exclusively by a thread (mutex lock or rwlock write).
+    Exclusive(ThreadId),
+    /// Held shared by readers (rwlock read).
+    Shared(Vec<ThreadId>),
+}
+
+/// One synchronization object.
+#[derive(Debug, Clone)]
+pub enum SyncObject {
+    /// A `Mutex<T>`/`RwLock<T>` and the allocation of the protected data.
+    Lock {
+        /// Current holder(s).
+        state: LockState,
+        /// Storage of the protected value.
+        data: AllocId,
+        /// Whether shared (read) locking is allowed.
+        is_rwlock: bool,
+    },
+    /// A condition variable with its wait queue.
+    Condvar {
+        /// Threads blocked in `wait`, with the lock they must reacquire.
+        waiters: Vec<(ThreadId, SyncId)>,
+    },
+    /// A channel.
+    Channel {
+        /// Buffered values.
+        queue: VecDeque<Value>,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
+    },
+    /// A `Once`.
+    Once {
+        /// Lifecycle state.
+        state: OnceState,
+    },
+    /// An atomic integer.
+    Atomic {
+        /// Current value.
+        value: i64,
+    },
+}
+
+/// Lifecycle of a `Once`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnceState {
+    /// Initializer has not run.
+    Fresh,
+    /// Initializer is running on a thread.
+    Running(ThreadId),
+    /// Initialization completed.
+    Done,
+}
+
+/// The registry of all synchronization objects.
+#[derive(Debug, Default)]
+pub struct SyncRegistry {
+    objects: Vec<SyncObject>,
+}
+
+impl SyncRegistry {
+    /// An empty registry.
+    pub fn new() -> SyncRegistry {
+        SyncRegistry::default()
+    }
+
+    /// Registers an object, returning its id.
+    pub fn insert(&mut self, obj: SyncObject) -> SyncId {
+        self.objects.push(obj);
+        SyncId((self.objects.len() - 1) as u32)
+    }
+
+    /// Immutable access.
+    pub fn get(&self, id: SyncId) -> &SyncObject {
+        &self.objects[id.0 as usize]
+    }
+
+    /// Mutable access.
+    pub fn get_mut(&mut self, id: SyncId) -> &mut SyncObject {
+        &mut self.objects[id.0 as usize]
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_hands_out_sequential_ids() {
+        let mut r = SyncRegistry::new();
+        assert!(r.is_empty());
+        let a = r.insert(SyncObject::Atomic { value: 0 });
+        let b = r.insert(SyncObject::Once {
+            state: OnceState::Fresh,
+        });
+        assert_eq!(a, SyncId(0));
+        assert_eq!(b, SyncId(1));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn objects_are_mutable_in_place() {
+        let mut r = SyncRegistry::new();
+        let id = r.insert(SyncObject::Atomic { value: 1 });
+        if let SyncObject::Atomic { value } = r.get_mut(id) {
+            *value = 5;
+        }
+        assert!(matches!(r.get(id), SyncObject::Atomic { value: 5 }));
+    }
+
+    #[test]
+    fn channel_queue_behaves_fifo() {
+        let mut r = SyncRegistry::new();
+        let id = r.insert(SyncObject::Channel {
+            queue: VecDeque::new(),
+            capacity: Some(2),
+        });
+        if let SyncObject::Channel { queue, .. } = r.get_mut(id) {
+            queue.push_back(Value::Int(1));
+            queue.push_back(Value::Int(2));
+        }
+        if let SyncObject::Channel { queue, .. } = r.get_mut(id) {
+            assert_eq!(queue.pop_front(), Some(Value::Int(1)));
+        }
+    }
+}

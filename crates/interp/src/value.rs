@@ -1,0 +1,146 @@
+//! Runtime values.
+
+use std::fmt;
+
+use crate::memory::AllocId;
+
+/// A pointer into an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pointer {
+    /// The allocation referenced.
+    pub alloc: AllocId,
+    /// Cell offset within the allocation.
+    pub offset: u64,
+}
+
+impl fmt::Display for Pointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.alloc, self.offset)
+    }
+}
+
+/// Identifier of a synchronization object in the machine's registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SyncId(pub u32);
+
+impl fmt::Display for SyncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sync{}", self.0)
+    }
+}
+
+/// Identifier of a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub u32);
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// How a guard holds its lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GuardKind {
+    /// Exclusive mutex guard.
+    Mutex,
+    /// Shared rwlock guard.
+    Read,
+    /// Exclusive rwlock guard.
+    Write,
+}
+
+/// One scalar runtime value (one memory cell).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// An integer (also used for booleans: 0/1).
+    Int(i64),
+    /// A pointer or reference.
+    Ptr(Pointer),
+    /// The null raw pointer.
+    NullPtr,
+    /// A function value.
+    Fn(u32),
+    /// Handle to a mutex/rwlock/condvar/channel/once/atomic.
+    Sync(SyncId),
+    /// A lock guard: dropping it releases the lock.
+    Guard(SyncId, GuardKind),
+    /// A join handle for a thread.
+    Thread(ThreadId),
+    /// A reference-counted handle to a shared allocation whose cell 0 is
+    /// the strong count and cell 1.. the value.
+    Arc(crate::memory::AllocId),
+}
+
+impl Value {
+    /// The integer payload, treating booleans as 0/1.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::NullPtr => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The pointer payload, if any.
+    pub fn as_ptr(&self) -> Option<Pointer> {
+        match self {
+            Value::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for `switchInt` discriminants.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Int(0) | Value::NullPtr | Value::Unit)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => f.write_str("()"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Ptr(p) => write!(f, "&{p}"),
+            Value::NullPtr => f.write_str("null"),
+            Value::Fn(i) => write!(f, "fn#{i}"),
+            Value::Sync(s) => write!(f, "{s}"),
+            Value::Guard(s, _) => write!(f, "guard({s})"),
+            Value::Thread(t) => write!(f, "handle({t})"),
+            Value::Arc(a) => write!(f, "arc({a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_payloads() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::NullPtr.as_int(), Some(0));
+        assert_eq!(Value::Unit.as_int(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(!Value::NullPtr.truthy());
+        assert!(!Value::Unit.truthy());
+        assert!(Value::Thread(ThreadId(0)).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Pointer {
+            alloc: AllocId(3),
+            offset: 2,
+        };
+        assert_eq!(Value::Ptr(p).to_string(), "&a3+2");
+        assert_eq!(Value::Guard(SyncId(1), GuardKind::Mutex).to_string(), "guard(sync1)");
+    }
+}

@@ -1,0 +1,481 @@
+//! Fluent construction of function bodies.
+//!
+//! [`BodyBuilder`] keeps a *current block* cursor; statement methods append
+//! to it, terminator methods seal it. Convenience `*_cont` methods seal the
+//! current block with a terminator that falls through into a freshly created
+//! block and move the cursor there — the common shape for calls and drops.
+//!
+//! ```
+//! use rstudy_mir::build::BodyBuilder;
+//! use rstudy_mir::{Intrinsic, Operand, Rvalue, Ty};
+//!
+//! // fn main() { let m = mutex::new(0); let g = mutex::lock(&m); }
+//! let mut b = BodyBuilder::new("main", 0, Ty::Unit);
+//! let m = b.local("m", Ty::Mutex(Box::new(Ty::Int)));
+//! let g = b.local("g", Ty::Guard(Box::new(Ty::Int)));
+//! b.storage_live(m);
+//! b.call_intrinsic_cont(Intrinsic::MutexNew, vec![Operand::int(0)], m);
+//! b.storage_live(g);
+//! let mref = b.temp_assign(Ty::shared_ref(Ty::Mutex(Box::new(Ty::Int))),
+//!                          Rvalue::Ref(Default::default(), m.into()));
+//! b.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(mref)], g);
+//! b.storage_dead(g);
+//! b.storage_dead(m);
+//! b.ret();
+//! let body = b.finish();
+//! assert_eq!(body.blocks.len(), 3);
+//! ```
+
+use crate::source::{Safety, SourceInfo, Span};
+use crate::syntax::{
+    BasicBlock, BasicBlockData, Body, Callee, Local, LocalDecl, Operand, Place, Rvalue, Statement,
+    StatementKind, Terminator, TerminatorKind,
+};
+use crate::ty::Ty;
+use crate::Intrinsic;
+
+/// Incremental builder for a [`Body`].
+#[derive(Debug)]
+pub struct BodyBuilder {
+    name: String,
+    arg_count: usize,
+    locals: Vec<LocalDecl>,
+    blocks: Vec<BasicBlockData>,
+    current: BasicBlock,
+    safety: Safety,
+    span: Span,
+    is_unsafe_fn: bool,
+}
+
+impl BodyBuilder {
+    /// Starts a body named `name` with `arg_count` arguments still to be
+    /// declared via [`BodyBuilder::arg`], and return type `ret_ty`.
+    ///
+    /// The entry block `bb0` is created and selected.
+    pub fn new(name: impl Into<String>, arg_count: usize, ret_ty: Ty) -> BodyBuilder {
+        BodyBuilder {
+            name: name.into(),
+            arg_count,
+            locals: vec![LocalDecl::temp(ret_ty)],
+            blocks: vec![BasicBlockData::new()],
+            current: BasicBlock::ENTRY,
+            safety: Safety::Safe,
+            span: Span::SYNTHETIC,
+            is_unsafe_fn: false,
+        }
+    }
+
+    /// Marks the function as an `unsafe fn`; all of its statements are
+    /// considered to execute in an unsafe context.
+    pub fn unsafe_fn(&mut self) -> &mut Self {
+        self.is_unsafe_fn = true;
+        self.safety = Safety::Unsafe;
+        self
+    }
+
+    /// Declares the next argument local. Must be called exactly `arg_count`
+    /// times before any non-argument local is declared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all declared arguments have already been supplied or if a
+    /// temporary was declared first.
+    pub fn arg(&mut self, name: impl Into<String>, ty: Ty) -> Local {
+        assert!(
+            self.locals.len() <= self.arg_count,
+            "argument declared after non-argument locals"
+        );
+        self.locals.push(LocalDecl::named(name, ty));
+        Local((self.locals.len() - 1) as u32)
+    }
+
+    /// Declares a named local variable.
+    pub fn local(&mut self, name: impl Into<String>, ty: Ty) -> Local {
+        assert!(
+            self.locals.len() > self.arg_count,
+            "declare all {} argument(s) first",
+            self.arg_count
+        );
+        self.locals.push(LocalDecl::named(name, ty));
+        Local((self.locals.len() - 1) as u32)
+    }
+
+    /// Declares an anonymous temporary.
+    pub fn temp(&mut self, ty: Ty) -> Local {
+        assert!(
+            self.locals.len() > self.arg_count,
+            "declare all {} argument(s) first",
+            self.arg_count
+        );
+        self.locals.push(LocalDecl::temp(ty));
+        Local((self.locals.len() - 1) as u32)
+    }
+
+    /// Declares a temporary, makes it live, and assigns `rv` to it.
+    pub fn temp_assign(&mut self, ty: Ty, rv: Rvalue) -> Local {
+        let t = self.temp(ty);
+        self.storage_live(t);
+        self.assign(t, rv);
+        t
+    }
+
+    // --- context ---------------------------------------------------------
+
+    /// Sets the safety context for subsequently pushed nodes.
+    pub fn set_safety(&mut self, safety: Safety) -> &mut Self {
+        self.safety = safety;
+        self
+    }
+
+    /// Runs `f` with the safety context set to `Unsafe`, then restores it —
+    /// the builder analogue of an `unsafe { .. }` block.
+    pub fn in_unsafe<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        let saved = self.safety;
+        self.safety = Safety::Unsafe;
+        let out = f(self);
+        self.safety = saved;
+        out
+    }
+
+    /// Sets the source line attached to subsequently pushed nodes.
+    pub fn at_line(&mut self, line: u32) -> &mut Self {
+        self.span = if line == 0 {
+            Span::SYNTHETIC
+        } else {
+            Span::new(line, 1)
+        };
+        self
+    }
+
+    fn info(&self) -> SourceInfo {
+        SourceInfo::new(self.span, self.safety)
+    }
+
+    // --- blocks ------------------------------------------------------------
+
+    /// Creates a new, empty block without selecting it.
+    pub fn new_block(&mut self) -> BasicBlock {
+        self.blocks.push(BasicBlockData::new());
+        BasicBlock((self.blocks.len() - 1) as u32)
+    }
+
+    /// Selects the block that subsequent statements append to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bb` is out of range or already sealed with a terminator.
+    pub fn switch_to(&mut self, bb: BasicBlock) {
+        assert!(bb.index() < self.blocks.len(), "no such block {bb}");
+        assert!(
+            self.blocks[bb.index()].terminator.is_none(),
+            "block {bb} is already terminated"
+        );
+        self.current = bb;
+    }
+
+    /// The currently selected block.
+    pub fn current_block(&self) -> BasicBlock {
+        self.current
+    }
+
+    // --- statements --------------------------------------------------------
+
+    fn push(&mut self, kind: StatementKind) {
+        let info = self.info();
+        let cur = self.current.index();
+        assert!(
+            self.blocks[cur].terminator.is_none(),
+            "pushing statement into terminated block bb{cur}"
+        );
+        self.blocks[cur].statements.push(Statement {
+            kind,
+            source_info: info,
+        });
+    }
+
+    /// Appends `place = rv`, where `place` may be a bare local.
+    pub fn assign(&mut self, place: impl Into<Place>, rv: Rvalue) {
+        self.push(StatementKind::Assign(place.into(), rv));
+    }
+
+    /// Appends `place = rv` for an already-projected place (alias of
+    /// [`BodyBuilder::assign`], kept for call-site clarity).
+    pub fn assign_place(&mut self, place: Place, rv: Rvalue) {
+        self.push(StatementKind::Assign(place, rv));
+    }
+
+    /// Appends `StorageLive(local)`.
+    pub fn storage_live(&mut self, local: Local) {
+        self.push(StatementKind::StorageLive(local));
+    }
+
+    /// Appends `StorageDead(local)`.
+    pub fn storage_dead(&mut self, local: Local) {
+        self.push(StatementKind::StorageDead(local));
+    }
+
+    /// Appends a no-op.
+    pub fn nop(&mut self) {
+        self.push(StatementKind::Nop);
+    }
+
+    // --- terminators -----------------------------------------------------
+
+    fn terminate(&mut self, kind: TerminatorKind) {
+        let info = self.info();
+        let cur = self.current.index();
+        assert!(
+            self.blocks[cur].terminator.is_none(),
+            "block bb{cur} terminated twice"
+        );
+        self.blocks[cur].terminator = Some(Terminator {
+            kind,
+            source_info: info,
+        });
+    }
+
+    /// Seals the current block with `Goto -> target`.
+    pub fn goto(&mut self, target: BasicBlock) {
+        self.terminate(TerminatorKind::Goto { target });
+    }
+
+    /// Seals the current block with a goto into a fresh block and selects it.
+    pub fn goto_cont(&mut self) -> BasicBlock {
+        let next = self.new_block();
+        self.goto(next);
+        self.current = next;
+        next
+    }
+
+    /// Seals the current block with a `SwitchInt`.
+    pub fn switch_int(
+        &mut self,
+        discr: Operand,
+        targets: Vec<(i64, BasicBlock)>,
+        otherwise: BasicBlock,
+    ) {
+        self.terminate(TerminatorKind::SwitchInt {
+            discr,
+            targets,
+            otherwise,
+        });
+    }
+
+    /// Seals the current block with an if/else on a boolean operand,
+    /// returning `(then_block, else_block)`. Neither is selected.
+    pub fn branch_bool(&mut self, discr: Operand) -> (BasicBlock, BasicBlock) {
+        let then_bb = self.new_block();
+        let else_bb = self.new_block();
+        self.switch_int(discr, vec![(1, then_bb)], else_bb);
+        (then_bb, else_bb)
+    }
+
+    /// Seals the current block with a call terminator.
+    pub fn call(
+        &mut self,
+        func: Callee,
+        args: Vec<Operand>,
+        destination: impl Into<Place>,
+        target: Option<BasicBlock>,
+    ) {
+        self.terminate(TerminatorKind::Call {
+            func,
+            args,
+            destination: destination.into(),
+            target,
+        });
+    }
+
+    /// Calls a named function and continues in a fresh block (selected).
+    pub fn call_fn_cont(
+        &mut self,
+        name: impl Into<String>,
+        args: Vec<Operand>,
+        destination: impl Into<Place>,
+    ) -> BasicBlock {
+        let next = self.new_block();
+        self.call(Callee::Fn(name.into()), args, destination, Some(next));
+        self.current = next;
+        next
+    }
+
+    /// Calls an intrinsic and continues in a fresh block (selected).
+    pub fn call_intrinsic_cont(
+        &mut self,
+        intrinsic: Intrinsic,
+        args: Vec<Operand>,
+        destination: impl Into<Place>,
+    ) -> BasicBlock {
+        let next = self.new_block();
+        self.call(Callee::Intrinsic(intrinsic), args, destination, Some(next));
+        self.current = next;
+        next
+    }
+
+    /// Seals the current block with `Drop(place) -> target`.
+    pub fn drop_place(&mut self, place: impl Into<Place>, target: BasicBlock) {
+        self.terminate(TerminatorKind::Drop {
+            place: place.into(),
+            target,
+        });
+    }
+
+    /// Drops a place and continues in a fresh block (selected).
+    pub fn drop_cont(&mut self, place: impl Into<Place>) -> BasicBlock {
+        let next = self.new_block();
+        self.drop_place(place, next);
+        self.current = next;
+        next
+    }
+
+    /// Seals the current block with `Return`.
+    pub fn ret(&mut self) {
+        self.terminate(TerminatorKind::Return);
+    }
+
+    /// Seals the current block with `Unreachable`.
+    pub fn unreachable(&mut self) {
+        self.terminate(TerminatorKind::Unreachable);
+    }
+
+    // --- finish -----------------------------------------------------------
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declared argument count was not satisfied or any block
+    /// lacks a terminator.
+    pub fn finish(self) -> Body {
+        assert!(
+            self.locals.len() > self.arg_count,
+            "{}: {} argument(s) declared but never supplied",
+            self.name,
+            self.arg_count
+        );
+        for (i, b) in self.blocks.iter().enumerate() {
+            assert!(
+                b.terminator.is_some(),
+                "{}: block bb{i} has no terminator",
+                self.name
+            );
+        }
+        Body {
+            name: self.name,
+            arg_count: self.arg_count,
+            locals: self.locals,
+            blocks: self.blocks,
+            is_unsafe_fn: self.is_unsafe_fn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Const;
+
+    #[test]
+    fn builds_straightline_body() {
+        let mut b = BodyBuilder::new("f", 1, Ty::Int);
+        let x = b.arg("x", Ty::Int);
+        let t = b.local("t", Ty::Int);
+        b.storage_live(t);
+        b.assign(
+            t,
+            Rvalue::BinaryOp(
+                crate::syntax::BinOp::Add,
+                Operand::copy(x),
+                Operand::int(1),
+            ),
+        );
+        b.assign_place(Place::RETURN, Rvalue::Use(Operand::copy(t)));
+        b.storage_dead(t);
+        b.ret();
+        let body = b.finish();
+        assert_eq!(body.arg_count, 1);
+        assert_eq!(body.locals.len(), 3);
+        assert_eq!(body.blocks.len(), 1);
+        assert_eq!(body.block(BasicBlock::ENTRY).statements.len(), 4);
+    }
+
+    #[test]
+    fn unsafe_context_is_recorded_and_restored() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.nop();
+        b.in_unsafe(|b| b.nop());
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        let stmts = &body.block(BasicBlock::ENTRY).statements;
+        assert!(!stmts[0].source_info.safety.is_unsafe());
+        assert!(stmts[1].source_info.safety.is_unsafe());
+        assert!(!stmts[2].source_info.safety.is_unsafe());
+    }
+
+    #[test]
+    fn unsafe_fn_marks_everything_unsafe() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.unsafe_fn();
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        assert!(body.is_unsafe_fn);
+        assert!(body.block(BasicBlock::ENTRY).statements[0]
+            .source_info
+            .safety
+            .is_unsafe());
+    }
+
+    #[test]
+    fn branch_bool_creates_two_arms() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let c = b.temp_assign(Ty::Bool, Rvalue::Use(Operand::constant(Const::Bool(true))));
+        let (then_bb, else_bb) = b.branch_bool(Operand::copy(c));
+        b.switch_to(then_bb);
+        b.ret();
+        b.switch_to(else_bb);
+        b.ret();
+        let body = b.finish();
+        assert_eq!(body.blocks.len(), 3);
+        let succ = body.block(BasicBlock::ENTRY).terminator().kind.successors();
+        assert_eq!(succ, vec![then_bb, else_bb]);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no terminator")]
+    fn finish_rejects_unterminated_blocks() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.nop();
+        let _ = b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_terminate_panics() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.ret();
+        b.ret();
+    }
+
+    #[test]
+    #[should_panic(expected = "argument(s) first")]
+    fn locals_before_args_panic() {
+        let mut b = BodyBuilder::new("f", 1, Ty::Unit);
+        let _ = b.local("x", Ty::Int);
+    }
+
+    #[test]
+    fn line_annotations_attach_to_spans() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.at_line(7);
+        b.nop();
+        b.at_line(0);
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        let stmts = &body.block(BasicBlock::ENTRY).statements;
+        assert_eq!(stmts[0].source_info.span.line, 7);
+        assert!(stmts[1].source_info.span.is_synthetic());
+    }
+}

@@ -1,0 +1,305 @@
+//! Modelled library intrinsics.
+//!
+//! Real Rust programs in the study misuse `std` synchronization and memory
+//! APIs; our IR models those APIs as *intrinsics* — callees with well-known
+//! names and semantics shared by the static analyses (`rstudy-analysis`,
+//! `rstudy-core`) and the dynamic interpreter (`rstudy-interp`).
+//!
+//! Naming follows the `module::function` convention of the textual format,
+//! e.g. `mutex::lock` or `ptr::read`.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A modelled standard-library operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Intrinsic {
+    // --- heap memory -----------------------------------------------------
+    /// `alloc(n)` — allocate `n` cells, returning a raw pointer.
+    Alloc,
+    /// `dealloc(ptr)` — free an allocation.
+    Dealloc,
+    /// `ptr::read(ptr)` — read through a raw pointer *without* moving
+    /// (the double-free pattern of the study duplicates ownership this way).
+    PtrRead,
+    /// `ptr::write(ptr, v)` — write through a raw pointer without dropping
+    /// the previous value.
+    PtrWrite,
+    /// `ptr::copy_nonoverlapping(src, dst, n)` — unsafe memcpy.
+    PtrCopyNonoverlapping,
+    /// `mem::drop(v)` — explicitly drop a value (releases lock guards).
+    MemDrop,
+    /// `mem::forget(v)` — discard a value without running its destructor.
+    MemForget,
+    /// `mem::uninitialized()` — produce an uninitialized value.
+    MemUninitialized,
+
+    // --- locks ------------------------------------------------------------
+    /// `mutex::new(v)` — create a mutex.
+    MutexNew,
+    /// `mutex::lock(&m)` — acquire; returns a guard released on drop.
+    MutexLock,
+    /// `rwlock::new(v)` — create a reader-writer lock.
+    RwLockNew,
+    /// `rwlock::read(&l)` — acquire shared; returns a guard.
+    RwLockRead,
+    /// `rwlock::write(&l)` — acquire exclusive; returns a guard.
+    RwLockWrite,
+
+    // --- condition variables ----------------------------------------------
+    /// `condvar::new()`.
+    CondvarNew,
+    /// `condvar::wait(&cv, guard)` — atomically release and reacquire.
+    CondvarWait,
+    /// `condvar::notify_one(&cv)`.
+    CondvarNotifyOne,
+    /// `condvar::notify_all(&cv)`.
+    CondvarNotifyAll,
+
+    // --- channels -----------------------------------------------------------
+    /// `channel::unbounded()` — create an unbounded channel.
+    ChannelUnbounded,
+    /// `channel::bounded(cap)` — create a bounded channel.
+    ChannelBounded,
+    /// `channel::send(&ch, v)` — send; blocks when a bounded buffer is full.
+    ChannelSend,
+    /// `channel::recv(&ch)` — receive; blocks on an empty channel.
+    ChannelRecv,
+
+    // --- once ----------------------------------------------------------------
+    /// `once::new()`.
+    OnceNew,
+    /// `once::call_once(&o, fn)` — run the closure exactly once.
+    OnceCallOnce,
+
+    // --- atomics ---------------------------------------------------------
+    /// `atomic::new(v)`.
+    AtomicNew,
+    /// `atomic::load(&a)`.
+    AtomicLoad,
+    /// `atomic::store(&a, v)`.
+    AtomicStore,
+    /// `atomic::compare_and_swap(&a, old, new)` — returns the previous value.
+    AtomicCas,
+    /// `atomic::fetch_add(&a, v)` — returns the previous value.
+    AtomicFetchAdd,
+
+    // --- reference counting -------------------------------------------------
+    /// `arc::new(v)` — allocate a reference-counted shared value.
+    ArcNew,
+    /// `arc::clone(a)` — bump the count, return another handle.
+    ArcClone,
+
+    // --- threads -----------------------------------------------------------
+    /// `thread::spawn(fn, arg)` — start a thread; returns a join handle.
+    ThreadSpawn,
+    /// `thread::join(handle)` — wait for a thread and take its result.
+    ThreadJoin,
+    /// `thread::yield_now()` — scheduling hint.
+    ThreadYield,
+
+    // --- misc ---------------------------------------------------------------
+    /// `process::abort()` — terminate the program.
+    Abort,
+    /// `ffi::extern_call(..)` — an opaque call into non-Rust code.
+    ExternCall,
+}
+
+impl Intrinsic {
+    /// All intrinsics, for exhaustive table-driven tests.
+    pub const ALL: &'static [Intrinsic] = &[
+        Intrinsic::Alloc,
+        Intrinsic::Dealloc,
+        Intrinsic::PtrRead,
+        Intrinsic::PtrWrite,
+        Intrinsic::PtrCopyNonoverlapping,
+        Intrinsic::MemDrop,
+        Intrinsic::MemForget,
+        Intrinsic::MemUninitialized,
+        Intrinsic::MutexNew,
+        Intrinsic::MutexLock,
+        Intrinsic::RwLockNew,
+        Intrinsic::RwLockRead,
+        Intrinsic::RwLockWrite,
+        Intrinsic::CondvarNew,
+        Intrinsic::CondvarWait,
+        Intrinsic::CondvarNotifyOne,
+        Intrinsic::CondvarNotifyAll,
+        Intrinsic::ChannelUnbounded,
+        Intrinsic::ChannelBounded,
+        Intrinsic::ChannelSend,
+        Intrinsic::ChannelRecv,
+        Intrinsic::OnceNew,
+        Intrinsic::OnceCallOnce,
+        Intrinsic::AtomicNew,
+        Intrinsic::AtomicLoad,
+        Intrinsic::AtomicStore,
+        Intrinsic::AtomicCas,
+        Intrinsic::AtomicFetchAdd,
+        Intrinsic::ArcNew,
+        Intrinsic::ArcClone,
+        Intrinsic::ThreadSpawn,
+        Intrinsic::ThreadJoin,
+        Intrinsic::ThreadYield,
+        Intrinsic::Abort,
+        Intrinsic::ExternCall,
+    ];
+
+    /// The `module::function` name used by the textual format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Alloc => "alloc",
+            Intrinsic::Dealloc => "dealloc",
+            Intrinsic::PtrRead => "ptr::read",
+            Intrinsic::PtrWrite => "ptr::write",
+            Intrinsic::PtrCopyNonoverlapping => "ptr::copy_nonoverlapping",
+            Intrinsic::MemDrop => "mem::drop",
+            Intrinsic::MemForget => "mem::forget",
+            Intrinsic::MemUninitialized => "mem::uninitialized",
+            Intrinsic::MutexNew => "mutex::new",
+            Intrinsic::MutexLock => "mutex::lock",
+            Intrinsic::RwLockNew => "rwlock::new",
+            Intrinsic::RwLockRead => "rwlock::read",
+            Intrinsic::RwLockWrite => "rwlock::write",
+            Intrinsic::CondvarNew => "condvar::new",
+            Intrinsic::CondvarWait => "condvar::wait",
+            Intrinsic::CondvarNotifyOne => "condvar::notify_one",
+            Intrinsic::CondvarNotifyAll => "condvar::notify_all",
+            Intrinsic::ChannelUnbounded => "channel::unbounded",
+            Intrinsic::ChannelBounded => "channel::bounded",
+            Intrinsic::ChannelSend => "channel::send",
+            Intrinsic::ChannelRecv => "channel::recv",
+            Intrinsic::OnceNew => "once::new",
+            Intrinsic::OnceCallOnce => "once::call_once",
+            Intrinsic::AtomicNew => "atomic::new",
+            Intrinsic::AtomicLoad => "atomic::load",
+            Intrinsic::AtomicStore => "atomic::store",
+            Intrinsic::AtomicCas => "atomic::compare_and_swap",
+            Intrinsic::AtomicFetchAdd => "atomic::fetch_add",
+            Intrinsic::ArcNew => "arc::new",
+            Intrinsic::ArcClone => "arc::clone",
+            Intrinsic::ThreadSpawn => "thread::spawn",
+            Intrinsic::ThreadJoin => "thread::join",
+            Intrinsic::ThreadYield => "thread::yield_now",
+            Intrinsic::Abort => "process::abort",
+            Intrinsic::ExternCall => "ffi::extern_call",
+        }
+    }
+
+    /// Returns `true` if calling this intrinsic requires an unsafe context
+    /// in the modelled surface language.
+    pub fn is_unsafe(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Alloc
+                | Intrinsic::Dealloc
+                | Intrinsic::PtrRead
+                | Intrinsic::PtrWrite
+                | Intrinsic::PtrCopyNonoverlapping
+                | Intrinsic::MemUninitialized
+                | Intrinsic::ExternCall
+        )
+    }
+
+    /// Returns `true` for the lock-acquiring intrinsics whose returned
+    /// guards the double-lock detector tracks.
+    pub fn acquires_lock(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::MutexLock | Intrinsic::RwLockRead | Intrinsic::RwLockWrite
+        )
+    }
+
+    /// Returns `true` if this operation can block the calling thread.
+    pub fn may_block(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::MutexLock
+                | Intrinsic::RwLockRead
+                | Intrinsic::RwLockWrite
+                | Intrinsic::CondvarWait
+                | Intrinsic::ChannelSend
+                | Intrinsic::ChannelRecv
+                | Intrinsic::OnceCallOnce
+                | Intrinsic::ThreadJoin
+        )
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a name does not denote an intrinsic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownIntrinsic(pub String);
+
+impl fmt::Display for UnknownIntrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown intrinsic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownIntrinsic {}
+
+impl FromStr for Intrinsic {
+    type Err = UnknownIntrinsic;
+
+    fn from_str(s: &str) -> Result<Intrinsic, UnknownIntrinsic> {
+        Intrinsic::ALL
+            .iter()
+            .copied()
+            .find(|i| i.name() == s)
+            .ok_or_else(|| UnknownIntrinsic(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_for_all_intrinsics() {
+        for &i in Intrinsic::ALL {
+            let parsed: Intrinsic = i.name().parse().expect("round trip");
+            assert_eq!(parsed, i, "{}", i.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Intrinsic::ALL.iter().map(|i| i.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Intrinsic::ALL.len());
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "mutex::unlock".parse::<Intrinsic>().unwrap_err();
+        assert_eq!(err.0, "mutex::unlock");
+        assert!(err.to_string().contains("mutex::unlock"));
+    }
+
+    #[test]
+    fn unsafe_classification_matches_surface_rust() {
+        assert!(Intrinsic::PtrRead.is_unsafe());
+        assert!(Intrinsic::Dealloc.is_unsafe());
+        assert!(!Intrinsic::MutexLock.is_unsafe());
+        assert!(!Intrinsic::MemDrop.is_unsafe());
+    }
+
+    #[test]
+    fn lock_acquisition_and_blocking() {
+        assert!(Intrinsic::MutexLock.acquires_lock());
+        assert!(Intrinsic::RwLockWrite.acquires_lock());
+        assert!(!Intrinsic::CondvarWait.acquires_lock());
+        assert!(Intrinsic::CondvarWait.may_block());
+        assert!(Intrinsic::ChannelRecv.may_block());
+        assert!(!Intrinsic::AtomicLoad.may_block());
+    }
+}

@@ -1,0 +1,53 @@
+//! A self-contained MIR-style intermediate representation.
+//!
+//! This crate is the substrate for the PLDI 2020 Rust-study reproduction: a
+//! control-flow-graph IR closely modelled on rustc's MIR, exposing exactly the
+//! facts the paper's detectors consume — storage liveness (`StorageLive` /
+//! `StorageDead`), moves, drops, borrows, raw-pointer operations, calls, and
+//! an `unsafe` marker on every statement.
+//!
+//! # Quick start
+//!
+//! Build a tiny function and print it:
+//!
+//! ```
+//! use rstudy_mir::build::BodyBuilder;
+//! use rstudy_mir::{Ty, Operand, Rvalue, Const};
+//!
+//! let mut b = BodyBuilder::new("answer", 0, Ty::Int);
+//! let tmp = b.local("tmp", Ty::Int);
+//! b.storage_live(tmp);
+//! b.assign(tmp, Rvalue::Use(Operand::constant(Const::Int(42))));
+//! b.assign_place(rstudy_mir::Place::RETURN, Rvalue::Use(Operand::copy(tmp)));
+//! b.storage_dead(tmp);
+//! b.ret();
+//! let body = b.finish();
+//! assert_eq!(body.blocks.len(), 1);
+//! let text = rstudy_mir::pretty::body_to_string(&body);
+//! assert!(text.contains("_1 = const 42"));
+//! ```
+//!
+//! The textual format round-trips through [`parse`](crate::parse) and
+//! [`pretty`](crate::pretty), so corpora can be stored as plain text.
+
+#![warn(missing_docs)]
+pub mod build;
+pub mod intrinsics;
+pub mod parse;
+pub mod pretty;
+pub mod program;
+pub mod source;
+pub mod syntax;
+pub mod transform;
+pub mod ty;
+pub mod validate;
+pub mod visit;
+
+pub use intrinsics::Intrinsic;
+pub use program::{FnName, Program};
+pub use source::{Safety, SourceInfo, Span};
+pub use syntax::{
+    BasicBlock, BasicBlockData, BinOp, Body, Callee, Const, Local, LocalDecl, Mutability, Operand,
+    Place, ProjElem, Rvalue, Statement, StatementKind, Terminator, TerminatorKind, UnOp,
+};
+pub use ty::Ty;

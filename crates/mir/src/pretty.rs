@@ -1,0 +1,240 @@
+//! Pretty-printing of bodies and programs in the textual MIR format.
+//!
+//! The output is accepted back by [`crate::parse`]; `parse(pretty(x))` is
+//! structurally equal to `x` up to source spans (which the parser derives
+//! from the new text's line numbers).
+
+use std::fmt::Write as _;
+
+use crate::program::Program;
+use crate::syntax::{Body, Statement, StatementKind, Terminator, TerminatorKind};
+
+/// Renders a whole program, entry directive first.
+pub fn program_to_string(program: &Program) -> String {
+    let mut out = String::new();
+    if program.entry() != "main" {
+        let _ = writeln!(out, "entry {};", program.entry());
+        out.push('\n');
+    }
+    let mut first = true;
+    for body in program.bodies() {
+        if !first {
+            out.push('\n');
+        }
+        first = false;
+        out.push_str(&body_to_string(body));
+    }
+    out
+}
+
+/// Renders one function body.
+pub fn body_to_string(body: &Body) -> String {
+    let mut out = String::new();
+    if body.is_unsafe_fn {
+        out.push_str("unsafe ");
+    }
+    let _ = write!(out, "fn {}(", body.name);
+    for (i, arg) in body.args().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let decl = body.local_decl(arg);
+        match &decl.name {
+            Some(name) => {
+                let _ = write!(out, "{arg} as {name}: {}", decl.ty);
+            }
+            None => {
+                let _ = write!(out, "{arg}: {}", decl.ty);
+            }
+        }
+    }
+    let _ = writeln!(out, ") -> {} {{", body.local_decl(crate::Local::RETURN).ty);
+
+    for local in body.local_indices().skip(1 + body.arg_count) {
+        let decl = body.local_decl(local);
+        match &decl.name {
+            Some(name) => {
+                let _ = writeln!(out, "    let {local} as {name}: {};", decl.ty);
+            }
+            None => {
+                let _ = writeln!(out, "    let {local}: {};", decl.ty);
+            }
+        }
+    }
+
+    for bb in body.block_indices() {
+        let data = body.block(bb);
+        out.push('\n');
+        let _ = writeln!(out, "    {bb}: {{");
+        for stmt in &data.statements {
+            let _ = writeln!(out, "        {};", statement_to_string(stmt));
+        }
+        if let Some(term) = &data.terminator {
+            let _ = writeln!(out, "        {};", terminator_to_string(term));
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders one statement (no trailing semicolon).
+pub fn statement_to_string(stmt: &Statement) -> String {
+    let prefix = if stmt.source_info.safety.is_unsafe() {
+        "unsafe "
+    } else {
+        ""
+    };
+    let body = match &stmt.kind {
+        StatementKind::Assign(place, rv) => format!("{place} = {rv}"),
+        StatementKind::StorageLive(l) => format!("StorageLive({l})"),
+        StatementKind::StorageDead(l) => format!("StorageDead({l})"),
+        StatementKind::Nop => "nop".to_owned(),
+    };
+    format!("{prefix}{body}")
+}
+
+/// Renders one terminator (no trailing semicolon).
+pub fn terminator_to_string(term: &Terminator) -> String {
+    let prefix = if term.source_info.safety.is_unsafe() {
+        "unsafe "
+    } else {
+        ""
+    };
+    let body = match &term.kind {
+        TerminatorKind::Goto { target } => format!("goto -> {target}"),
+        TerminatorKind::SwitchInt {
+            discr,
+            targets,
+            otherwise,
+        } => {
+            let mut s = format!("switchInt({discr}) -> [");
+            for (v, bb) in targets {
+                let _ = write!(s, "{v}: {bb}, ");
+            }
+            let _ = write!(s, "otherwise: {otherwise}]");
+            s
+        }
+        TerminatorKind::Call {
+            func,
+            args,
+            destination,
+            target,
+        } => {
+            let mut s = format!("{destination} = call {func}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            match target {
+                Some(bb) => {
+                    let _ = write!(s, ") -> {bb}");
+                }
+                None => s.push_str(") -> !"),
+            }
+            s
+        }
+        TerminatorKind::Drop { place, target } => format!("drop({place}) -> {target}"),
+        TerminatorKind::Return => "return".to_owned(),
+        TerminatorKind::Unreachable => "unreachable".to_owned(),
+    };
+    format!("{prefix}{body}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BodyBuilder;
+    use crate::syntax::{Callee, Operand, Place, Rvalue};
+    use crate::ty::Ty;
+    use crate::{Intrinsic, Mutability};
+
+    #[test]
+    fn prints_header_locals_and_blocks() {
+        let mut b = BodyBuilder::new("add_one", 1, Ty::Int);
+        let x = b.arg("x", Ty::Int);
+        let t = b.temp(Ty::Int);
+        b.storage_live(t);
+        b.assign(
+            t,
+            Rvalue::BinaryOp(crate::BinOp::Add, Operand::copy(x), Operand::int(1)),
+        );
+        b.assign_place(Place::RETURN, Rvalue::Use(Operand::mov(t)));
+        b.storage_dead(t);
+        b.ret();
+        let s = body_to_string(&b.finish());
+        assert!(s.contains("fn add_one(_1 as x: int) -> int {"), "{s}");
+        assert!(s.contains("let _2: int;"), "{s}");
+        assert!(s.contains("bb0: {"), "{s}");
+        assert!(s.contains("_2 = _1 + const 1;"), "{s}");
+        assert!(s.contains("_0 = move _2;"), "{s}");
+        assert!(s.contains("return;"), "{s}");
+    }
+
+    #[test]
+    fn prints_unsafe_markers() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let p = b.local("p", Ty::mut_ptr(Ty::Int));
+        b.storage_live(p);
+        b.in_unsafe(|b| {
+            b.assign_place(
+                Place::from_local(p).deref(),
+                Rvalue::Use(Operand::int(3)),
+            )
+        });
+        b.ret();
+        let s = body_to_string(&b.finish());
+        assert!(s.contains("unsafe (*_1) = const 3;"), "{s}");
+    }
+
+    #[test]
+    fn prints_calls_and_switches() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let m = b.local("m", Ty::Mutex(Box::new(Ty::Int)));
+        let g = b.local("g", Ty::Guard(Box::new(Ty::Int)));
+        let r = b.temp(Ty::shared_ref(Ty::Mutex(Box::new(Ty::Int))));
+        b.storage_live(m);
+        b.call_intrinsic_cont(Intrinsic::MutexNew, vec![Operand::int(0)], m);
+        b.storage_live(r);
+        b.assign(r, Rvalue::Ref(Mutability::Not, m.into()));
+        b.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(r)], g);
+        let (t_bb, e_bb) = b.branch_bool(Operand::int(1));
+        b.switch_to(t_bb);
+        b.ret();
+        b.switch_to(e_bb);
+        b.ret();
+        let s = body_to_string(&b.finish());
+        assert!(s.contains("_1 = call mutex::new(const 0) -> bb1;"), "{s}");
+        assert!(s.contains("_2 = call mutex::lock(_3) -> bb2;"), "{s}");
+        assert!(
+            s.contains("switchInt(const 1) -> [1: bb3, otherwise: bb4];"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn prints_diverging_call_and_ptr_callee() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let fp = b.local("fp", Ty::Named("FnPtr".into()));
+        b.storage_live(fp);
+        let next = b.new_block();
+        b.call(Callee::Ptr(fp), vec![], Place::RETURN, Some(next));
+        b.switch_to(next);
+        b.call(Callee::Intrinsic(Intrinsic::Abort), vec![], Place::RETURN, None);
+        let s = body_to_string(&b.finish());
+        assert!(s.contains("_0 = call (*_1)() -> bb1;"), "{s}");
+        assert!(s.contains("_0 = call process::abort() -> !;"), "{s}");
+    }
+
+    #[test]
+    fn program_prints_entry_directive_when_not_main() {
+        let mut b = BodyBuilder::new("start", 0, Ty::Unit);
+        b.ret();
+        let mut p = Program::from_bodies([b.finish()]);
+        p.set_entry("start");
+        let s = program_to_string(&p);
+        assert!(s.starts_with("entry start;"), "{s}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Whole-program container: a set of function bodies plus an entry point.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::syntax::Body;
+
+/// A function name (unique key within a [`Program`]).
+pub type FnName = String;
+
+/// A complete program: named function bodies and an entry function.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// All functions, keyed (and iterated) by name.
+    functions: BTreeMap<FnName, Body>,
+    /// Name of the entry function; defaults to `main`.
+    entry: FnName,
+}
+
+impl Program {
+    /// An empty program whose entry point is `main`.
+    pub fn new() -> Program {
+        Program {
+            functions: BTreeMap::new(),
+            entry: "main".to_owned(),
+        }
+    }
+
+    /// Builds a program from an iterator of bodies, entry `main`.
+    pub fn from_bodies(bodies: impl IntoIterator<Item = Body>) -> Program {
+        let mut p = Program::new();
+        for b in bodies {
+            p.insert(b);
+        }
+        p
+    }
+
+    /// Inserts (or replaces) a function body, returning the previous body
+    /// with the same name if any.
+    pub fn insert(&mut self, body: Body) -> Option<Body> {
+        self.functions.insert(body.name.clone(), body)
+    }
+
+    /// Sets the entry function name.
+    pub fn set_entry(&mut self, entry: impl Into<FnName>) {
+        self.entry = entry.into();
+    }
+
+    /// The entry function name.
+    pub fn entry(&self) -> &str {
+        &self.entry
+    }
+
+    /// The entry function body, if present.
+    pub fn entry_body(&self) -> Option<&Body> {
+        self.functions.get(&self.entry)
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Body> {
+        self.functions.get(name)
+    }
+
+    /// Iterates over `(name, body)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Body)> {
+        self.functions.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Iterates over bodies in name order.
+    pub fn bodies(&self) -> impl Iterator<Item = &Body> {
+        self.functions.values()
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Returns `true` if the program has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::pretty::program_to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BodyBuilder;
+    use crate::ty::Ty;
+
+    fn trivial(name: &str) -> Body {
+        let mut b = BodyBuilder::new(name, 0, Ty::Unit);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut p = Program::new();
+        assert!(p.is_empty());
+        assert!(p.insert(trivial("main")).is_none());
+        assert!(p.insert(trivial("helper")).is_none());
+        assert_eq!(p.len(), 2);
+        assert!(p.function("helper").is_some());
+        assert!(p.function("missing").is_none());
+        assert_eq!(p.entry(), "main");
+        assert!(p.entry_body().is_some());
+    }
+
+    #[test]
+    fn replacing_a_body_returns_the_old_one() {
+        let mut p = Program::new();
+        p.insert(trivial("f"));
+        let old = p.insert(trivial("f"));
+        assert!(old.is_some());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn entry_can_be_redirected() {
+        let mut p = Program::from_bodies([trivial("start"), trivial("main")]);
+        p.set_entry("start");
+        assert_eq!(p.entry(), "start");
+        assert_eq!(p.entry_body().unwrap().name, "start");
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let p = Program::from_bodies([trivial("zebra"), trivial("apple"), trivial("main")]);
+        let names: Vec<&str> = p.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["apple", "main", "zebra"]);
+    }
+}

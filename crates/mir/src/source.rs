@@ -1,0 +1,145 @@
+//! Source locations and safety context attached to every IR node.
+//!
+//! The study's Table 2 classifies each memory bug by whether its *cause* and
+//! *effect* sit in safe or unsafe code; carrying [`Safety`] on every statement
+//! is what makes that classification mechanical for our detectors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A line-oriented source span.
+///
+/// Spans in this IR are deliberately coarse: a (line, column) pair is enough
+/// to report diagnostics against the textual MIR corpora we ship, and to give
+/// detectors a stable ordering of program points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based line number; 0 means "synthetic" (built programmatically).
+    pub line: u32,
+    /// 1-based column number; 0 means "synthetic".
+    pub col: u32,
+}
+
+impl Span {
+    /// A span for IR constructed programmatically rather than parsed.
+    pub const SYNTHETIC: Span = Span { line: 0, col: 0 };
+
+    /// Creates a span at the given 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// Returns `true` if this span was synthesized rather than parsed.
+    pub fn is_synthetic(&self) -> bool {
+        self.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}:{}", self.line, self.col)
+        }
+    }
+}
+
+/// Whether a statement executes inside an `unsafe` region.
+///
+/// Mirrors the safe/unsafe distinction the paper tracks for every bug's cause
+/// and effect sites.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Safety {
+    /// Ordinary safe code, checked by the (modelled) compiler.
+    #[default]
+    Safe,
+    /// Code inside an `unsafe` block or an `unsafe fn`.
+    Unsafe,
+}
+
+impl Safety {
+    /// Returns `true` for [`Safety::Unsafe`].
+    pub fn is_unsafe(self) -> bool {
+        matches!(self, Safety::Unsafe)
+    }
+}
+
+impl fmt::Display for Safety {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Safety::Safe => f.write_str("safe"),
+            Safety::Unsafe => f.write_str("unsafe"),
+        }
+    }
+}
+
+/// Location + safety context attached to every statement and terminator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SourceInfo {
+    /// Where the node came from.
+    pub span: Span,
+    /// Whether the node sits in an unsafe region.
+    pub safety: Safety,
+}
+
+impl SourceInfo {
+    /// Synthetic, safe source info — the default for built IR.
+    pub const SAFE: SourceInfo = SourceInfo {
+        span: Span::SYNTHETIC,
+        safety: Safety::Safe,
+    };
+
+    /// Synthetic, unsafe source info.
+    pub const UNSAFE: SourceInfo = SourceInfo {
+        span: Span::SYNTHETIC,
+        safety: Safety::Unsafe,
+    };
+
+    /// Creates source info with the given span and safety.
+    pub fn new(span: Span, safety: Safety) -> SourceInfo {
+        SourceInfo { span, safety }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_span_displays_marker() {
+        assert_eq!(Span::SYNTHETIC.to_string(), "<synthetic>");
+        assert!(Span::SYNTHETIC.is_synthetic());
+    }
+
+    #[test]
+    fn real_span_displays_line_col() {
+        let s = Span::new(3, 14);
+        assert_eq!(s.to_string(), "3:14");
+        assert!(!s.is_synthetic());
+    }
+
+    #[test]
+    fn safety_default_is_safe() {
+        assert_eq!(Safety::default(), Safety::Safe);
+        assert!(!Safety::Safe.is_unsafe());
+        assert!(Safety::Unsafe.is_unsafe());
+    }
+
+    #[test]
+    fn source_info_constants_match_safety() {
+        assert_eq!(SourceInfo::SAFE.safety, Safety::Safe);
+        assert_eq!(SourceInfo::UNSAFE.safety, Safety::Unsafe);
+    }
+
+    #[test]
+    fn spans_order_by_line_then_col() {
+        assert!(Span::new(1, 9) < Span::new(2, 1));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

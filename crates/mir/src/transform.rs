@@ -1,0 +1,290 @@
+//! Cleanup transformations over bodies.
+//!
+//! These are the standard tidy-up passes a MIR pipeline runs between
+//! analyses: dropping `Nop`s, threading `Goto` chains, and removing
+//! unreachable blocks. All passes preserve semantics (the integration
+//! suite checks corpus programs behave identically before and after) and
+//! leave the body valid.
+
+use std::collections::BTreeMap;
+
+use crate::syntax::{BasicBlock, Body, StatementKind, TerminatorKind};
+
+/// Removes every `Nop` statement. Returns the number removed.
+pub fn remove_nops(body: &mut Body) -> usize {
+    let mut removed = 0;
+    for block in &mut body.blocks {
+        let before = block.statements.len();
+        block
+            .statements
+            .retain(|s| !matches!(s.kind, StatementKind::Nop));
+        removed += before - block.statements.len();
+    }
+    removed
+}
+
+/// Redirects jumps through empty forwarding blocks (blocks with no
+/// statements whose terminator is `Goto`). Returns the number of edges
+/// rewritten. Forwarding cycles are left untouched.
+pub fn thread_gotos(body: &mut Body) -> usize {
+    // Resolve each block to its final forwarding target.
+    let n = body.blocks.len();
+    let forward_of = |body: &Body, bb: BasicBlock| -> Option<BasicBlock> {
+        let data = body.block(bb);
+        if !data.statements.is_empty() {
+            return None;
+        }
+        match data.terminator.as_ref().map(|t| &t.kind) {
+            Some(TerminatorKind::Goto { target }) => Some(*target),
+            _ => None,
+        }
+    };
+    let mut resolved: BTreeMap<BasicBlock, BasicBlock> = BTreeMap::new();
+    for i in 0..n as u32 {
+        let start = BasicBlock(i);
+        let mut cur = start;
+        let mut hops = 0;
+        while let Some(next) = forward_of(body, cur) {
+            cur = next;
+            hops += 1;
+            if hops > n {
+                cur = start; // cycle: give up on this chain
+                break;
+            }
+        }
+        if cur != start {
+            resolved.insert(start, cur);
+        }
+    }
+    let mut rewritten = 0;
+    for block in &mut body.blocks {
+        let Some(term) = block.terminator.as_mut() else {
+            continue;
+        };
+        let mut rewrite = |t: &mut BasicBlock| {
+            if let Some(&r) = resolved.get(t) {
+                if r != *t {
+                    *t = r;
+                    rewritten += 1;
+                }
+            }
+        };
+        match &mut term.kind {
+            TerminatorKind::Goto { target } => rewrite(target),
+            TerminatorKind::SwitchInt {
+                targets, otherwise, ..
+            } => {
+                for (_, t) in targets {
+                    rewrite(t);
+                }
+                rewrite(otherwise);
+            }
+            TerminatorKind::Call { target, .. } => {
+                if let Some(t) = target {
+                    rewrite(t);
+                }
+            }
+            TerminatorKind::Drop { target, .. } => rewrite(target),
+            TerminatorKind::Return | TerminatorKind::Unreachable => {}
+        }
+    }
+    rewritten
+}
+
+/// Deletes blocks unreachable from the entry and renumbers the rest.
+/// Returns the number of blocks removed.
+pub fn remove_unreachable_blocks(body: &mut Body) -> usize {
+    let n = body.blocks.len();
+    // Reachability from bb0.
+    let mut seen = vec![false; n];
+    let mut stack = vec![BasicBlock::ENTRY];
+    while let Some(bb) = stack.pop() {
+        if seen[bb.index()] {
+            continue;
+        }
+        seen[bb.index()] = true;
+        if let Some(term) = &body.blocks[bb.index()].terminator {
+            for s in term.kind.successors() {
+                if !seen[s.index()] {
+                    stack.push(s);
+                }
+            }
+        }
+    }
+    if seen.iter().all(|&s| s) {
+        return 0;
+    }
+    // Build the renumbering and compact the block list.
+    let mut remap: BTreeMap<BasicBlock, BasicBlock> = BTreeMap::new();
+    let mut kept = Vec::new();
+    for (i, block) in body.blocks.drain(..).enumerate() {
+        if seen[i] {
+            remap.insert(BasicBlock(i as u32), BasicBlock(kept.len() as u32));
+            kept.push(block);
+        }
+    }
+    let removed = n - kept.len();
+    body.blocks = kept;
+    for block in &mut body.blocks {
+        if let Some(term) = block.terminator.as_mut() {
+            let rewrite = |t: &mut BasicBlock| {
+                *t = *remap.get(t).expect("successor of reachable block is reachable");
+            };
+            match &mut term.kind {
+                TerminatorKind::Goto { target } => rewrite(target),
+                TerminatorKind::SwitchInt {
+                    targets, otherwise, ..
+                } => {
+                    for (_, t) in targets {
+                        rewrite(t);
+                    }
+                    rewrite(otherwise);
+                }
+                TerminatorKind::Call { target, .. } => {
+                    if let Some(t) = target {
+                        rewrite(t);
+                    }
+                }
+                TerminatorKind::Drop { target, .. } => rewrite(target),
+                TerminatorKind::Return | TerminatorKind::Unreachable => {}
+            }
+        }
+    }
+    removed
+}
+
+/// Runs all cleanup passes to a fixpoint. Returns the total change count.
+pub fn simplify(body: &mut Body) -> usize {
+    let mut total = 0;
+    loop {
+        let changed =
+            remove_nops(body) + thread_gotos(body) + remove_unreachable_blocks(body);
+        total += changed;
+        if changed == 0 {
+            return total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BodyBuilder;
+    use crate::syntax::{Operand, Rvalue};
+    use crate::ty::Ty;
+    use crate::validate::validate_body;
+
+    #[test]
+    fn nops_are_removed() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.nop();
+        b.nop();
+        b.assign(crate::Place::RETURN, Rvalue::Use(Operand::int(0)));
+        b.ret();
+        let mut body = b.finish();
+        assert_eq!(remove_nops(&mut body), 2);
+        assert_eq!(body.blocks[0].statements.len(), 1);
+        assert!(validate_body(&body).is_ok());
+    }
+
+    #[test]
+    fn goto_chains_are_threaded() {
+        // bb0 -> bb1 (empty) -> bb2 (empty) -> bb3(return)
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let bb1 = b.new_block();
+        let bb2 = b.new_block();
+        let bb3 = b.new_block();
+        b.goto(bb1);
+        b.switch_to(bb1);
+        b.goto(bb2);
+        b.switch_to(bb2);
+        b.goto(bb3);
+        b.switch_to(bb3);
+        b.ret();
+        let mut body = b.finish();
+        assert!(thread_gotos(&mut body) >= 1);
+        match &body.block(BasicBlock::ENTRY).terminator().kind {
+            TerminatorKind::Goto { target } => assert_eq!(*target, bb3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(validate_body(&body).is_ok());
+    }
+
+    #[test]
+    fn goto_cycles_are_left_alone() {
+        // bb0 -> bb1 <-> bb2 (cycle of empty gotos).
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let bb1 = b.new_block();
+        let bb2 = b.new_block();
+        b.goto(bb1);
+        b.switch_to(bb1);
+        b.goto(bb2);
+        b.switch_to(bb2);
+        b.goto(bb1);
+        let mut body = b.finish();
+        let before = body.clone();
+        thread_gotos(&mut body);
+        // The cycle must not be collapsed into nonsense.
+        assert!(validate_body(&body).is_ok());
+        assert_eq!(body.blocks.len(), before.blocks.len());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dropped_and_renumbered() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.ret();
+        let dead = b.new_block();
+        b.switch_to(dead);
+        let dead2 = b.new_block();
+        b.goto(dead2);
+        b.switch_to(dead2);
+        b.ret();
+        let mut body = b.finish();
+        assert_eq!(remove_unreachable_blocks(&mut body), 2);
+        assert_eq!(body.blocks.len(), 1);
+        assert!(validate_body(&body).is_ok());
+    }
+
+    #[test]
+    fn simplify_reaches_a_fixpoint() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.nop();
+        let fwd = b.new_block();
+        let end = b.new_block();
+        let dead = b.new_block();
+        b.goto(fwd);
+        b.switch_to(fwd);
+        b.goto(end);
+        b.switch_to(end);
+        b.ret();
+        b.switch_to(dead);
+        b.ret();
+        let mut body = b.finish();
+        let changed = simplify(&mut body);
+        assert!(changed >= 3, "{changed}");
+        assert_eq!(simplify(&mut body), 0, "fixpoint");
+        assert!(validate_body(&body).is_ok());
+        // Entry now returns via one hop at most.
+        assert!(body.blocks.len() <= 2);
+    }
+
+    #[test]
+    fn switch_targets_are_threaded_too() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let fwd = b.new_block();
+        let end = b.new_block();
+        b.switch_int(Operand::int(1), vec![(1, fwd)], end);
+        b.switch_to(fwd);
+        b.goto(end);
+        b.switch_to(end);
+        b.ret();
+        let mut body = b.finish();
+        thread_gotos(&mut body);
+        match &body.block(BasicBlock::ENTRY).terminator().kind {
+            TerminatorKind::SwitchInt { targets, .. } => {
+                assert_eq!(targets[0].1, end);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

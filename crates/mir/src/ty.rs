@@ -1,0 +1,215 @@
+//! The IR's type language.
+//!
+//! Types are deliberately small: enough to distinguish the shapes the study's
+//! detectors care about — owned values vs references vs raw pointers, arrays
+//! (for bounds bugs), and the synchronization wrappers (`Mutex`, `RwLock`,
+//! guards, channels) whose lifetimes drive the blocking-bug analyses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::syntax::Mutability;
+
+/// A type in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// The unit type `()`.
+    Unit,
+    /// Booleans.
+    Bool,
+    /// A single integer type (the IR does not model integer widths).
+    Int,
+    /// A borrow `&T` / `&mut T`.
+    Ref(Mutability, Box<Ty>),
+    /// A raw pointer `*const T` / `*mut T`.
+    RawPtr(Mutability, Box<Ty>),
+    /// A fixed-length array `[T; n]`.
+    Array(Box<Ty>, u64),
+    /// A tuple; `Tuple(vec![])` is distinct from [`Ty::Unit`] only in name.
+    Tuple(Vec<Ty>),
+    /// An opaque named struct. Field types are not tracked; projections
+    /// through named structs are untyped, like MIR's opaque projections.
+    Named(String),
+    /// `Mutex<T>`.
+    Mutex(Box<Ty>),
+    /// `RwLock<T>`.
+    RwLock(Box<Ty>),
+    /// A lock guard holding `T`; dropping it releases the lock.
+    Guard(Box<Ty>),
+    /// A condition variable.
+    Condvar,
+    /// One endpoint of a channel of `T` (sender and receiver share a type).
+    Channel(Box<Ty>),
+    /// A `Once` cell.
+    Once,
+    /// An atomic integer.
+    AtomicInt,
+    /// A join handle for a spawned thread returning `T`.
+    JoinHandle(Box<Ty>),
+    /// An atomically reference-counted pointer `Arc<T>`.
+    Arc(Box<Ty>),
+}
+
+impl Ty {
+    /// Shorthand for `&T`.
+    pub fn shared_ref(inner: Ty) -> Ty {
+        Ty::Ref(Mutability::Not, Box::new(inner))
+    }
+
+    /// Shorthand for `&mut T`.
+    pub fn mut_ref(inner: Ty) -> Ty {
+        Ty::Ref(Mutability::Mut, Box::new(inner))
+    }
+
+    /// Shorthand for `*const T`.
+    pub fn const_ptr(inner: Ty) -> Ty {
+        Ty::RawPtr(Mutability::Not, Box::new(inner))
+    }
+
+    /// Shorthand for `*mut T`.
+    pub fn mut_ptr(inner: Ty) -> Ty {
+        Ty::RawPtr(Mutability::Mut, Box::new(inner))
+    }
+
+    /// Returns `true` for reference and raw-pointer types.
+    pub fn is_pointer_like(&self) -> bool {
+        matches!(self, Ty::Ref(..) | Ty::RawPtr(..))
+    }
+
+    /// Returns `true` for raw pointers (the unsafe-only pointer kind).
+    pub fn is_raw_ptr(&self) -> bool {
+        matches!(self, Ty::RawPtr(..))
+    }
+
+    /// The type pointed to, if this is a reference, raw pointer, or `Arc`.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ref(_, t) | Ty::RawPtr(_, t) | Ty::Arc(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the synchronization-primitive types whose misuse
+    /// the blocking-bug study tracks (Table 3).
+    pub fn is_sync_primitive(&self) -> bool {
+        matches!(
+            self,
+            Ty::Mutex(_) | Ty::RwLock(_) | Ty::Condvar | Ty::Channel(_) | Ty::Once
+        )
+    }
+
+    /// Returns `true` if values of this type release a lock when dropped.
+    pub fn is_guard(&self) -> bool {
+        matches!(self, Ty::Guard(_))
+    }
+
+    /// Whether a value of this type is a plain scalar (fits in one cell).
+    pub fn is_scalar(&self) -> bool {
+        matches!(
+            self,
+            Ty::Unit
+                | Ty::Bool
+                | Ty::Int
+                | Ty::Ref(..)
+                | Ty::RawPtr(..)
+                | Ty::AtomicInt
+                | Ty::Condvar
+                | Ty::Once
+        )
+    }
+
+    /// Number of memory cells a value of this type occupies in the
+    /// interpreter's flat layout. Opaque [`Ty::Named`] values occupy one cell.
+    pub fn size_cells(&self) -> u64 {
+        match self {
+            Ty::Array(elem, n) => elem.size_cells() * n,
+            Ty::Tuple(elems) => elems.iter().map(Ty::size_cells).sum::<u64>().max(1),
+            Ty::Mutex(inner) | Ty::RwLock(inner) => 1 + inner.size_cells(),
+            Ty::Guard(_) | Ty::Channel(_) | Ty::JoinHandle(_) | Ty::Arc(_) => 1,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Unit => f.write_str("unit"),
+            Ty::Bool => f.write_str("bool"),
+            Ty::Int => f.write_str("int"),
+            Ty::Ref(Mutability::Not, t) => write!(f, "&{t}"),
+            Ty::Ref(Mutability::Mut, t) => write!(f, "&mut {t}"),
+            Ty::RawPtr(Mutability::Not, t) => write!(f, "*const {t}"),
+            Ty::RawPtr(Mutability::Mut, t) => write!(f, "*mut {t}"),
+            Ty::Array(t, n) => write!(f, "[{t}; {n}]"),
+            Ty::Tuple(ts) => {
+                f.write_str("(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Ty::Named(name) => f.write_str(name),
+            Ty::Mutex(t) => write!(f, "Mutex<{t}>"),
+            Ty::RwLock(t) => write!(f, "RwLock<{t}>"),
+            Ty::Guard(t) => write!(f, "Guard<{t}>"),
+            Ty::Condvar => f.write_str("Condvar"),
+            Ty::Channel(t) => write!(f, "Channel<{t}>"),
+            Ty::Once => f.write_str("Once"),
+            Ty::AtomicInt => f.write_str("AtomicInt"),
+            Ty::JoinHandle(t) => write!(f, "JoinHandle<{t}>"),
+            Ty::Arc(t) => write!(f, "Arc<{t}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_common_shapes() {
+        assert_eq!(Ty::Int.to_string(), "int");
+        assert_eq!(Ty::mut_ref(Ty::Int).to_string(), "&mut int");
+        assert_eq!(Ty::const_ptr(Ty::Bool).to_string(), "*const bool");
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 8).to_string(), "[int; 8]");
+        assert_eq!(Ty::Mutex(Box::new(Ty::Int)).to_string(), "Mutex<int>");
+        assert_eq!(
+            Ty::Tuple(vec![Ty::Int, Ty::Bool]).to_string(),
+            "(int, bool)"
+        );
+    }
+
+    #[test]
+    fn pointer_classification() {
+        assert!(Ty::mut_ptr(Ty::Int).is_raw_ptr());
+        assert!(Ty::mut_ptr(Ty::Int).is_pointer_like());
+        assert!(Ty::shared_ref(Ty::Int).is_pointer_like());
+        assert!(!Ty::shared_ref(Ty::Int).is_raw_ptr());
+        assert_eq!(Ty::mut_ptr(Ty::Bool).pointee(), Some(&Ty::Bool));
+        assert_eq!(Ty::Int.pointee(), None);
+    }
+
+    #[test]
+    fn sync_primitives_are_classified() {
+        assert!(Ty::Mutex(Box::new(Ty::Int)).is_sync_primitive());
+        assert!(Ty::Condvar.is_sync_primitive());
+        assert!(Ty::Once.is_sync_primitive());
+        assert!(!Ty::Guard(Box::new(Ty::Int)).is_sync_primitive());
+        assert!(Ty::Guard(Box::new(Ty::Int)).is_guard());
+    }
+
+    #[test]
+    fn sizes_compose() {
+        assert_eq!(Ty::Int.size_cells(), 1);
+        assert_eq!(Ty::Array(Box::new(Ty::Int), 10).size_cells(), 10);
+        let pair = Ty::Tuple(vec![Ty::Int, Ty::Array(Box::new(Ty::Int), 3)]);
+        assert_eq!(pair.size_cells(), 4);
+        assert_eq!(Ty::Mutex(Box::new(Ty::Int)).size_cells(), 2);
+        assert_eq!(Ty::Tuple(vec![]).size_cells(), 1);
+    }
+}

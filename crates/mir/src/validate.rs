@@ -1,0 +1,343 @@
+//! Structural validation of bodies and programs.
+//!
+//! Validation catches malformed IR early (out-of-range locals and blocks,
+//! missing terminators, calls to undefined functions, arity mismatches with
+//! known intrinsics) so analyses can assume well-formedness.
+
+use std::fmt;
+
+use crate::intrinsics::Intrinsic;
+use crate::program::Program;
+use crate::syntax::{Body, Callee, Local, Place, TerminatorKind};
+use crate::visit::{Location, PlaceContext, Visitor};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Function the error is in.
+    pub function: String,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.function, self.message)
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Expected argument count for intrinsics with a fixed arity.
+fn intrinsic_arity(i: Intrinsic) -> Option<usize> {
+    Some(match i {
+        Intrinsic::Alloc => 1,
+        Intrinsic::Dealloc => 1,
+        Intrinsic::PtrRead => 1,
+        Intrinsic::PtrWrite => 2,
+        Intrinsic::PtrCopyNonoverlapping => 3,
+        Intrinsic::MemDrop | Intrinsic::MemForget => 1,
+        Intrinsic::MemUninitialized => 0,
+        Intrinsic::MutexNew | Intrinsic::RwLockNew => 1,
+        Intrinsic::MutexLock | Intrinsic::RwLockRead | Intrinsic::RwLockWrite => 1,
+        Intrinsic::CondvarNew => 0,
+        Intrinsic::CondvarWait => 2,
+        Intrinsic::CondvarNotifyOne | Intrinsic::CondvarNotifyAll => 1,
+        Intrinsic::ChannelUnbounded => 0,
+        Intrinsic::ChannelBounded => 1,
+        Intrinsic::ChannelSend => 2,
+        Intrinsic::ChannelRecv => 1,
+        Intrinsic::OnceNew => 0,
+        Intrinsic::OnceCallOnce => 2,
+        Intrinsic::AtomicNew => 1,
+        Intrinsic::AtomicLoad => 1,
+        Intrinsic::AtomicStore => 2,
+        Intrinsic::AtomicCas => 3,
+        Intrinsic::AtomicFetchAdd => 2,
+        Intrinsic::ArcNew => 1,
+        Intrinsic::ArcClone => 1,
+        Intrinsic::ThreadSpawn => 2,
+        Intrinsic::ThreadJoin => 1,
+        Intrinsic::ThreadYield => 0,
+        Intrinsic::Abort => 0,
+        Intrinsic::ExternCall => return None,
+    })
+}
+
+struct BodyValidator<'a> {
+    body: &'a Body,
+    errors: Vec<ValidationError>,
+}
+
+impl BodyValidator<'_> {
+    fn err(&mut self, message: String) {
+        self.errors.push(ValidationError {
+            function: self.body.name.clone(),
+            message,
+        });
+    }
+
+    fn check_local(&mut self, local: Local, what: &str, loc: Location) {
+        if local.index() >= self.body.locals.len() {
+            self.err(format!("{what} {local} out of range at {loc}"));
+        }
+    }
+}
+
+impl Visitor for BodyValidator<'_> {
+    fn visit_place(&mut self, place: &Place, _ctx: PlaceContext, loc: Location) {
+        self.check_local(place.local, "place base", loc);
+        for elem in &place.projection {
+            if let crate::syntax::ProjElem::Index(l) = elem {
+                self.check_local(*l, "index local", loc);
+            }
+        }
+    }
+
+    fn visit_statement(&mut self, stmt: &crate::syntax::Statement, loc: Location) {
+        match &stmt.kind {
+            crate::syntax::StatementKind::StorageLive(l)
+            | crate::syntax::StatementKind::StorageDead(l) => {
+                self.check_local(*l, "storage local", loc);
+                if self.body.is_arg(*l) {
+                    self.err(format!("storage marker on argument {l} at {loc}"));
+                }
+                if *l == Local::RETURN {
+                    self.err(format!("storage marker on return place at {loc}"));
+                }
+            }
+            _ => {}
+        }
+        // Recurse into places/operands via the default traversal.
+        if let crate::syntax::StatementKind::Assign(place, rv) = &stmt.kind {
+            self.visit_place(place, PlaceContext::Write, loc);
+            self.visit_rvalue(rv, loc);
+        }
+    }
+
+    fn visit_terminator(&mut self, term: &crate::syntax::Terminator, loc: Location) {
+        for succ in term.kind.successors() {
+            if succ.index() >= self.body.blocks.len() {
+                self.err(format!("jump to missing block {succ} at {loc}"));
+            }
+        }
+        if let TerminatorKind::Call {
+            func: Callee::Intrinsic(i),
+            args,
+            ..
+        } = &term.kind
+        {
+            if let Some(arity) = intrinsic_arity(*i) {
+                if args.len() != arity {
+                    self.err(format!(
+                        "intrinsic {i} expects {arity} argument(s), got {} at {loc}",
+                        args.len()
+                    ));
+                }
+            }
+        }
+        if let TerminatorKind::Call { func: Callee::Ptr(l), .. } = &term.kind {
+            self.check_local(*l, "callee local", loc);
+        }
+        // Default traversal for operands/places.
+        match &term.kind {
+            TerminatorKind::SwitchInt { discr, .. } => self.visit_operand(discr, loc),
+            TerminatorKind::Call {
+                args, destination, ..
+            } => {
+                for a in args {
+                    self.visit_operand(a, loc);
+                }
+                self.visit_place(destination, PlaceContext::Write, loc);
+            }
+            TerminatorKind::Drop { place, .. } => self.visit_place(place, PlaceContext::Drop, loc),
+            _ => {}
+        }
+    }
+}
+
+/// Validates a single body.
+///
+/// # Errors
+///
+/// Returns all problems found (empty `Ok(())` means well-formed).
+pub fn validate_body(body: &Body) -> Result<(), Vec<ValidationError>> {
+    let mut v = BodyValidator {
+        body,
+        errors: Vec::new(),
+    };
+    if body.locals.is_empty() {
+        v.err("body has no return place".to_owned());
+    }
+    if body.arg_count >= body.locals.len() {
+        v.err(format!(
+            "arg_count {} exceeds locals {}",
+            body.arg_count,
+            body.locals.len()
+        ));
+    }
+    if body.blocks.is_empty() {
+        v.err("body has no blocks".to_owned());
+    }
+    for (i, b) in body.blocks.iter().enumerate() {
+        if b.terminator.is_none() {
+            v.err(format!("block bb{i} lacks a terminator"));
+        }
+    }
+    v.visit_body(body);
+    if v.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errors)
+    }
+}
+
+/// Validates every body in a program, plus cross-function properties:
+/// the entry exists, `Callee::Fn` targets exist, and call arity matches
+/// the callee's declared parameter count.
+///
+/// # Errors
+///
+/// Returns all problems found across all functions.
+pub fn validate_program(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    if program.entry_body().is_none() {
+        errors.push(ValidationError {
+            function: program.entry().to_owned(),
+            message: "entry function not defined".to_owned(),
+        });
+    }
+    for (name, body) in program.iter() {
+        if let Err(mut errs) = validate_body(body) {
+            errors.append(&mut errs);
+        }
+        for bb in body.block_indices() {
+            if let Some(term) = &body.block(bb).terminator {
+                if let TerminatorKind::Call {
+                    func: Callee::Fn(callee),
+                    args,
+                    ..
+                } = &term.kind
+                {
+                    match program.function(callee) {
+                        None => errors.push(ValidationError {
+                            function: name.to_owned(),
+                            message: format!("call to undefined function `{callee}` in {bb}"),
+                        }),
+                        Some(target) if target.arg_count != args.len() => {
+                            errors.push(ValidationError {
+                                function: name.to_owned(),
+                                message: format!(
+                                    "call to `{callee}` with {} argument(s); it takes {}",
+                                    args.len(),
+                                    target.arg_count
+                                ),
+                            })
+                        }
+                        Some(_) => {}
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BodyBuilder;
+    use crate::syntax::{BasicBlock, Operand, Rvalue, Statement, StatementKind, Terminator};
+    use crate::ty::Ty;
+
+    fn ok_body() -> Body {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let x = b.local("x", Ty::Int);
+        b.storage_live(x);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.storage_dead(x);
+        b.ret();
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_well_formed_body() {
+        assert!(validate_body(&ok_body()).is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_local() {
+        let mut body = ok_body();
+        body.blocks[0].statements.push(Statement::new(StatementKind::StorageLive(Local(99))));
+        let errs = validate_body(&body).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn rejects_jump_to_missing_block() {
+        let mut body = ok_body();
+        body.blocks[0].terminator = Some(Terminator::new(TerminatorKind::Goto {
+            target: BasicBlock(7),
+        }));
+        let errs = validate_body(&body).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("missing block")));
+    }
+
+    #[test]
+    fn rejects_storage_marker_on_argument() {
+        let mut b = BodyBuilder::new("f", 1, Ty::Unit);
+        let x = b.arg("x", Ty::Int);
+        b.storage_dead(x);
+        b.ret();
+        let errs = validate_body(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("argument")));
+    }
+
+    #[test]
+    fn rejects_wrong_intrinsic_arity() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        let g = b.local("g", Ty::Guard(Box::new(Ty::Int)));
+        b.storage_live(g);
+        b.call_intrinsic_cont(crate::Intrinsic::MutexLock, vec![], g);
+        b.ret();
+        let errs = validate_body(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expects 1")));
+    }
+
+    #[test]
+    fn program_validation_finds_missing_entry_and_callee() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.call_fn_cont("missing", vec![], crate::Place::RETURN);
+        b.ret();
+        let p = Program::from_bodies([b.finish()]);
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("entry")));
+        assert!(errs.iter().any(|e| e.message.contains("undefined function")));
+    }
+
+    #[test]
+    fn program_validation_checks_call_arity() {
+        let mut callee = BodyBuilder::new("g", 2, Ty::Unit);
+        callee.arg("a", Ty::Int);
+        callee.arg("b", Ty::Int);
+        callee.ret();
+        let mut caller = BodyBuilder::new("main", 0, Ty::Unit);
+        caller.call_fn_cont("g", vec![Operand::int(1)], crate::Place::RETURN);
+        caller.ret();
+        let p = Program::from_bodies([callee.finish(), caller.finish()]);
+        let errs = validate_program(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("it takes 2")), "{errs:?}");
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let mut main = BodyBuilder::new("main", 0, Ty::Unit);
+        main.ret();
+        let p = Program::from_bodies([main.finish()]);
+        assert!(validate_program(&p).is_ok());
+    }
+}

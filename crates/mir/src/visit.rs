@@ -1,0 +1,267 @@
+//! A read-only visitor over bodies.
+//!
+//! Analyses that only need to enumerate places/operands (liveness, points-to
+//! seeding, diagnostics) implement [`Visitor`] and get traversal order and
+//! [`Location`] bookkeeping for free.
+
+use crate::syntax::{
+    BasicBlock, Body, Operand, Place, Rvalue, Statement, StatementKind, Terminator, TerminatorKind,
+};
+
+/// A program point: a block plus a statement index.
+///
+/// `statement_index == block.statements.len()` denotes the terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Location {
+    /// The basic block.
+    pub block: BasicBlock,
+    /// Index of the statement, or one past the end for the terminator.
+    pub statement_index: usize,
+}
+
+impl Location {
+    /// The start of a block.
+    pub fn start_of(block: BasicBlock) -> Location {
+        Location {
+            block,
+            statement_index: 0,
+        }
+    }
+
+    /// Returns `true` if this location denotes the block's terminator.
+    pub fn is_terminator(&self, body: &Body) -> bool {
+        self.statement_index == body.block(self.block).statements.len()
+    }
+}
+
+impl std::fmt::Display for Location {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.block, self.statement_index)
+    }
+}
+
+/// How a place is being accessed at a visit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlaceContext {
+    /// Read by a copy.
+    Copy,
+    /// Read by a move (ends initialization).
+    Move,
+    /// Written (assignment destination or call destination).
+    Write,
+    /// Borrowed with `&` / `&mut`.
+    Borrow,
+    /// Address taken with `&raw`.
+    AddressOf,
+    /// Dropped by a `Drop` terminator.
+    Drop,
+    /// Inspected without reading the value (e.g. `len`).
+    Inspect,
+}
+
+impl PlaceContext {
+    /// Returns `true` if the access reads the current value.
+    pub fn is_use(self) -> bool {
+        matches!(
+            self,
+            PlaceContext::Copy | PlaceContext::Move | PlaceContext::Drop
+        )
+    }
+
+    /// Returns `true` if the access writes the place.
+    pub fn is_write(self) -> bool {
+        matches!(self, PlaceContext::Write)
+    }
+}
+
+/// Read-only traversal callbacks. Override what you need; defaults recurse.
+pub trait Visitor {
+    /// Visit every block of `body` in index order.
+    fn visit_body(&mut self, body: &Body) {
+        for bb in body.block_indices() {
+            let data = body.block(bb);
+            for (i, stmt) in data.statements.iter().enumerate() {
+                self.visit_statement(
+                    stmt,
+                    Location {
+                        block: bb,
+                        statement_index: i,
+                    },
+                );
+            }
+            if let Some(term) = &data.terminator {
+                self.visit_terminator(
+                    term,
+                    Location {
+                        block: bb,
+                        statement_index: data.statements.len(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Called for every statement; default dispatches on the kind.
+    fn visit_statement(&mut self, stmt: &Statement, location: Location) {
+        match &stmt.kind {
+            StatementKind::Assign(place, rv) => {
+                self.visit_place(place, PlaceContext::Write, location);
+                self.visit_rvalue(rv, location);
+            }
+            StatementKind::StorageLive(_) | StatementKind::StorageDead(_) | StatementKind::Nop => {}
+        }
+    }
+
+    /// Called for every rvalue; default visits nested places/operands.
+    fn visit_rvalue(&mut self, rv: &Rvalue, location: Location) {
+        match rv {
+            Rvalue::Use(op) | Rvalue::UnaryOp(_, op) | Rvalue::Cast(op, _) => {
+                self.visit_operand(op, location);
+            }
+            Rvalue::BinaryOp(_, a, b) => {
+                self.visit_operand(a, location);
+                self.visit_operand(b, location);
+            }
+            Rvalue::Ref(_, place) => self.visit_place(place, PlaceContext::Borrow, location),
+            Rvalue::AddrOf(_, place) => self.visit_place(place, PlaceContext::AddressOf, location),
+            Rvalue::Len(place) => self.visit_place(place, PlaceContext::Inspect, location),
+            Rvalue::Aggregate(ops) => {
+                for op in ops {
+                    self.visit_operand(op, location);
+                }
+            }
+        }
+    }
+
+    /// Called for every operand; default visits the underlying place.
+    fn visit_operand(&mut self, op: &Operand, location: Location) {
+        match op {
+            Operand::Copy(place) => self.visit_place(place, PlaceContext::Copy, location),
+            Operand::Move(place) => self.visit_place(place, PlaceContext::Move, location),
+            Operand::Const(_) => {}
+        }
+    }
+
+    /// Called for every terminator; default visits operands and places.
+    fn visit_terminator(&mut self, term: &Terminator, location: Location) {
+        match &term.kind {
+            TerminatorKind::SwitchInt { discr, .. } => self.visit_operand(discr, location),
+            TerminatorKind::Call {
+                args, destination, ..
+            } => {
+                for a in args {
+                    self.visit_operand(a, location);
+                }
+                self.visit_place(destination, PlaceContext::Write, location);
+            }
+            TerminatorKind::Drop { place, .. } => {
+                self.visit_place(place, PlaceContext::Drop, location)
+            }
+            TerminatorKind::Goto { .. }
+            | TerminatorKind::Return
+            | TerminatorKind::Unreachable => {}
+        }
+    }
+
+    /// Called for every place access. Default does nothing.
+    fn visit_place(&mut self, _place: &Place, _context: PlaceContext, _location: Location) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BodyBuilder;
+    use crate::syntax::{BinOp, Callee, Local};
+    use crate::ty::Ty;
+    use crate::{Operand, Rvalue};
+
+    /// Collects `(local, context)` pairs in traversal order.
+    struct Collect(Vec<(Local, PlaceContext)>);
+
+    impl Visitor for Collect {
+        fn visit_place(&mut self, place: &Place, context: PlaceContext, _location: Location) {
+            self.0.push((place.local, context));
+        }
+    }
+
+    #[test]
+    fn visitor_sees_reads_writes_and_drops() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Int);
+        let x = b.local("x", Ty::Int);
+        let y = b.local("y", Ty::Int);
+        b.storage_live(x);
+        b.storage_live(y);
+        b.assign(x, Rvalue::Use(Operand::int(1)));
+        b.assign(
+            y,
+            Rvalue::BinaryOp(BinOp::Add, Operand::copy(x), Operand::mov(x)),
+        );
+        let next = b.new_block();
+        b.drop_place(y, next);
+        b.switch_to(next);
+        b.ret();
+        let body = b.finish();
+
+        let mut v = Collect(Vec::new());
+        v.visit_body(&body);
+        assert_eq!(
+            v.0,
+            vec![
+                (x, PlaceContext::Write),
+                (y, PlaceContext::Write),
+                (x, PlaceContext::Copy),
+                (x, PlaceContext::Move),
+                (y, PlaceContext::Drop),
+            ]
+        );
+    }
+
+    #[test]
+    fn call_terminator_visits_args_then_destination() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Int);
+        let a = b.local("a", Ty::Int);
+        let d = b.local("d", Ty::Int);
+        b.storage_live(a);
+        b.storage_live(d);
+        let next = b.new_block();
+        b.call(Callee::Fn("g".into()), vec![Operand::copy(a)], d, Some(next));
+        b.switch_to(next);
+        b.ret();
+        let body = b.finish();
+
+        let mut v = Collect(Vec::new());
+        v.visit_body(&body);
+        assert_eq!(
+            v.0,
+            vec![(a, PlaceContext::Copy), (d, PlaceContext::Write)]
+        );
+    }
+
+    #[test]
+    fn location_identifies_terminators() {
+        let mut b = BodyBuilder::new("f", 0, Ty::Unit);
+        b.nop();
+        b.ret();
+        let body = b.finish();
+        let stmt_loc = Location {
+            block: BasicBlock(0),
+            statement_index: 0,
+        };
+        let term_loc = Location {
+            block: BasicBlock(0),
+            statement_index: 1,
+        };
+        assert!(!stmt_loc.is_terminator(&body));
+        assert!(term_loc.is_terminator(&body));
+        assert_eq!(term_loc.to_string(), "bb0[1]");
+    }
+
+    #[test]
+    fn place_context_predicates() {
+        assert!(PlaceContext::Move.is_use());
+        assert!(PlaceContext::Drop.is_use());
+        assert!(!PlaceContext::Write.is_use());
+        assert!(PlaceContext::Write.is_write());
+        assert!(!PlaceContext::Borrow.is_write());
+    }
+}

@@ -1,0 +1,344 @@
+//! A minimal but honest Rust lexer.
+//!
+//! Handles the token shapes that matter for locating unsafe code reliably:
+//! nested block comments, line comments, string/char/byte literals, raw
+//! strings with `#` fences, lifetimes (so `'a` is not a char literal),
+//! numbers with suffixes, identifiers/keywords, and all punctuation as
+//! single characters.
+
+use serde::{Deserialize, Serialize};
+
+/// Kind of one token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// A lifetime such as `'a` (the text excludes the quote).
+    Lifetime(String),
+    /// Any literal (string, raw string, char, byte, number).
+    Literal,
+    /// One punctuation character.
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line where it starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Returns the identifier text if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.ident() == Some(word)
+    }
+
+    /// Returns `true` if this is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.kind, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// Lexes Rust source into tokens, skipping comments and whitespace.
+///
+/// The lexer is lossy by design (literal contents are discarded) but never
+/// mis-brackets: every `{`/`}` that is real code is emitted, and none that
+/// sit inside strings or comments are.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_line {
+        ($c:expr) => {
+            if $c == b'\n' {
+                line += 1;
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            bump_line!(c);
+            i += 1;
+            continue;
+        }
+        // Line comment (also doc comments).
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    bump_line!(bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..", r#".."#, br#".."#, with any fence depth.
+        if c == b'r' || (c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'r') {
+            let start = if c == b'b' { i + 1 } else { i };
+            let mut j = start + 1;
+            let mut hashes = 0;
+            while j < bytes.len() && bytes[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < bytes.len() && bytes[j] == b'"' {
+                let tok_line = line;
+                j += 1;
+                'raw: while j < bytes.len() {
+                    if bytes[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == b'#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    bump_line!(bytes[j]);
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+                i = j;
+                continue;
+            }
+            // Not a raw string: fall through to identifier handling.
+        }
+        // Plain and byte strings.
+        if c == b'"' || (c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
+            let tok_line = line;
+            i += if c == b'b' { 2 } else { 1 };
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                bump_line!(bytes[i]);
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == b'\'' {
+            // Lifetime: 'ident not followed by closing quote.
+            let mut j = i + 1;
+            let mut name = String::new();
+            while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                name.push(bytes[j] as char);
+                j += 1;
+            }
+            let is_lifetime = !name.is_empty() && (j >= bytes.len() || bytes[j] != b'\'');
+            if is_lifetime {
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime(name),
+                    line,
+                });
+                i = j;
+                continue;
+            }
+            // Char literal: consume to the closing quote, honoring escapes.
+            let tok_line = line;
+            i += 1;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'\'' {
+                    i += 1;
+                    break;
+                }
+                bump_line!(bytes[i]);
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Numbers (digits, underscores, suffixes, hex/oct/bin, floats).
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+            {
+                // Don't eat `..` range punctuation or method calls like 1.max(2).
+                if bytes[i] == b'.'
+                    && (i + 1 >= bytes.len()
+                        || bytes[i + 1] == b'.'
+                        || bytes[i + 1].is_ascii_alphabetic())
+                {
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Literal,
+                line: tok_line,
+            });
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident(src[start..i].to_owned()),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        tokens.push(Token {
+            kind: TokenKind::Punct(c as char),
+            line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ks = kinds("fn main() {}");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("fn".into()),
+                TokenKind::Ident("main".into()),
+                TokenKind::Punct('('),
+                TokenKind::Punct(')'),
+                TokenKind::Punct('{'),
+                TokenKind::Punct('}'),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested() {
+        let ks = kinds("a // comment with { unsafe }\nb /* x /* nested { */ y */ c");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_braces_and_track_lines() {
+        let toks = lex("let s = \"{ unsafe }\";\nx");
+        assert!(toks.iter().all(|t| !t.is_punct('{')));
+        let x = toks.last().unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let ks = kinds(r###"let s = r#"quote " inside"#; done"###);
+        assert!(ks.contains(&TokenKind::Ident("done".into())));
+        // The literal is one token.
+        assert_eq!(
+            ks.iter().filter(|k| matches!(k, TokenKind::Literal)).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ks = kinds("&'a str; 'x'");
+        assert!(ks.contains(&TokenKind::Lifetime("a".into())));
+        assert!(ks.contains(&TokenKind::Literal));
+    }
+
+    #[test]
+    fn char_escape_does_not_derail() {
+        let ks = kinds(r"let c = '\''; let d = '\n'; end");
+        assert!(ks.contains(&TokenKind::Ident("end".into())));
+    }
+
+    #[test]
+    fn numbers_including_floats_and_suffixes() {
+        // Literals: 1, 2.5, 0xff, 1_000u64, 1, 3, and the 1 in max(1).
+        let ks = kinds("1 2.5 0xff 1_000u64 1..3 x.max(1)");
+        let literals = ks
+            .iter()
+            .filter(|k| matches!(k, TokenKind::Literal))
+            .count();
+        assert_eq!(literals, 7);
+        // The range `..` survives as punctuation.
+        assert!(ks.iter().filter(|k| matches!(k, TokenKind::Punct('.'))).count() >= 2);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let ks = kinds(r##"b"bytes" br#"raw"# tail"##);
+        assert!(ks.contains(&TokenKind::Ident("tail".into())));
+        assert_eq!(
+            ks.iter().filter(|k| matches!(k, TokenKind::Literal)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn token_helpers() {
+        let toks = lex("unsafe {");
+        assert!(toks[0].is_ident("unsafe"));
+        assert!(toks[1].is_punct('{'));
+        assert_eq!(toks[0].ident(), Some("unsafe"));
+    }
+}

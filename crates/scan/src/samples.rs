@@ -1,0 +1,194 @@
+//! A bundled miniature Rust source corpus.
+//!
+//! Stands in for the five applications and five libraries the study scanned
+//! (we cannot ship Servo/TiKV/Parity/Redox/Tock source offline). Each sample
+//! reproduces an unsafe-usage shape the paper describes, so the scanner's
+//! §4-style statistics have realistic inputs with known ground truth.
+
+/// One corpus entry: a name and Rust source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sample {
+    /// Short identifier (used in reports).
+    pub name: &'static str,
+    /// The Rust source.
+    pub source: &'static str,
+    /// Ground truth: number of unsafe usages a correct scanner must find.
+    pub expected_usages: usize,
+}
+
+/// Interior mutability via raw-pointer cast (the paper's Fig. 4).
+pub const TEST_CELL: Sample = Sample {
+    name: "test_cell",
+    expected_usages: 2,
+    source: r#"
+struct TestCell { value: i32 }
+unsafe impl Sync for TestCell {}
+impl TestCell {
+    fn set(&self, i: i32) {
+        let p = &self.value as *const i32 as *mut i32;
+        unsafe { *p = i };
+    }
+}
+"#,
+};
+
+/// FFI reuse: calling into libc (the 42% "code reuse" purpose).
+pub const FFI_WRAPPER: Sample = Sample {
+    name: "ffi_wrapper",
+    expected_usages: 3,
+    source: r#"
+mod libc { pub unsafe fn getmntent(f: i32) -> *mut u8 { 0 as *mut u8 } }
+pub fn mounts() -> *mut u8 {
+    unsafe { libc::getmntent(0) }
+}
+pub unsafe fn raw_handle(fd: i32) -> i64 { fd as i64 }
+"#,
+};
+
+/// Performance escapes: unchecked indexing and unsafe memcpy (the 22%
+/// "performance" purpose, §4.1's measured claims).
+pub const FAST_PATH: Sample = Sample {
+    name: "fast_path",
+    expected_usages: 2,
+    source: r#"
+pub fn sum(v: &[u64]) -> u64 {
+    let mut acc = 0;
+    for i in 0..v.len() {
+        acc += unsafe { *v.get_unchecked(i) };
+    }
+    acc
+}
+pub fn copy_fast(src: &[u8], dst: &mut [u8]) {
+    unsafe {
+        std::ptr::copy_nonoverlapping(src.as_ptr(), dst.as_mut_ptr(), src.len());
+    }
+}
+"#,
+};
+
+/// Global state shared across threads through a static mut (the 14%
+/// "sharing across threads" purpose).
+pub const GLOBAL_STATE: Sample = Sample {
+    name: "global_state",
+    expected_usages: 2,
+    source: r#"
+static mut DEPTH: usize = 0;
+pub fn enter() { unsafe { DEPTH += 1; } }
+pub fn leave() { unsafe { DEPTH -= 1; } }
+"#,
+};
+
+/// An unsafe constructor marking, like `String::from_utf8_unchecked` —
+/// the "label the constructor, not every method" practice of §4.1.
+pub const UNSAFE_CTOR: Sample = Sample {
+    name: "unsafe_ctor",
+    expected_usages: 2,
+    source: r#"
+pub struct Ascii { bytes: Vec<u8> }
+impl Ascii {
+    /// # Safety
+    /// Caller guarantees `bytes` are valid ASCII.
+    pub unsafe fn from_bytes_unchecked(bytes: Vec<u8>) -> Ascii {
+        Ascii { bytes }
+    }
+    pub fn as_str(&self) -> &str {
+        unsafe { std::str::from_utf8_unchecked(&self.bytes) }
+    }
+}
+"#,
+};
+
+/// A queue with interior unsafe methods, like the paper's Fig. 5.
+pub const INTERIOR_QUEUE: Sample = Sample {
+    name: "interior_queue",
+    expected_usages: 2,
+    source: r#"
+pub struct Queue { buf: *mut i32, len: usize }
+impl Queue {
+    pub fn pop(&self) -> Option<i32> {
+        if self.len == 0 { return None; }
+        unsafe { Some(*self.buf.add(self.len - 1)) }
+    }
+    pub fn peek(&self) -> Option<&mut i32> {
+        if self.len == 0 { return None; }
+        unsafe { Some(&mut *self.buf.add(self.len - 1)) }
+    }
+}
+"#,
+};
+
+/// A C-bindings module: the 42%-dominant "reuse existing code" purpose —
+/// converting C arrays, calling glibc, wrapping foreign handles.
+pub const C_BINDINGS: Sample = Sample {
+    name: "c_bindings",
+    expected_usages: 5,
+    source: r#"
+mod libc {
+    pub unsafe fn read(fd: i32, buf: *mut u8, n: usize) -> isize { 0 }
+    pub unsafe fn close(fd: i32) -> i32 { 0 }
+}
+pub fn read_all(fd: i32, buf: &mut [u8]) -> isize {
+    unsafe { libc::read(fd, buf.as_mut_ptr(), buf.len()) }
+}
+pub fn close_quietly(fd: i32) {
+    let _ = unsafe { libc::close(fd) };
+}
+pub fn c_array_to_slice(ptr: *const u8, len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    unsafe {
+        for i in 0..len {
+            out.push(*ptr.wrapping_add(i));
+        }
+    }
+    out
+}
+"#,
+};
+
+/// Entirely safe code — the scanner must stay quiet.
+pub const ALL_SAFE: Sample = Sample {
+    name: "all_safe",
+    expected_usages: 0,
+    source: r#"
+// This module mentions unsafe only in comments and "unsafe strings".
+pub fn add(a: i32, b: i32) -> i32 { a + b }
+pub fn describe() -> &'static str { "no unsafe here" }
+"#,
+};
+
+/// The full bundled corpus.
+pub const ALL: &[Sample] = &[
+    TEST_CELL,
+    FFI_WRAPPER,
+    FAST_PATH,
+    GLOBAL_STATE,
+    UNSAFE_CTOR,
+    INTERIOR_QUEUE,
+    C_BINDINGS,
+    ALL_SAFE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan_source;
+
+    #[test]
+    fn every_sample_matches_its_ground_truth() {
+        for s in ALL {
+            let found = scan_source(s.source).len();
+            assert_eq!(
+                found, s.expected_usages,
+                "sample `{}` expected {} usages, scanner found {found}",
+                s.name, s.expected_usages
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_has_both_safe_and_unsafe_entries() {
+        assert!(ALL.iter().any(|s| s.expected_usages == 0));
+        assert!(ALL.iter().any(|s| s.expected_usages > 0));
+        assert_eq!(ALL.len(), 8);
+    }
+}

@@ -1,0 +1,386 @@
+//! Locating and classifying unsafe usages in lexed Rust source.
+
+use serde::{Deserialize, Serialize};
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// The syntactic form of an unsafe usage (the three forms the paper counts,
+/// plus `unsafe impl`, which it counts under traits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum UnsafeKind {
+    /// An `unsafe { .. }` region inside a function.
+    Block,
+    /// An `unsafe fn`.
+    Function,
+    /// An `unsafe trait` declaration.
+    Trait,
+    /// An `unsafe impl Trait for Type`.
+    Impl,
+}
+
+/// The kind of operation found inside an unsafe region (§4.1: "most of them
+/// (66%) are for (unsafe) memory operations … calling unsafe functions
+/// counts for 29%").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Raw-pointer manipulation or casting (`*const`/`*mut`, `as *`,
+    /// pointer deref).
+    RawPointer,
+    /// Calling a function (unsafe or external) from unsafe code.
+    UnsafeCall,
+    /// Access to a `static mut`.
+    StaticMut,
+    /// Union field access.
+    UnionField,
+    /// Call through an `extern`/FFI-looking path (`libc::`, `ffi::`, …).
+    ForeignCall,
+    /// `mem::transmute` and friends: type punning.
+    Transmute,
+}
+
+/// The paper's purpose taxonomy for writing unsafe (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Purpose {
+    /// Reusing existing code: FFI, converting C arrays, external libraries.
+    CodeReuse,
+    /// Skipping checks for speed (`get_unchecked`, `copy_nonoverlapping`,
+    /// pointer arithmetic).
+    Performance,
+    /// Sharing data across threads (`impl Sync`/`Send`, static muts).
+    ThreadSharing,
+    /// Everything else (consistency markers, warnings, …).
+    Other,
+}
+
+/// One located unsafe usage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnsafeUsage {
+    /// Syntactic form.
+    pub kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+    /// Operations observed inside the region/function body.
+    pub ops: Vec<OpKind>,
+    /// Heuristic purpose classification.
+    pub purpose: Purpose,
+    /// Name of the function or trait, when one follows the keyword.
+    pub name: Option<String>,
+}
+
+/// Functions the paper calls out as performance escapes.
+const PERF_CALLS: &[&str] = &[
+    "get_unchecked",
+    "get_unchecked_mut",
+    "copy_nonoverlapping",
+    "offset",
+    "add",
+    "slice_unchecked",
+    "from_utf8_unchecked",
+    "unwrap_unchecked",
+];
+
+/// Paths that signal reuse of non-Rust or pre-existing code.
+const FFI_HINTS: &[&str] = &["libc", "ffi", "sys", "extern_call", "c_char", "c_void", "glibc"];
+
+/// Scans one source string for unsafe usages.
+pub fn scan_source(src: &str) -> Vec<UnsafeUsage> {
+    let tokens = lex(src);
+    let mut usages = Vec::new();
+    let mut statics_mut: Vec<String> = collect_static_muts(&tokens);
+    statics_mut.dedup();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_ident("unsafe") {
+            i += 1;
+            continue;
+        }
+        let line = tokens[i].line;
+        // What follows `unsafe`?
+        match tokens.get(i + 1) {
+            Some(t) if t.is_ident("fn") => {
+                let name = tokens.get(i + 2).and_then(|t| t.ident()).map(str::to_owned);
+                let (ops, end) = match find_open_brace(&tokens, i + 2) {
+                    Some(open) => scan_region(&tokens, open, &statics_mut),
+                    None => (vec![], i + 3), // bodyless declaration
+                };
+                let purpose = classify_purpose(&ops, UnsafeKind::Function, &tokens[i..end]);
+                usages.push(UnsafeUsage {
+                    kind: UnsafeKind::Function,
+                    line,
+                    ops,
+                    purpose,
+                    name,
+                });
+                i = end;
+            }
+            Some(t) if t.is_ident("trait") => {
+                let name = tokens.get(i + 2).and_then(|t| t.ident()).map(str::to_owned);
+                usages.push(UnsafeUsage {
+                    kind: UnsafeKind::Trait,
+                    line,
+                    ops: vec![],
+                    purpose: Purpose::ThreadSharing,
+                    name,
+                });
+                i += 2;
+            }
+            Some(t) if t.is_ident("impl") => {
+                let name = tokens.get(i + 2).and_then(|t| t.ident()).map(str::to_owned);
+                let purpose = match name.as_deref() {
+                    Some("Sync" | "Send") => Purpose::ThreadSharing,
+                    _ => Purpose::Other,
+                };
+                usages.push(UnsafeUsage {
+                    kind: UnsafeKind::Impl,
+                    line,
+                    ops: vec![],
+                    purpose,
+                    name,
+                });
+                i += 2;
+            }
+            Some(t) if t.is_punct('{') => {
+                let (ops, end) = scan_region(&tokens, i + 2, &statics_mut);
+                let purpose = classify_purpose(&ops, UnsafeKind::Block, &tokens[i..end]);
+                usages.push(UnsafeUsage {
+                    kind: UnsafeKind::Block,
+                    line,
+                    ops,
+                    purpose,
+                    name: None,
+                });
+                i = end;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    usages
+}
+
+fn collect_static_muts(tokens: &[Token]) -> Vec<String> {
+    let mut out = Vec::new();
+    for w in tokens.windows(3) {
+        if w[0].is_ident("static") && w[1].is_ident("mut") {
+            if let Some(name) = w[2].ident() {
+                out.push(name.to_owned());
+            }
+        }
+    }
+    out
+}
+
+fn find_open_brace(tokens: &[Token], from: usize) -> Option<usize> {
+    let mut depth_angle: i32 = 0;
+    for (j, t) in tokens.iter().enumerate().skip(from) {
+        match &t.kind {
+            TokenKind::Punct('<') => depth_angle += 1,
+            TokenKind::Punct('>') => depth_angle -= 1,
+            TokenKind::Punct('{') if depth_angle <= 0 => return Some(j + 1),
+            TokenKind::Punct(';') => return None, // declaration without body
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Scans a brace-balanced region starting just *inside* its `{`.
+/// Returns the ops found and the index just past the closing brace.
+fn scan_region(tokens: &[Token], start: usize, statics_mut: &[String]) -> (Vec<OpKind>, usize) {
+    let mut ops = Vec::new();
+    let mut depth = 1;
+    let mut j = start;
+    while j < tokens.len() && depth > 0 {
+        let t = &tokens[j];
+        match &t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => depth -= 1,
+            TokenKind::Ident(id) => {
+                match id.as_str() {
+                    "transmute" => ops.push(OpKind::Transmute),
+                    _ if statics_mut.iter().any(|s| s == id) => ops.push(OpKind::StaticMut),
+                    // `x.field` where x is a union cannot be decided
+                    // lexically; `union` keyword access marker:
+                    "union" => ops.push(OpKind::UnionField),
+                    _ => {
+                        // A call: identifier followed by `(` or `::<`.
+                        let is_call = tokens.get(j + 1).is_some_and(|n| n.is_punct('('));
+                        if is_call {
+                            if FFI_HINTS.iter().any(|h| id.contains(h)) {
+                                ops.push(OpKind::ForeignCall);
+                            } else {
+                                ops.push(OpKind::UnsafeCall);
+                            }
+                        }
+                        // FFI path segments like libc::write.
+                        if FFI_HINTS.contains(&id.as_str())
+                            && tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+                        {
+                            ops.push(OpKind::ForeignCall);
+                        }
+                    }
+                }
+            }
+            TokenKind::Punct('*') => {
+                // `*const` / `*mut` types, `as *`, and unary deref of a
+                // pointer-ish expression.
+                let next_ident = tokens.get(j + 1).and_then(|n| n.ident());
+                let prev_is_as = j > 0 && tokens[j - 1].is_ident("as");
+                if matches!(next_ident, Some("const" | "mut")) || prev_is_as {
+                    ops.push(OpKind::RawPointer);
+                } else if tokens
+                    .get(j + 1)
+                    .is_some_and(|n| matches!(&n.kind, TokenKind::Ident(_) | TokenKind::Punct('(')))
+                    && j > 0
+                    && (tokens[j - 1].is_punct('=')
+                        || tokens[j - 1].is_punct('{')
+                        || tokens[j - 1].is_punct(';')
+                        || tokens[j - 1].is_punct('('))
+                {
+                    // A deref in statement/assignment position.
+                    ops.push(OpKind::RawPointer);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (ops, j)
+}
+
+fn classify_purpose(ops: &[OpKind], kind: UnsafeKind, region: &[Token]) -> Purpose {
+    if ops.iter().any(|o| matches!(o, OpKind::ForeignCall)) {
+        return Purpose::CodeReuse;
+    }
+    if ops.iter().any(|o| matches!(o, OpKind::StaticMut)) {
+        return Purpose::ThreadSharing;
+    }
+    // Performance hints: unchecked calls inside the region itself.
+    if region
+        .iter()
+        .any(|t| t.ident().is_some_and(|id| PERF_CALLS.contains(&id)))
+    {
+        return Purpose::Performance;
+    }
+    if ops.iter().any(|o| matches!(o, OpKind::RawPointer | OpKind::Transmute)) {
+        return Purpose::CodeReuse;
+    }
+    if matches!(kind, UnsafeKind::Trait | UnsafeKind::Impl) {
+        return Purpose::ThreadSharing;
+    }
+    if ops.iter().any(|o| matches!(o, OpKind::UnsafeCall)) {
+        return Purpose::CodeReuse;
+    }
+    Purpose::Other
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_unsafe_blocks_functions_traits_impls() {
+        let src = r#"
+struct TestCell { value: i32 }
+unsafe impl Sync for TestCell {}
+unsafe trait Scary {}
+unsafe fn raw_write(p: *mut i32) { *p = 1; }
+fn set(c: &TestCell, i: i32) {
+    let p = &c.value as *const i32 as *mut i32;
+    unsafe { *p = i };
+}
+"#;
+        let usages = scan_source(src);
+        let kinds: Vec<UnsafeKind> = usages.iter().map(|u| u.kind).collect();
+        assert!(kinds.contains(&UnsafeKind::Impl));
+        assert!(kinds.contains(&UnsafeKind::Trait));
+        assert!(kinds.contains(&UnsafeKind::Function));
+        assert!(kinds.contains(&UnsafeKind::Block));
+        assert_eq!(usages.len(), 4);
+    }
+
+    #[test]
+    fn sync_impl_is_thread_sharing() {
+        let usages = scan_source("unsafe impl Sync for T {}");
+        assert_eq!(usages[0].purpose, Purpose::ThreadSharing);
+        assert_eq!(usages[0].name.as_deref(), Some("Sync"));
+    }
+
+    #[test]
+    fn unchecked_calls_classify_as_performance() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { unsafe { *v.get_unchecked(i) } }";
+        let usages = scan_source(src);
+        assert_eq!(usages.len(), 1);
+        assert_eq!(usages[0].purpose, Purpose::Performance);
+    }
+
+    #[test]
+    fn ffi_calls_classify_as_code_reuse() {
+        let src = "fn now() -> i64 { unsafe { libc::time(std::ptr::null_mut()) } }";
+        let usages = scan_source(src);
+        assert_eq!(usages.len(), 1);
+        assert_eq!(usages[0].purpose, Purpose::CodeReuse);
+        assert!(usages[0].ops.contains(&OpKind::ForeignCall));
+    }
+
+    #[test]
+    fn static_mut_access_is_thread_sharing() {
+        let src = r#"
+static mut COUNTER: u32 = 0;
+fn bump() { unsafe { COUNTER += 1; } }
+"#;
+        let usages = scan_source(src);
+        assert_eq!(usages.len(), 1);
+        assert!(usages[0].ops.contains(&OpKind::StaticMut));
+        assert_eq!(usages[0].purpose, Purpose::ThreadSharing);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let src = r#"
+// unsafe { this is a comment }
+fn f() { let s = "unsafe { not code }"; }
+"#;
+        assert!(scan_source(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_records_name_and_ops() {
+        let src = "unsafe fn fiddle(p: *mut u8) { *p = 0; transmute::<u8,i8>(1); }";
+        let usages = scan_source(src);
+        assert_eq!(usages[0].name.as_deref(), Some("fiddle"));
+        assert!(usages[0].ops.contains(&OpKind::Transmute));
+        assert!(usages[0].ops.contains(&OpKind::RawPointer));
+    }
+
+    #[test]
+    fn nested_braces_keep_region_bounds() {
+        let src = r#"
+fn f() {
+    unsafe { if x { y(); } else { z(); } }
+    not_unsafe();
+}
+"#;
+        let usages = scan_source(src);
+        assert_eq!(usages.len(), 1);
+        // `not_unsafe` is outside the region, so only y and z are calls.
+        let calls = usages[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o, OpKind::UnsafeCall))
+            .count();
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn unsafe_fn_without_body_is_handled() {
+        // Trait method declaration: `unsafe fn f(&self);`
+        let src = "trait T { unsafe fn f(&self); }";
+        let usages = scan_source(src);
+        assert_eq!(usages.len(), 1);
+        assert_eq!(usages[0].kind, UnsafeKind::Function);
+        assert!(usages[0].ops.is_empty());
+    }
+}

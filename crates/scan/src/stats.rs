@@ -1,0 +1,220 @@
+//! Aggregation of scanner output into §4-style statistics.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::scanner::{OpKind, Purpose, UnsafeKind, UnsafeUsage};
+
+/// Counts per category with percentage helpers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsageBreakdown {
+    /// Usages per syntactic form.
+    pub by_kind: BTreeMap<String, usize>,
+    /// Operations per kind across all usages.
+    pub by_op: BTreeMap<String, usize>,
+    /// Usages per inferred purpose.
+    pub by_purpose: BTreeMap<String, usize>,
+}
+
+/// Statistics over one or more scanned sources.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScanStats {
+    /// Total unsafe usages found.
+    pub total: usize,
+    /// Usages whose region performs at least one classified operation.
+    pub usages_with_ops: usize,
+    /// Usages whose region performs a memory operation (raw pointer or
+    /// transmute).
+    pub usages_with_memory_op: usize,
+    /// The categorical breakdowns.
+    pub breakdown: UsageBreakdown,
+}
+
+fn kind_name(k: UnsafeKind) -> &'static str {
+    match k {
+        UnsafeKind::Block => "block",
+        UnsafeKind::Function => "function",
+        UnsafeKind::Trait => "trait",
+        UnsafeKind::Impl => "impl",
+    }
+}
+
+fn op_name(o: OpKind) -> &'static str {
+    match o {
+        OpKind::RawPointer => "raw-pointer",
+        OpKind::UnsafeCall => "call",
+        OpKind::StaticMut => "static-mut",
+        OpKind::UnionField => "union-field",
+        OpKind::ForeignCall => "foreign-call",
+        OpKind::Transmute => "transmute",
+    }
+}
+
+fn purpose_name(p: Purpose) -> &'static str {
+    match p {
+        Purpose::CodeReuse => "code-reuse",
+        Purpose::Performance => "performance",
+        Purpose::ThreadSharing => "thread-sharing",
+        Purpose::Other => "other",
+    }
+}
+
+impl ScanStats {
+    /// Aggregates a batch of usages.
+    pub fn from_usages<'a>(usages: impl IntoIterator<Item = &'a UnsafeUsage>) -> ScanStats {
+        let mut stats = ScanStats::default();
+        for u in usages {
+            stats.total += 1;
+            if !u.ops.is_empty() {
+                stats.usages_with_ops += 1;
+            }
+            if u.ops
+                .iter()
+                .any(|o| matches!(o, OpKind::RawPointer | OpKind::Transmute))
+            {
+                stats.usages_with_memory_op += 1;
+            }
+            *stats
+                .breakdown
+                .by_kind
+                .entry(kind_name(u.kind).to_owned())
+                .or_insert(0) += 1;
+            *stats
+                .breakdown
+                .by_purpose
+                .entry(purpose_name(u.purpose).to_owned())
+                .or_insert(0) += 1;
+            for op in &u.ops {
+                *stats
+                    .breakdown
+                    .by_op
+                    .entry(op_name(*op).to_owned())
+                    .or_insert(0) += 1;
+            }
+        }
+        stats
+    }
+
+    /// Merges another batch in.
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.total += other.total;
+        self.usages_with_ops += other.usages_with_ops;
+        self.usages_with_memory_op += other.usages_with_memory_op;
+        for (k, v) in &other.breakdown.by_kind {
+            *self.breakdown.by_kind.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.breakdown.by_op {
+            *self.breakdown.by_op.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.breakdown.by_purpose {
+            *self.breakdown.by_purpose.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Percentage of usages whose purpose is `name` (0.0 when empty).
+    pub fn purpose_percent(&self, name: &str) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.breakdown.by_purpose.get(name).copied().unwrap_or(0);
+        100.0 * n as f64 / self.total as f64
+    }
+
+    /// Percentage of operation-performing usages whose operations include
+    /// an unsafe *memory* operation (raw pointers, transmutes) — the
+    /// paper's "most of them (66%) are for (unsafe) memory operations".
+    pub fn memory_op_percent(&self) -> f64 {
+        if self.usages_with_ops == 0 {
+            return 0.0;
+        }
+        100.0 * self.usages_with_memory_op as f64 / self.usages_with_ops as f64
+    }
+
+    /// Renders a report in the shape of the §4 prose statistics.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "unsafe usages: {}", self.total);
+        let _ = writeln!(s, "  by form:");
+        for (k, v) in &self.breakdown.by_kind {
+            let _ = writeln!(s, "    {k:<10} {v}");
+        }
+        let _ = writeln!(s, "  operations inside unsafe regions:");
+        for (k, v) in &self.breakdown.by_op {
+            let _ = writeln!(s, "    {k:<14} {v}");
+        }
+        let _ = writeln!(s, "  inferred purpose:");
+        for (k, v) in &self.breakdown.by_purpose {
+            let _ = writeln!(
+                s,
+                "    {k:<14} {v} ({:.0}%)",
+                self.purpose_percent(k)
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+    use crate::scanner::scan_source;
+
+    fn corpus_stats() -> ScanStats {
+        let mut stats = ScanStats::default();
+        for s in samples::ALL {
+            let usages = scan_source(s.source);
+            stats.merge(&ScanStats::from_usages(&usages));
+        }
+        stats
+    }
+
+    #[test]
+    fn totals_match_sample_ground_truth() {
+        let stats = corpus_stats();
+        let expected: usize = samples::ALL.iter().map(|s| s.expected_usages).sum();
+        assert_eq!(stats.total, expected);
+    }
+
+    #[test]
+    fn all_purposes_appear_in_the_corpus() {
+        let stats = corpus_stats();
+        for p in ["code-reuse", "performance", "thread-sharing"] {
+            assert!(
+                stats.breakdown.by_purpose.contains_key(p),
+                "missing purpose {p}: {:?}",
+                stats.breakdown.by_purpose
+            );
+        }
+    }
+
+    #[test]
+    fn percentages_sum_to_one_hundred() {
+        let stats = corpus_stats();
+        let sum: f64 = stats
+            .breakdown
+            .by_purpose
+            .keys()
+            .map(|k| stats.purpose_percent(k))
+            .sum();
+        assert!((sum - 100.0).abs() < 1e-6, "{sum}");
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = ScanStats::default();
+        assert_eq!(stats.purpose_percent("code-reuse"), 0.0);
+        assert_eq!(stats.memory_op_percent(), 0.0);
+    }
+
+    #[test]
+    fn render_mentions_forms_and_purposes() {
+        let stats = corpus_stats();
+        let s = stats.render();
+        assert!(s.contains("unsafe usages:"));
+        assert!(s.contains("block"));
+        assert!(s.contains("code-reuse"));
+    }
+}

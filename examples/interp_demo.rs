@@ -1,0 +1,78 @@
+//! Drive the dynamic baseline: execute concurrency-bug corpus programs
+//! under different schedules and watch the deadlock and race detectors
+//! fire — or miss, when the schedule doesn't trigger the bug (the paper's
+//! argument for static detection).
+//!
+//! ```sh
+//! cargo run --example interp_demo
+//! ```
+
+use rstudy_corpus::blocking::{DOUBLE_LOCK_SIMPLE, LOCK_ORDER_THREADS};
+use rstudy_corpus::nonblocking::{ATOMIC_CHECK_THEN_ACT, RACE_RAW_POINTER};
+use rstudy_interp::{Interpreter, InterpreterConfig, SchedulePolicy};
+
+fn run(name: &str, source: &str, policy: SchedulePolicy) {
+    let program = rstudy_mir::parse::parse_program(source).expect("corpus parses");
+    let config = InterpreterConfig {
+        max_steps: 200_000,
+        policy,
+        detect_races: true,
+        trace_tail: 0,
+    };
+    let outcome = Interpreter::new(&program).with_config(config).run();
+    let verdict = match (&outcome.fault, outcome.races.len()) {
+        (Some(f), _) => format!("fault: {f}"),
+        (None, 0) => format!("clean, returned {:?}", outcome.return_int()),
+        (None, n) => format!("{n} data race(s), returned {:?}", outcome.return_int()),
+    };
+    println!("  [{policy:?}] {name}: {verdict} ({} steps)", outcome.steps);
+}
+
+fn main() {
+    println!("== double lock (self-deadlock is schedule-independent) ==");
+    run(
+        DOUBLE_LOCK_SIMPLE.name,
+        DOUBLE_LOCK_SIMPLE.source,
+        SchedulePolicy::RoundRobin,
+    );
+    for seed in [1, 2, 3] {
+        run(
+            DOUBLE_LOCK_SIMPLE.name,
+            DOUBLE_LOCK_SIMPLE.source,
+            SchedulePolicy::Random(seed),
+        );
+    }
+
+    println!("\n== ABBA lock-order inversion (schedule-dependent!) ==");
+    run(
+        LOCK_ORDER_THREADS.name,
+        LOCK_ORDER_THREADS.source,
+        SchedulePolicy::RoundRobin,
+    );
+    for seed in [1, 7, 13, 99] {
+        run(
+            LOCK_ORDER_THREADS.name,
+            LOCK_ORDER_THREADS.source,
+            SchedulePolicy::Random(seed),
+        );
+    }
+    println!("  (some seeds complete cleanly — a dynamic tool only sees the bug");
+    println!("   when the schedule cooperates; §7's case for static detectors)");
+
+    println!("\n== unsynchronized counter (lockset detector) ==");
+    run(
+        RACE_RAW_POINTER.name,
+        RACE_RAW_POINTER.source,
+        SchedulePolicy::RoundRobin,
+    );
+
+    println!("\n== Fig. 9 atomicity violation (wrong result, no fault) ==");
+    for seed in [1, 5, 9] {
+        run(
+            ATOMIC_CHECK_THEN_ACT.name,
+            ATOMIC_CHECK_THEN_ACT.source,
+            SchedulePolicy::Random(seed),
+        );
+    }
+    println!("  (a result of 2 means both threads produced a seal — the lost update)");
+}

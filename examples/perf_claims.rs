@@ -1,0 +1,122 @@
+//! Long-window measurement of the §4.1 performance claims (run with
+//! `--release`; the criterion benches in `rstudy-bench` measure the same
+//! workloads with statistical sampling, this example uses large fixed
+//! iteration counts, which is steadier on noisy machines):
+//!
+//! * unsafe `ptr::copy_nonoverlapping` vs `slice::copy_from_slice`
+//!   (paper: "23% faster in some cases"),
+//! * `slice::get_unchecked` vs checked indexing (paper: 4–5×; modern
+//!   rustc + hardware shrink this to ~2× — the direction holds),
+//! * pointer-offset traversal vs checked indexing (same claim).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+const HOT_ITERS: usize = 100_000;
+const REPS: usize = 300;
+
+#[inline(always)]
+fn next_index(i: usize) -> usize {
+    i.wrapping_mul(5).wrapping_add(1) & 255
+}
+
+#[inline(never)]
+fn hot_checked(v: &[u64], n: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    for _ in 0..n {
+        acc = acc.wrapping_add(v[i]);
+        i = next_index(i);
+    }
+    acc
+}
+
+#[inline(never)]
+fn hot_unchecked(v: &[u64], n: usize) -> u64 {
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    for _ in 0..n {
+        acc = acc.wrapping_add(unsafe { *v.get_unchecked(i) });
+        i = next_index(i);
+    }
+    acc
+}
+
+#[inline(never)]
+fn hot_ptr_offset(v: &[u64], n: usize) -> u64 {
+    let base = v.as_ptr();
+    let mut acc = 0u64;
+    let mut i = 0usize;
+    for _ in 0..n {
+        acc = acc.wrapping_add(unsafe { *base.add(i) });
+        i = next_index(i);
+    }
+    acc
+}
+
+fn time_ms<F: FnMut() -> u64>(mut f: F) -> f64 {
+    for _ in 0..10 {
+        black_box(f());
+    }
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..REPS {
+        acc = acc.wrapping_add(f());
+    }
+    black_box(acc);
+    start.elapsed().as_secs_f64() * 1000.0
+}
+
+fn median_of_5<F: FnMut() -> f64>(mut f: F) -> f64 {
+    let mut xs: Vec<f64> = (0..5).map(|_| f()).collect();
+    xs.sort_by(f64::total_cmp);
+    xs[2]
+}
+
+fn main() {
+    if cfg!(debug_assertions) {
+        eprintln!("note: run with --release; debug-build ratios are meaningless");
+    }
+
+    println!("== PERF-MEMCPY: copy_from_slice vs ptr::copy_nonoverlapping ==");
+    for size in [16usize, 1024, 65536] {
+        let src: Vec<u8> = (0..size).map(|x| x as u8).collect();
+        let mut dst = vec![0u8; size];
+        let safe = median_of_5(|| {
+            time_ms(|| {
+                dst.copy_from_slice(black_box(&src));
+                dst[0] as u64
+            })
+        });
+        let unsafe_ = median_of_5(|| {
+            time_ms(|| {
+                unsafe {
+                    std::ptr::copy_nonoverlapping(black_box(src.as_ptr()), dst.as_mut_ptr(), size)
+                };
+                dst[0] as u64
+            })
+        });
+        println!(
+            "  {size:>6} B: safe {safe:>8.3} ms  unsafe {unsafe_:>8.3} ms  ratio {:.2}x",
+            safe / unsafe_
+        );
+    }
+
+    let data: Vec<u64> = (0..256u64).collect();
+    let n = black_box(HOT_ITERS);
+
+    println!("\n== PERF-GET: checked indexing vs get_unchecked ==");
+    let safe = median_of_5(|| time_ms(|| hot_checked(black_box(&data), n)));
+    let unchecked = median_of_5(|| time_ms(|| hot_unchecked(black_box(&data), n)));
+    println!(
+        "  checked {safe:>8.3} ms  get_unchecked {unchecked:>8.3} ms  ratio {:.2}x (paper: 4-5x on 2019 rustc)",
+        safe / unchecked
+    );
+
+    println!("\n== PERF-PTR: checked indexing vs pointer-offset traversal ==");
+    let ptr = median_of_5(|| time_ms(|| hot_ptr_offset(black_box(&data), n)));
+    println!(
+        "  checked {safe:>8.3} ms  ptr_offset {ptr:>8.3} ms  ratio {:.2}x (paper: 4-5x on 2019 rustc)",
+        safe / ptr
+    );
+}

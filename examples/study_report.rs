@@ -1,0 +1,41 @@
+//! Regenerate every table and figure of the study from the encoded
+//! datasets: Tables 1–4, Figures 1–2, and the §4 unsafe-usage statistics.
+//!
+//! ```sh
+//! cargo run --example study_report
+//! cargo run --example study_report -- --json   # machine-readable dataset
+//! ```
+
+use rstudy_dataset::export::DatasetBundle;
+use rstudy_dataset::figures::{render_figure1, render_figure2};
+use rstudy_dataset::tables::{render_table1, render_table2, render_table3, render_table4};
+use rstudy_dataset::unsafe_usages;
+
+fn main() {
+    if std::env::args().any(|a| a == "--json") {
+        let bundle = DatasetBundle::build();
+        println!("{}", bundle.to_json().expect("dataset serializes"));
+        return;
+    }
+
+    println!("== Table 1: studied applications and libraries ==");
+    print!("{}", render_table1());
+
+    println!("\n== Table 2: memory-bug categories ==");
+    print!("{}", render_table2());
+
+    println!("\n== Table 3: synchronization in blocking bugs ==");
+    print!("{}", render_table3());
+
+    println!("\n== Table 4: data sharing in non-blocking bugs ==");
+    print!("{}", render_table4());
+
+    println!("\n== Figure 1: Rust release history ==");
+    print!("{}", render_figure1());
+
+    println!("\n== Figure 2: fix dates of the 170 studied bugs ==");
+    print!("{}", render_figure2());
+
+    println!("\n== §4: unsafe-usage statistics ==");
+    print!("{}", unsafe_usages::render());
+}

@@ -1,0 +1,278 @@
+//! `rust-safety-study` — the command-line front end.
+//!
+//! ```text
+//! rust-safety-study check <file.mir> [--naive]     run the static detectors
+//! rust-safety-study run <file.mir> [--seed N]      execute on the checked interpreter
+//! rust-safety-study lint <file.mir>                IDE-style lints (implicit unlocks, …)
+//! rust-safety-study scan <path>...                 unsafe-usage scanner over .rs files
+//! rust-safety-study report [--json]                regenerate the study's tables/figures
+//! rust-safety-study corpus [name]                  list corpus entries / print one
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use rust_safety_study::core::config::DetectorConfig;
+use rust_safety_study::core::lints;
+use rust_safety_study::core::suite::DetectorSuite;
+use rust_safety_study::interp::{Interpreter, InterpreterConfig, SchedulePolicy};
+use rust_safety_study::mir::parse::parse_program;
+use rust_safety_study::mir::validate::validate_program;
+use rust_safety_study::mir::Program;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "lint" => cmd_lint(&args[1..]),
+        "scan" => cmd_scan(&args[1..]),
+        "report" => cmd_report(&args[1..]),
+        "corpus" => cmd_corpus(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+rust-safety-study — static & dynamic Rust-safety tooling (PLDI 2020 reproduction)
+
+USAGE:
+  rust-safety-study check <file.mir> [--naive]   run all ten static detectors
+  rust-safety-study run <file.mir> [--seed N] [--max-steps N] [--trace]
+  rust-safety-study lint <file.mir>              critical sections & hazards
+  rust-safety-study scan <path>...               scan .rs files for unsafe usages
+  rust-safety-study report [--json]              Tables 1-4, Figures 1-2, §4 stats
+  rust-safety-study corpus [name]                list / print corpus programs";
+
+fn load(path: &str) -> Result<Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    validate_program(&program)
+        .map_err(|errs| format!("{path}: invalid program: {}", errs[0]))?;
+    Ok(program)
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("check: missing <file.mir>");
+        return ExitCode::from(2);
+    };
+    let config = if args.iter().any(|a| a == "--naive") {
+        DetectorConfig::naive()
+    } else {
+        DetectorConfig::new()
+    };
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = DetectorSuite::new().with_config(config).check_program(&program);
+    if report.is_clean() {
+        println!("{path}: no findings");
+        return ExitCode::SUCCESS;
+    }
+    for d in report.diagnostics() {
+        println!("{d}");
+    }
+    println!("{}: {} finding(s)", path, report.len());
+    ExitCode::FAILURE
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("run: missing <file.mir>");
+        return ExitCode::from(2);
+    };
+    let mut config = InterpreterConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let seed = it.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+                config.policy = SchedulePolicy::Random(seed);
+            }
+            "--max-steps" => {
+                config.max_steps = it.next().and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+            }
+            "--trace" => {
+                config.trace_tail = 32;
+            }
+            other => {
+                eprintln!("run: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = Interpreter::new(&program).with_config(config).run();
+    println!("steps: {}", outcome.steps);
+    if !outcome.trace.is_empty() {
+        println!("trace (last {} steps):", outcome.trace.len());
+        for e in &outcome.trace {
+            println!("  {e}");
+        }
+    }
+    for r in &outcome.races {
+        println!("{r}");
+    }
+    if outcome.leaked_heap_blocks > 0 {
+        println!("leaked heap blocks: {}", outcome.leaked_heap_blocks);
+    }
+    match &outcome.fault {
+        Some(f) => {
+            println!("fault: {f}");
+            ExitCode::FAILURE
+        }
+        None => {
+            println!("returned: {:?}", outcome.return_value);
+            if outcome.races.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("lint: missing <file.mir>");
+        return ExitCode::from(2);
+    };
+    let program = match load(path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (name, body) in program.iter() {
+        let sections = lints::critical_sections(body);
+        for s in sections {
+            println!(
+                "{name}: lock acquired at {} (guard {}) — implicit unlock at {:?}",
+                s.acquired_at, s.guard, s.released_at
+            );
+        }
+    }
+    for h in lints::blocking_in_critical_section(&program) {
+        println!(
+            "{}: blocking `{}` at {} while a lock is held",
+            h.function, h.operation, h.location
+        );
+    }
+    for c in lints::interior_mutability_calls(&program) {
+        println!(
+            "{}: call to interior-mutability function `{}` at {} — review its synchronization",
+            c.caller, c.callee, c.location
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_scan(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        eprintln!("scan: missing <path>...");
+        return ExitCode::from(2);
+    }
+    let mut stats = rust_safety_study::scan::stats::ScanStats::default();
+    for a in args {
+        scan_path(Path::new(a), &mut stats);
+    }
+    print!("{}", stats.render());
+    ExitCode::SUCCESS
+}
+
+fn scan_path(path: &Path, stats: &mut rust_safety_study::scan::stats::ScanStats) {
+    use rust_safety_study::scan::{scan_source, stats::ScanStats};
+    if path.is_dir() {
+        if let Ok(entries) = std::fs::read_dir(path) {
+            for e in entries.flatten() {
+                scan_path(&e.path(), stats);
+            }
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        if let Ok(src) = std::fs::read_to_string(path) {
+            let usages = scan_source(&src);
+            for u in &usages {
+                println!("{}:{}: unsafe {:?} ({:?})", path.display(), u.line, u.kind, u.purpose);
+            }
+            stats.merge(&ScanStats::from_usages(&usages));
+        }
+    }
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    use rust_safety_study::dataset;
+    if args.iter().any(|a| a == "--json") {
+        match dataset::export::DatasetBundle::build().to_json() {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", dataset::tables::render_table1());
+    println!();
+    print!("{}", dataset::tables::render_table2());
+    println!();
+    print!("{}", dataset::tables::render_table3());
+    println!();
+    print!("{}", dataset::tables::render_table4());
+    println!();
+    print!("{}", dataset::figures::render_figure1());
+    println!();
+    print!("{}", dataset::figures::render_figure2());
+    println!();
+    print!("{}", dataset::unsafe_usages::render());
+    ExitCode::SUCCESS
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    use rust_safety_study::corpus::all_entries;
+    match args.first() {
+        None => {
+            for e in all_entries() {
+                println!(
+                    "{:<28} static={:<40} {}",
+                    e.name,
+                    format!("{:?}", e.static_bugs),
+                    e.description
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match all_entries().into_iter().find(|e| e.name == *name) {
+            Some(e) => {
+                print!("{}", e.source.trim_start());
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("corpus: no entry named `{name}`");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

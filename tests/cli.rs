@@ -1,0 +1,137 @@
+//! End-to-end tests of the `rust-safety-study` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rust-safety-study"))
+}
+
+fn mir_path(name: &str) -> String {
+    format!("{}/examples/mir/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_reports_the_seeded_uaf_and_fails() {
+    let out = bin()
+        .args(["check", &mir_path("use_after_free.mir")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("use-after-free"), "{stdout}");
+}
+
+#[test]
+fn run_detects_the_double_lock_dynamically() {
+    let out = bin()
+        .args(["run", &mir_path("double_lock.mir")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("lock it already holds"), "{stdout}");
+}
+
+#[test]
+fn run_completes_the_channel_pipeline() {
+    let out = bin()
+        .args(["run", &mir_path("channel_pipeline.mir"), "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("returned"), "{stdout}");
+    assert!(stdout.contains("99"), "{stdout}");
+}
+
+#[test]
+fn run_reports_the_data_race() {
+    let out = bin()
+        .args(["run", &mir_path("data_race.mir")])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("data race"), "{stdout}");
+}
+
+#[test]
+fn lint_prints_implicit_unlock_locations() {
+    let out = bin()
+        .args(["lint", &mir_path("double_lock.mir")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("implicit unlock"), "{stdout}");
+}
+
+#[test]
+fn report_emits_tables_and_json() {
+    let out = bin().args(["report"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Servo"), "{stdout}");
+    assert!(stdout.contains("4990"), "{stdout}");
+
+    let out = bin().args(["report", "--json"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+}
+
+#[test]
+fn corpus_lists_and_prints_entries() {
+    let out = bin().args(["corpus"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let list = String::from_utf8_lossy(&out.stdout);
+    assert!(list.contains("uaf_fig7_drop"), "{list}");
+
+    let out = bin()
+        .args(["corpus", "double_lock_fig8"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let src = String::from_utf8_lossy(&out.stdout);
+    assert!(src.contains("rwlock::read"), "{src}");
+
+    let out = bin()
+        .args(["corpus", "no_such_entry"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_command_prints_usage_and_fails() {
+    let out = bin().args(["frobnicate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn check_rejects_malformed_input() {
+    let dir = std::env::temp_dir().join("rstudy-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.mir");
+    std::fs::write(&path, "fn broken( -> unit {}").unwrap();
+    let out = bin()
+        .args(["check", path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn run_with_trace_prints_the_step_tail() {
+    let out = bin()
+        .args(["run", &mir_path("use_after_free.mir"), "--trace"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace (last"), "{stdout}");
+    assert!(stdout.contains("main::bb0[0]"), "{stdout}");
+}

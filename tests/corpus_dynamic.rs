@@ -1,0 +1,72 @@
+//! Ground-truth check: the checked interpreter produces the expected
+//! dynamic behaviour on every corpus entry.
+
+use rstudy_corpus::{all_entries, DynamicExpectation};
+use rstudy_interp::{Interpreter, InterpreterConfig, SchedulePolicy};
+
+fn config() -> InterpreterConfig {
+    InterpreterConfig {
+        max_steps: 100_000,
+        policy: SchedulePolicy::RoundRobin,
+        detect_races: true,
+        trace_tail: 0,
+    }
+}
+
+#[test]
+fn every_corpus_entry_matches_its_dynamic_ground_truth() {
+    let mut failures = Vec::new();
+    for entry in all_entries() {
+        let program = entry.program();
+        let outcome = Interpreter::new(&program)
+            .with_config(config())
+            .run();
+        let ok = match entry.dynamic {
+            DynamicExpectation::Clean => outcome.is_clean(),
+            DynamicExpectation::MemoryFault => outcome.memory_fault().is_some(),
+            DynamicExpectation::Deadlock => outcome.deadlocked(),
+            DynamicExpectation::Race => !outcome.races.is_empty() && outcome.fault.is_none(),
+            DynamicExpectation::ReturnsInt(n) => {
+                outcome.fault.is_none()
+                    && outcome.races.is_empty()
+                    && outcome.return_int() == Some(n)
+            }
+        };
+        if !ok {
+            failures.push(format!(
+                "{}: expected {:?}, got {:?}",
+                entry.name, entry.dynamic, outcome
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} dynamic mismatches:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn random_seeds_agree_on_single_threaded_entries() {
+    // Single-threaded programs must behave identically under any schedule.
+    for entry in all_entries() {
+        let program = entry.program();
+        let spawns_threads = entry.source.contains("thread::spawn");
+        if spawns_threads {
+            continue;
+        }
+        let base = Interpreter::new(&program).with_config(config()).run();
+        for seed in [1u64, 7, 42] {
+            let mut cfg = config();
+            cfg.policy = SchedulePolicy::Random(seed);
+            let out = Interpreter::new(&program).with_config(cfg).run();
+            assert_eq!(
+                out.fault, base.fault,
+                "{} diverges under seed {seed}",
+                entry.name
+            );
+            assert_eq!(out.return_value, base.return_value, "{}", entry.name);
+        }
+    }
+}

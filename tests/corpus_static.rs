@@ -1,0 +1,54 @@
+//! Ground-truth check: the static detector suite reports exactly the
+//! expected bug classes on every corpus entry.
+
+use std::collections::BTreeSet;
+
+use rstudy_core::suite::DetectorSuite;
+use rstudy_corpus::all_entries;
+
+#[test]
+fn every_corpus_entry_matches_its_static_ground_truth() {
+    let suite = DetectorSuite::new();
+    let mut failures = Vec::new();
+    for entry in all_entries() {
+        let program = entry.program();
+        let report = suite.check_program(&program);
+        let found: BTreeSet<&str> = report
+            .diagnostics()
+            .iter()
+            .map(|d| d.bug_class.code())
+            .collect();
+        let expected: BTreeSet<&str> = entry.static_bugs.iter().copied().collect();
+        if found != expected {
+            failures.push(format!(
+                "{}: expected {:?}, found {:?} — {:#?}",
+                entry.name,
+                expected,
+                found,
+                report.diagnostics()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus mismatches:\n{}",
+        failures.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn statically_clean_entries_stay_clean_under_every_individual_detector() {
+    // Guard against a detector only being quiet because another detector's
+    // diagnostics masked an exact-set mismatch.
+    let suite = DetectorSuite::new();
+    for entry in all_entries().into_iter().filter(|e| e.is_statically_clean()) {
+        let report = suite.check_program(&entry.program());
+        assert!(
+            report.is_clean(),
+            "{} should be clean: {:#?}",
+            entry.name,
+            report.diagnostics()
+        );
+    }
+}

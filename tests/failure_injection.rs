@@ -1,0 +1,148 @@
+//! Failure injection: mutate fixed corpus programs back into buggy shapes
+//! and assert the corresponding detector (static) or fault (dynamic) fires.
+
+use rstudy_core::suite::DetectorSuite;
+use rstudy_core::BugClass;
+use rstudy_corpus::blocking::DOUBLE_LOCK_FIG8_FIXED;
+use rstudy_corpus::memory::{INVALID_FREE_FIXED, UAF_FIXED, UNINIT_FIXED};
+use rstudy_corpus::mutate;
+use rstudy_interp::Interpreter;
+
+#[test]
+fn hoisting_storage_dead_reintroduces_use_after_free() {
+    // UAF_FIXED derefs before the drop; hoisting the pointee's death above
+    // the use is exactly the paper's Fig. 7 regression.
+    let mut program = UNINIT_FIXED.program();
+    // UNINIT_FIXED has no stack pointee; use UAF_FIXED's sibling shape by
+    // building a suitable program from text.
+    let _ = &mut program;
+    let src = r#"
+fn main() -> int {
+    let _1 as x: int;
+    let _2 as p: *mut int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 42;
+        StorageLive(_2);
+        _2 = &raw mut _1;
+        unsafe _0 = (*_2);
+        StorageDead(_1);
+        return;
+    }
+}
+"#;
+    let mut program = rstudy_mir::parse::parse_program(src).expect("parse");
+    // Pre-mutation: clean on both axes.
+    assert!(DetectorSuite::new().check_program(&program).is_clean());
+    assert!(Interpreter::new(&program).run().is_clean());
+
+    let site = mutate::hoist_storage_dead(&mut program).expect("candidate exists");
+    assert!(site.description.contains("StorageDead"));
+
+    let report = DetectorSuite::new().check_program(&program);
+    assert!(
+        report.count(BugClass::UseAfterFree) > 0,
+        "{:#?}",
+        report.diagnostics()
+    );
+    let outcome = Interpreter::new(&program).run();
+    assert!(outcome.memory_fault().is_some(), "{outcome:?}");
+}
+
+#[test]
+fn duplicating_dealloc_reintroduces_double_free() {
+    let src = r#"
+fn main() -> unit {
+    let _1 as p: *mut int;
+    let _2: unit;
+
+    bb0: {
+        StorageLive(_1);
+        StorageLive(_2);
+        unsafe _1 = call alloc(const 1) -> bb1;
+    }
+
+    bb1: {
+        unsafe _2 = call dealloc(_1) -> bb2;
+    }
+
+    bb2: {
+        return;
+    }
+}
+"#;
+    let mut program = rstudy_mir::parse::parse_program(src).expect("parse");
+    assert!(DetectorSuite::new().check_program(&program).is_clean());
+
+    mutate::duplicate_dealloc(&mut program).expect("dealloc exists");
+    assert!(rstudy_mir::validate::validate_program(&program).is_ok());
+
+    let report = DetectorSuite::new().check_program(&program);
+    assert!(report.count(BugClass::DoubleFree) > 0, "{:#?}", report.diagnostics());
+    let outcome = Interpreter::new(&program).run();
+    assert!(
+        matches!(
+            outcome.memory_fault(),
+            Some(rstudy_interp::MemoryFault::DoubleFree(_))
+        ),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn removing_guard_release_reintroduces_double_lock() {
+    let mut program = DOUBLE_LOCK_FIG8_FIXED.program();
+    assert!(DetectorSuite::new().check_program(&program).is_clean());
+
+    mutate::drop_guard_release(&mut program).expect("guard release exists");
+
+    let report = DetectorSuite::new().check_program(&program);
+    assert!(
+        report.count(BugClass::DoubleLock) > 0,
+        "{:#?}",
+        report.diagnostics()
+    );
+    let outcome = Interpreter::new(&program).run();
+    assert!(outcome.deadlocked(), "{outcome:?}");
+}
+
+#[test]
+fn unwriting_initialization_reintroduces_invalid_free() {
+    let mut program = INVALID_FREE_FIXED.program();
+    assert!(DetectorSuite::new().check_program(&program).is_clean());
+
+    mutate::unwrite_initialization(&mut program).expect("ptr::write exists");
+
+    let report = DetectorSuite::new().check_program(&program);
+    assert!(
+        report.count(BugClass::InvalidFree) > 0,
+        "{:#?}",
+        report.diagnostics()
+    );
+    let outcome = Interpreter::new(&program).run();
+    assert!(
+        matches!(
+            outcome.memory_fault(),
+            Some(rstudy_interp::MemoryFault::DropOfUninit(_))
+        ),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn mutating_a_program_twice_is_idempotent_or_none() {
+    // A second identical mutation either finds another candidate or
+    // returns None; it never corrupts the program.
+    let mut program = DOUBLE_LOCK_FIG8_FIXED.program();
+    let _ = mutate::drop_guard_release(&mut program);
+    let _ = mutate::drop_guard_release(&mut program);
+    assert!(rstudy_mir::validate::validate_program(&program).is_ok());
+}
+
+#[test]
+fn unused_fixed_entry_uaf_fixed_is_actually_clean() {
+    // Regression guard for the mutation source material itself.
+    let program = UAF_FIXED.program();
+    assert!(DetectorSuite::new().check_program(&program).is_clean());
+}

@@ -1,0 +1,118 @@
+//! Integration of the §4 scanner with the dataset statistics, and
+//! consistency between the dataset taxonomy and the detector taxonomy.
+
+use rstudy_core::classify::{EffectClass, Propagation as CoreProp};
+use rstudy_core::BugClass;
+use rstudy_dataset::bugs::{all_bugs, BugKind, MemClass, Propagation as DataProp};
+use rstudy_scan::stats::ScanStats;
+use rstudy_scan::{samples, scan_source};
+
+#[test]
+fn scanner_reproduces_the_papers_purpose_ordering() {
+    // §4.1: code reuse (42%) > performance (22%) > sharing (14%). The
+    // bundled corpus is built to reproduce that ordering.
+    let mut stats = ScanStats::default();
+    for s in samples::ALL {
+        stats.merge(&ScanStats::from_usages(&scan_source(s.source)));
+    }
+    let reuse = stats.purpose_percent("code-reuse");
+    let perf = stats.purpose_percent("performance");
+    let sharing = stats.purpose_percent("thread-sharing");
+    assert!(
+        reuse > perf && perf >= sharing,
+        "ordering broken: reuse {reuse:.0}% perf {perf:.0}% sharing {sharing:.0}%"
+    );
+    assert!(reuse > 0.0 && sharing > 0.0);
+}
+
+#[test]
+fn scanner_finds_memory_ops_as_the_dominant_operation() {
+    // §4.1: "most of them (66%) are for (unsafe) memory operations" —
+    // raw-pointer manipulation dominates in the corpus too.
+    let mut stats = ScanStats::default();
+    for s in samples::ALL {
+        stats.merge(&ScanStats::from_usages(&scan_source(s.source)));
+    }
+    assert!(stats.memory_op_percent() > 25.0, "{}", stats.memory_op_percent());
+}
+
+#[test]
+fn interior_unsafe_sample_has_both_checked_and_unchecked_shapes() {
+    // The Fig. 5 queue exposes interior-unsafe methods that check `len`
+    // before the unsafe region — the scanner must see both unsafe blocks.
+    let usages = scan_source(samples::INTERIOR_QUEUE.source);
+    assert_eq!(usages.len(), 2);
+    for u in usages {
+        assert_eq!(u.kind, rstudy_scan::UnsafeKind::Block);
+    }
+}
+
+#[test]
+fn dataset_memory_classes_map_onto_detector_classes() {
+    // Every Table 2 class has a corresponding detector bug class with the
+    // same WrongAccess/LifetimeViolation grouping.
+    let pairs = [
+        (MemClass::Buffer, BugClass::BufferOverflow),
+        (MemClass::Null, BugClass::NullPointerDereference),
+        (MemClass::Uninit, BugClass::UninitializedRead),
+        (MemClass::Invalid, BugClass::InvalidFree),
+        (MemClass::Uaf, BugClass::UseAfterFree),
+        (MemClass::DoubleFree, BugClass::DoubleFree),
+    ];
+    for (data_class, core_class) in pairs {
+        let group = EffectClass::of(core_class).expect("memory class");
+        let expect = match data_class {
+            MemClass::Buffer | MemClass::Null | MemClass::Uninit => EffectClass::WrongAccess,
+            _ => EffectClass::LifetimeViolation,
+        };
+        assert_eq!(group, expect, "{data_class:?}");
+    }
+}
+
+#[test]
+fn dataset_propagations_map_onto_detector_propagations() {
+    use rstudy_mir::Safety;
+    let map = |p: DataProp| match p {
+        DataProp::Safe => CoreProp::from_sites(Safety::Safe, Safety::Safe),
+        DataProp::Unsafe => CoreProp::from_sites(Safety::Unsafe, Safety::Unsafe),
+        DataProp::SafeToUnsafe => CoreProp::from_sites(Safety::Safe, Safety::Unsafe),
+        DataProp::UnsafeToSafe => CoreProp::from_sites(Safety::Unsafe, Safety::Safe),
+    };
+    assert_eq!(map(DataProp::Safe), CoreProp::SafeToSafe);
+    assert_eq!(map(DataProp::SafeToUnsafe), CoreProp::SafeToUnsafe);
+    assert_eq!(map(DataProp::UnsafeToSafe), CoreProp::UnsafeToSafe);
+    assert_eq!(map(DataProp::Unsafe), CoreProp::UnsafeToUnsafe);
+}
+
+#[test]
+fn headline_insight_4_holds_in_the_dataset() {
+    // Insight 4: "All memory-safety issues involve unsafe code" — in
+    // Table 2 terms, the safe→safe row contains exactly one pre-2016 bug
+    // (the paper's v0.3-era exception) and nothing else.
+    let safe_only: Vec<_> = all_bugs()
+        .into_iter()
+        .filter(|b| {
+            matches!(
+                b.kind,
+                BugKind::Memory {
+                    propagation: DataProp::Safe,
+                    ..
+                }
+            )
+        })
+        .collect();
+    assert_eq!(safe_only.len(), 1);
+}
+
+#[test]
+fn blocking_bugs_all_live_in_safe_code_per_the_paper() {
+    // §6.1: "All of them are caused by using interior unsafe functions in
+    // safe code" — the dataset has no unsafe-propagation field for
+    // blocking bugs at all, and all 59 come from sync primitives or other
+    // safe APIs.
+    let blocking: Vec<_> = all_bugs()
+        .into_iter()
+        .filter(|b| matches!(b.kind, BugKind::Blocking { .. }))
+        .collect();
+    assert_eq!(blocking.len(), 59);
+}

@@ -1,0 +1,55 @@
+//! Schedule exploration over the concurrency corpus: the ABBA deadlock is
+//! schedule-dependent (some seeds miss it — the paper's case for static
+//! detection), while self-deadlocks trigger on every schedule.
+
+use rstudy_corpus::blocking::{DOUBLE_LOCK_SIMPLE, LOCK_ORDER_THREADS};
+use rstudy_corpus::nonblocking::{ATOMIC_CAS_FIXED, ATOMIC_CHECK_THEN_ACT};
+use rstudy_interp::explore_seeds;
+
+#[test]
+fn abba_deadlock_depends_on_the_schedule() {
+    let program = LOCK_ORDER_THREADS.program();
+    let summary = explore_seeds(&program, 0..40, 100_000);
+    assert_eq!(summary.runs, 40);
+    assert!(
+        summary.deadlocks > 0,
+        "some schedule must trip the ABBA deadlock: {summary:?}"
+    );
+    assert!(
+        summary.clean > 0,
+        "some schedule must dodge it (that's the dynamic blind spot): {summary:?}"
+    );
+    let rate = summary.trigger_rate();
+    assert!(rate > 0.0 && rate < 1.0, "{rate}");
+}
+
+#[test]
+fn self_deadlock_is_schedule_independent() {
+    let program = DOUBLE_LOCK_SIMPLE.program();
+    let summary = explore_seeds(&program, 0..20, 100_000);
+    assert_eq!(summary.deadlocks, 20, "{summary:?}");
+}
+
+#[test]
+fn fig9_lost_update_shows_up_under_some_schedules() {
+    // The buggy check-then-act can return 1 (no interleaving in the
+    // window) or 2 (both threads sealed); across seeds both values appear.
+    let program = ATOMIC_CHECK_THEN_ACT.program();
+    let summary = explore_seeds(&program, 0..60, 100_000);
+    assert!(
+        summary.return_values.contains(&2),
+        "the lost update must manifest on some schedule: {summary:?}"
+    );
+    assert!(
+        summary.return_values.contains(&1),
+        "some schedule must serialize the threads: {summary:?}"
+    );
+}
+
+#[test]
+fn fig9_cas_fix_returns_one_on_every_schedule() {
+    let program = ATOMIC_CAS_FIXED.program();
+    let summary = explore_seeds(&program, 0..60, 100_000);
+    assert_eq!(summary.return_values, vec![1], "{summary:?}");
+    assert_eq!(summary.clean, 60);
+}

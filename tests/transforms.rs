@@ -1,0 +1,82 @@
+//! Semantic preservation of the MIR cleanup passes: every corpus program
+//! behaves identically (same fault class, same return value, same race
+//! presence) before and after `simplify`, and detector verdicts are
+//! unchanged.
+
+use rstudy_core::suite::DetectorSuite;
+use rstudy_corpus::all_entries;
+use rstudy_interp::{Interpreter, InterpreterConfig, SchedulePolicy};
+use rstudy_mir::transform::simplify;
+use rstudy_mir::validate::validate_program;
+use rstudy_mir::Program;
+
+fn simplified(program: &Program) -> Program {
+    let mut bodies: Vec<_> = program.bodies().cloned().collect();
+    for b in &mut bodies {
+        simplify(b);
+    }
+    let mut p = Program::from_bodies(bodies);
+    p.set_entry(program.entry().to_owned());
+    p
+}
+
+fn config() -> InterpreterConfig {
+    InterpreterConfig {
+        max_steps: 100_000,
+        policy: SchedulePolicy::RoundRobin,
+        detect_races: true,
+        trace_tail: 0,
+    }
+}
+
+#[test]
+fn simplify_keeps_programs_valid() {
+    for entry in all_entries() {
+        let p = simplified(&entry.program());
+        assert!(validate_program(&p).is_ok(), "{}", entry.name);
+    }
+}
+
+#[test]
+fn simplify_preserves_dynamic_behaviour() {
+    for entry in all_entries() {
+        let original = entry.program();
+        let transformed = simplified(&original);
+        let a = Interpreter::new(&original).with_config(config()).run();
+        let b = Interpreter::new(&transformed).with_config(config()).run();
+        // Fault *classes* must match (locations may shift with renumbering).
+        let class = |o: &rstudy_interp::Outcome| match &o.fault {
+            None => "none".to_owned(),
+            Some(f) => format!("{f:?}").split('(').next().unwrap_or("?").to_owned(),
+        };
+        assert_eq!(class(&a), class(&b), "{}: {a:?} vs {b:?}", entry.name);
+        assert_eq!(a.return_value, b.return_value, "{}", entry.name);
+        assert_eq!(
+            a.races.is_empty(),
+            b.races.is_empty(),
+            "{}",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn simplify_preserves_static_verdicts() {
+    let suite = DetectorSuite::new();
+    for entry in all_entries() {
+        let original = entry.program();
+        let transformed = simplified(&original);
+        let codes = |p: &Program| {
+            let mut v: Vec<&'static str> = suite
+                .check_program(p)
+                .diagnostics()
+                .iter()
+                .map(|d| d.bug_class.code())
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        assert_eq!(codes(&original), codes(&transformed), "{}", entry.name);
+    }
+}
