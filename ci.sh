@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the test suite — what a hosted pipeline
+# would run. Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "CI green."

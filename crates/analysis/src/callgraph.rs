@@ -167,10 +167,7 @@ mod tests {
         b.storage_live(h);
         b.call_intrinsic_cont(
             Intrinsic::ThreadSpawn,
-            vec![
-                Operand::Const(Const::Fn("worker".into())),
-                Operand::int(0),
-            ],
+            vec![Operand::Const(Const::Fn("worker".into())), Operand::int(0)],
             h,
         );
         b.ret();

@@ -188,7 +188,15 @@ mod tests {
         b.ret();
         let body = b.finish();
         let r = ConstProp::solve(&body);
-        let state = r.state_before(&body, Location { block: join, statement_index: 0 }).expect("reachable");
+        let state = r
+            .state_before(
+                &body,
+                Location {
+                    block: join,
+                    statement_index: 0,
+                },
+            )
+            .expect("reachable");
         assert_eq!(state.get(&x), None);
     }
 
@@ -208,7 +216,15 @@ mod tests {
         b.ret();
         let body = b.finish();
         let r = ConstProp::solve(&body);
-        let state = r.state_before(&body, Location { block: join, statement_index: 0 }).expect("reachable");
+        let state = r
+            .state_before(
+                &body,
+                Location {
+                    block: join,
+                    statement_index: 0,
+                },
+            )
+            .expect("reachable");
         assert_eq!(state.get(&x), Some(&7));
     }
 
@@ -238,6 +254,9 @@ mod tests {
         b.ret();
         let body = b.finish();
         let r = ConstProp::solve(&body);
-        assert_eq!(r.state_before(&body, loc(0, 1)).expect("reachable").get(&x), None);
+        assert_eq!(
+            r.state_before(&body, loc(0, 1)).expect("reachable").get(&x),
+            None
+        );
     }
 }

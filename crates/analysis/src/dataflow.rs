@@ -24,6 +24,11 @@ pub trait Analysis {
     /// The abstract state tracked per program point.
     type Domain: Clone + PartialEq;
 
+    /// Short name used for telemetry keys (`analysis.<name>.*`).
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
     /// Which way facts propagate.
     fn direction(&self) -> Direction;
 
@@ -193,8 +198,12 @@ pub fn solve_with_cfg<A: Analysis>(analysis: A, body: &Body, cfg: &Cfg) -> Resul
     }
 
     // Chaotic iteration in a good order until no block changes.
+    // Telemetry accumulates locally and flushes once per solve so the hot
+    // loop never touches the registry lock.
     let mut changed = true;
     let mut iterations = 0usize;
+    let mut block_visits = 0u64;
+    let mut joins_changed = 0u64;
     while changed {
         changed = false;
         iterations += 1;
@@ -204,6 +213,7 @@ pub fn solve_with_cfg<A: Analysis>(analysis: A, body: &Body, cfg: &Cfg) -> Resul
         );
         for &bb in &order {
             // Compute this block's output state by replaying its transfers.
+            block_visits += 1;
             let out = block_exit_state(&analysis, body, bb, &boundary[bb.index()]);
             let neighbors: &[BasicBlock] = match direction {
                 Direction::Forward => cfg.successors(bb),
@@ -212,9 +222,18 @@ pub fn solve_with_cfg<A: Analysis>(analysis: A, body: &Body, cfg: &Cfg) -> Resul
             for &next in neighbors {
                 if analysis.join(&mut boundary[next.index()], &out) {
                     changed = true;
+                    joins_changed += 1;
                 }
             }
         }
+    }
+
+    if rstudy_telemetry::enabled() {
+        let name = analysis.name();
+        rstudy_telemetry::counter(&format!("analysis.{name}.solves"), 1);
+        rstudy_telemetry::counter(&format!("analysis.{name}.block_visits"), block_visits);
+        rstudy_telemetry::counter(&format!("analysis.{name}.worklist_pushes"), joins_changed);
+        rstudy_telemetry::record(&format!("analysis.{name}.iterations"), iterations as u64);
     }
 
     Results { analysis, boundary }
@@ -375,9 +394,7 @@ mod tests {
         let body = b.finish();
         let results = solve(Assigned, &body);
         // After one trip through the loop the fact reaches the header.
-        assert!(results
-            .boundary_state(header)
-            .contains(x.index()));
+        assert!(results.boundary_state(header).contains(x.index()));
         assert!(results.boundary_state(exit).contains(x.index()));
     }
 }

@@ -132,12 +132,7 @@ mod tests {
     fn diamond_dominators() {
         let body = diamond();
         let dom = Dominators::new(&body);
-        let (b0, b1, b2, b3) = (
-            BasicBlock(0),
-            BasicBlock(1),
-            BasicBlock(2),
-            BasicBlock(3),
-        );
+        let (b0, b1, b2, b3) = (BasicBlock(0), BasicBlock(1), BasicBlock(2), BasicBlock(3));
         assert_eq!(dom.immediate_dominator(b0), None);
         assert_eq!(dom.immediate_dominator(b1), Some(b0));
         assert_eq!(dom.immediate_dominator(b2), Some(b0));

@@ -19,6 +19,7 @@ pub struct Liveness;
 impl Liveness {
     /// Solves liveness for `body`.
     pub fn solve(body: &Body) -> Results<Liveness> {
+        rstudy_telemetry::record("analysis.liveness.bitset_bits", body.locals.len() as u64);
         dataflow::solve(Liveness, body)
     }
 }
@@ -51,6 +52,10 @@ fn apply_write(state: &mut BitSet, place: &Place) {
 
 impl Analysis for Liveness {
     type Domain = BitSet;
+
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
 
     fn direction(&self) -> Direction {
         Direction::Backward
@@ -117,9 +122,7 @@ impl Analysis for Liveness {
                 }
             }
             TerminatorKind::Drop { place, .. } => gen_place_read(state, place),
-            TerminatorKind::Goto { .. }
-            | TerminatorKind::Return
-            | TerminatorKind::Unreachable => {}
+            TerminatorKind::Goto { .. } | TerminatorKind::Return | TerminatorKind::Unreachable => {}
         }
     }
 }

@@ -70,10 +70,7 @@ pub fn lock_acquisitions(body: &Body) -> Vec<Acquisition> {
                 _ => continue,
             };
             let guard = destination.local;
-            let lock_ref = args
-                .first()
-                .and_then(Operand::place)
-                .map(|p| p.local);
+            let lock_ref = args.first().and_then(Operand::place).map(|p| p.local);
             out.push(Acquisition {
                 location: Location {
                     block: bb,
@@ -149,10 +146,9 @@ impl Analysis for HeldGuards {
 
     fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, _loc: Location) {
         match &term.kind {
-            TerminatorKind::Drop { place, .. }
-                if place.is_local() => {
-                    state.remove(place.local.index());
-                }
+            TerminatorKind::Drop { place, .. } if place.is_local() => {
+                state.remove(place.local.index());
+            }
             TerminatorKind::Call {
                 func,
                 args,

@@ -80,39 +80,34 @@ impl PointsTo {
         }
         // Chaotic iteration to fixpoint (constraint set is small per body).
         let mut changed = true;
+        let mut iterations = 0u64;
         while changed {
             changed = false;
+            iterations += 1;
             for c in &constraints {
                 match c {
                     Constraint::AddrOf(dst, root) => {
                         changed |= pt.locals[dst.index()].insert(*root);
                     }
                     Constraint::Copy(dst, src) => {
-                        let add: Vec<MemRoot> =
-                            pt.locals[src.index()].iter().copied().collect();
+                        let add: Vec<MemRoot> = pt.locals[src.index()].iter().copied().collect();
                         for r in add {
                             changed |= pt.locals[dst.index()].insert(r);
                         }
                     }
                     Constraint::Load(dst, src) => {
-                        let roots: Vec<MemRoot> =
-                            pt.locals[src.index()].iter().copied().collect();
+                        let roots: Vec<MemRoot> = pt.locals[src.index()].iter().copied().collect();
                         for root in roots {
-                            let add: Vec<MemRoot> = pt
-                                .cell_contents(root)
-                                .iter()
-                                .copied()
-                                .collect();
+                            let add: Vec<MemRoot> =
+                                pt.cell_contents(root).iter().copied().collect();
                             for r in add {
                                 changed |= pt.locals[dst.index()].insert(r);
                             }
                         }
                     }
                     Constraint::Store(dst, src) => {
-                        let roots: Vec<MemRoot> =
-                            pt.locals[dst.index()].iter().copied().collect();
-                        let add: Vec<MemRoot> =
-                            pt.locals[src.index()].iter().copied().collect();
+                        let roots: Vec<MemRoot> = pt.locals[dst.index()].iter().copied().collect();
+                        let add: Vec<MemRoot> = pt.locals[src.index()].iter().copied().collect();
                         for root in roots {
                             let cell = pt.cells.entry(root).or_default();
                             for &r in &add {
@@ -129,6 +124,13 @@ impl PointsTo {
                     }
                 }
             }
+        }
+        if rstudy_telemetry::enabled() {
+            rstudy_telemetry::counter("analysis.points-to.solves", 1);
+            rstudy_telemetry::counter("analysis.points-to.constraints", constraints.len() as u64);
+            rstudy_telemetry::record("analysis.points-to.iterations", iterations);
+            let set_sizes: u64 = pt.locals.iter().map(|s| s.len() as u64).sum();
+            rstudy_telemetry::record("analysis.points-to.target_sets_total", set_sizes);
         }
         pt
     }
@@ -246,9 +248,7 @@ fn collect_assign(body: &Body, place: &Place, rv: &Rvalue, cs: &mut Vec<Constrai
         },
         PlaceShape::ThroughPointer(dst_ptr) => match rv {
             Rvalue::Ref(_, p) | Rvalue::AddrOf(_, p) => match place_base_value(p) {
-                PlaceShape::Direct(x) => {
-                    cs.push(Constraint::StoreRoot(dst_ptr, MemRoot::Local(x)))
-                }
+                PlaceShape::Direct(x) => cs.push(Constraint::StoreRoot(dst_ptr, MemRoot::Local(x))),
                 PlaceShape::ThroughPointer(_) => {
                     cs.push(Constraint::StoreRoot(dst_ptr, MemRoot::Unknown))
                 }
@@ -444,7 +444,11 @@ mod tests {
         );
         b.ret();
         let pt = PointsTo::analyze(&b.finish());
-        assert!(pt.targets(t).contains(&MemRoot::Local(x)), "{:?}", pt.targets(t));
+        assert!(
+            pt.targets(t).contains(&MemRoot::Local(x)),
+            "{:?}",
+            pt.targets(t)
+        );
     }
 
     #[test]

@@ -100,6 +100,7 @@ impl<'a> ReachingDefs<'a> {
 
     /// Solves the analysis.
     pub fn solve(self, body: &Body) -> Results<ReachingDefs<'a>> {
+        rstudy_telemetry::record("analysis.reaching-defs.bitset_bits", self.defs.len() as u64);
         dataflow::solve(self, body)
     }
 
@@ -116,6 +117,10 @@ impl<'a> ReachingDefs<'a> {
 
 impl Analysis for ReachingDefs<'_> {
     type Domain = BitSet;
+
+    fn name(&self) -> &'static str {
+        "reaching-defs"
+    }
 
     fn direction(&self) -> Direction {
         Direction::Forward

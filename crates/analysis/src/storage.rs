@@ -132,10 +132,9 @@ impl Analysis for MaybeInvalid {
 
     fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, _loc: Location) {
         match &term.kind {
-            TerminatorKind::Drop { place, .. }
-                if place.is_local() => {
-                    state.insert(place.local.index());
-                }
+            TerminatorKind::Drop { place, .. } if place.is_local() => {
+                state.insert(place.local.index());
+            }
             TerminatorKind::Call {
                 func,
                 args,
@@ -212,10 +211,9 @@ impl Analysis for MaybeFreed {
 
     fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, _loc: Location) {
         match &term.kind {
-            TerminatorKind::Drop { place, .. }
-                if place.is_local() => {
-                    state.insert(place.local.index());
-                }
+            TerminatorKind::Drop { place, .. } if place.is_local() => {
+                state.insert(place.local.index());
+            }
             TerminatorKind::Call {
                 func,
                 args,
@@ -325,11 +323,7 @@ mod tests {
         b.storage_live(g);
         b.assign(g, Rvalue::Use(Operand::int(0)));
         b.storage_live(unit);
-        b.call_intrinsic_cont(
-            rstudy_mir::Intrinsic::MemDrop,
-            vec![Operand::mov(g)],
-            unit,
-        );
+        b.call_intrinsic_cont(rstudy_mir::Intrinsic::MemDrop, vec![Operand::mov(g)], unit);
         b.nop();
         b.ret();
         let body = b.finish();
@@ -371,7 +365,14 @@ mod tests {
         b.ret();
         let body = b.finish();
         let r = MaybeInvalid::solve(&body);
-        assert!(r.state_before(&body, Location { block: join, statement_index: 0 })
+        assert!(r
+            .state_before(
+                &body,
+                Location {
+                    block: join,
+                    statement_index: 0
+                }
+            )
             .contains(x.index()));
     }
 }

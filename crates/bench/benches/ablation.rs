@@ -84,14 +84,7 @@ fn bench_race_detection_cost(c: &mut Criterion) {
             trace_tail: 0,
         };
         group.bench_function(label, |b| {
-            b.iter(|| {
-                black_box(
-                    Interpreter::new(&program)
-                        .with_config(config)
-                        .run()
-                        .steps,
-                )
-            })
+            b.iter(|| black_box(Interpreter::new(&program).with_config(config).run().steps))
         });
     }
     group.finish();

@@ -6,8 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rstudy_core::detectors::{Detector, DoubleLock, UseAfterFree};
 use rstudy_core::suite::DetectorSuite;
 use rstudy_core::{BugClass, DetectorConfig};
-use rstudy_corpus::detector_eval::{DL_CLEAN, DL_TARGETS, UAF_FALSE_POSITIVES, UAF_TARGETS};
 use rstudy_corpus::all_entries;
+use rstudy_corpus::detector_eval::{DL_CLEAN, DL_TARGETS, UAF_FALSE_POSITIVES, UAF_TARGETS};
 
 fn print_eval_once() {
     let precise = DetectorConfig::new();
@@ -28,7 +28,11 @@ fn print_eval_once() {
         .count();
     let fp_precise = UAF_FALSE_POSITIVES
         .iter()
-        .filter(|e| !UseAfterFree.check_program(&e.program(), &precise).is_empty())
+        .filter(|e| {
+            !UseAfterFree
+                .check_program(&e.program(), &precise)
+                .is_empty()
+        })
         .count();
     let dl_found = DL_TARGETS
         .iter()
@@ -98,7 +102,11 @@ fn bench_detectors(c: &mut Criterion) {
         })
     });
     group.bench_function("double_lock_eval_corpus", |b| {
-        let eval: Vec<_> = DL_TARGETS.iter().chain(DL_CLEAN).map(|e| e.program()).collect();
+        let eval: Vec<_> = DL_TARGETS
+            .iter()
+            .chain(DL_CLEAN)
+            .map(|e| e.program())
+            .collect();
         b.iter(|| {
             let mut total = 0usize;
             for p in &eval {

@@ -24,8 +24,7 @@ fn print_coverage_once() {
     let mut both = 0usize;
     let mut buggy = 0usize;
     for entry in all_entries() {
-        let is_buggy =
-            !entry.static_bugs.is_empty() || entry.dynamic != DynamicExpectation::Clean;
+        let is_buggy = !entry.static_bugs.is_empty() || entry.dynamic != DynamicExpectation::Clean;
         if !is_buggy {
             continue;
         }
@@ -98,7 +97,10 @@ fn bench_interp(c: &mut Criterion) {
         b.iter(|| {
             let mut steps = 0u64;
             for p in &corpus {
-                steps += Interpreter::new(black_box(p)).with_config(config()).run().steps;
+                steps += Interpreter::new(black_box(p))
+                    .with_config(config())
+                    .run()
+                    .steps;
             }
             black_box(steps)
         })

@@ -31,12 +31,16 @@ fn bench_memcpy(c: &mut Criterion) {
         let src = bytes(size, 42);
         let mut dst = vec![0u8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("safe_copy_from_slice", size), &size, |b, _| {
-            b.iter(|| {
-                dst.copy_from_slice(black_box(&src));
-                black_box(dst[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("safe_copy_from_slice", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    dst.copy_from_slice(black_box(&src));
+                    black_box(dst[0])
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("unsafe_copy_nonoverlapping", size),
             &size,

@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::diagnostics::{BugClass, Diagnostic};
 
 /// Cause-to-effect safety propagation (the rows of Table 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Propagation {
     /// cause and effect both in safe code.
     SafeToSafe,
@@ -60,9 +58,7 @@ impl Propagation {
 }
 
 /// Wrong access vs. lifetime violation (the column groups of Table 2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum EffectClass {
     /// Buffer overflow, null dereference, uninitialized read.
     WrongAccess,
@@ -97,9 +93,7 @@ impl MemoryBugTable {
     /// Classifies a batch of diagnostics (non-memory classes are skipped;
     /// diagnostics without a known cause site use the effect site's safety
     /// for both dimensions, the conservative Table 2 convention).
-    pub fn from_diagnostics<'a>(
-        diags: impl IntoIterator<Item = &'a Diagnostic>,
-    ) -> MemoryBugTable {
+    pub fn from_diagnostics<'a>(diags: impl IntoIterator<Item = &'a Diagnostic>) -> MemoryBugTable {
         let mut table = MemoryBugTable::default();
         for d in diags {
             if EffectClass::of(d.bug_class).is_none() {
@@ -238,7 +232,10 @@ mod tests {
             table.get(Propagation::SafeToUnsafe, BugClass::UseAfterFree),
             2
         );
-        assert_eq!(table.get(Propagation::UnsafeToSafe, BugClass::DoubleFree), 1);
+        assert_eq!(
+            table.get(Propagation::UnsafeToSafe, BugClass::DoubleFree),
+            1
+        );
         assert_eq!(table.row_total(Propagation::SafeToUnsafe), 2);
         assert_eq!(table.total(), 3);
     }

@@ -44,7 +44,9 @@ fn collect_sites(program: &Program, wanted: &[Intrinsic]) -> Vec<(Intrinsic, OpS
         let pt = PointsTo::analyze(body);
         for bb in body.block_indices() {
             let data = body.block(bb);
-            let Some(term) = &data.terminator else { continue };
+            let Some(term) = &data.terminator else {
+                continue;
+            };
             let TerminatorKind::Call {
                 func: Callee::Intrinsic(i),
                 args,
@@ -162,8 +164,7 @@ impl Detector for BlockingMisuse {
                     recv.location,
                     recv.span,
                     recv.safety,
-                    "channel::recv, but nothing in the program ever sends on a channel"
-                        .to_owned(),
+                    "channel::recv, but nothing in the program ever sends on a channel".to_owned(),
                 ));
             }
         }

@@ -9,9 +9,7 @@
 use rstudy_analysis::const_prop::{ConstMap, ConstProp};
 use rstudy_analysis::points_to::{MemRoot, PointsTo};
 use rstudy_mir::visit::Location;
-use rstudy_mir::{
-    BinOp, Body, Local, Program, ProjElem, Rvalue, Safety, StatementKind, Ty,
-};
+use rstudy_mir::{BinOp, Body, Local, Program, ProjElem, Rvalue, Safety, StatementKind, Ty};
 
 use crate::config::DetectorConfig;
 use crate::detectors::common::deref_sites;
@@ -84,7 +82,14 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
             }
             for p in places {
                 check_place_indexing(
-                    detector, name, body, p, &env, location, stmt.source_info, out,
+                    detector,
+                    name,
+                    body,
+                    p,
+                    &env,
+                    location,
+                    stmt.source_info,
+                    out,
                 );
             }
         }
@@ -189,9 +194,7 @@ fn check_place_indexing(
                                 location,
                                 source_info.span,
                                 source_info.safety,
-                                format!(
-                                    "index {n} is out of bounds for array of length {len}"
-                                ),
+                                format!("index {n} is out of bounds for array of length {len}"),
                             )
                             .with_cause_safety(source_info.safety),
                         );

@@ -134,7 +134,9 @@ pub fn deref_sites(body: &Body) -> Vec<DerefSite> {
                         }
                     }
                 }
-                TerminatorKind::Call { args, destination, .. } => {
+                TerminatorKind::Call {
+                    args, destination, ..
+                } => {
                     for a in args {
                         if let Some(p) = a.place() {
                             if let Some(ptr) = place_deref(p) {
@@ -235,9 +237,7 @@ impl DerefSummaries {
     /// Returns `true` if `function` may dereference its `arg_pos`-th
     /// (1-based) argument.
     pub fn derefs_arg(&self, function: &str, arg_pos: usize) -> bool {
-        self.map
-            .get(function)
-            .is_some_and(|v| v.contains(&arg_pos))
+        self.map.get(function).is_some_and(|v| v.contains(&arg_pos))
     }
 }
 
@@ -288,8 +288,7 @@ mod tests {
         clean.assign(Place::RETURN, Rvalue::Use(Operand::int(0)));
         clean.ret();
 
-        let program =
-            Program::from_bodies([sink.finish(), wrapper.finish(), clean.finish()]);
+        let program = Program::from_bodies([sink.finish(), wrapper.finish(), clean.finish()]);
         let s = DerefSummaries::compute(&program);
         assert!(s.derefs_arg("sink", 1));
         assert!(s.derefs_arg("wrapper", 1), "transitive deref");

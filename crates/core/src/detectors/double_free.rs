@@ -47,7 +47,9 @@ fn drop_events(body: &Body) -> Vec<DropEvent> {
     let mut out = Vec::new();
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         let location = Location {
             block: bb,
             statement_index: data.statements.len(),
@@ -87,7 +89,9 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
     // 1. dealloc on memory that may already be freed.
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         if let TerminatorKind::Call {
             func: Callee::Intrinsic(Intrinsic::Dealloc),
             args,
@@ -98,7 +102,10 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
                 block: bb,
                 statement_index: data.statements.len(),
             };
-            let Some(p) = args.first().and_then(Operand::place).filter(|p| p.is_local())
+            let Some(p) = args
+                .first()
+                .and_then(Operand::place)
+                .filter(|p| p.is_local())
             else {
                 continue;
             };
@@ -129,7 +136,9 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
     let drops = drop_events(body);
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         let TerminatorKind::Call {
             func: Callee::Intrinsic(Intrinsic::PtrRead),
             args,
@@ -143,7 +152,10 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
             continue;
         }
         let duplicate = destination.local;
-        let Some(src_ptr) = args.first().and_then(Operand::place).filter(|p| p.is_local())
+        let Some(src_ptr) = args
+            .first()
+            .and_then(Operand::place)
+            .filter(|p| p.is_local())
         else {
             continue;
         };
@@ -156,9 +168,7 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
             })
             .collect();
         let dup_drop = drops.iter().find(|d| d.local == duplicate);
-        let orig_drop = drops
-            .iter()
-            .find(|d| originals.contains(&d.local));
+        let orig_drop = drops.iter().find(|d| originals.contains(&d.local));
         if let (Some(dup), Some(orig)) = (dup_drop, orig_drop) {
             out.push(
                 Diagnostic::new(

@@ -19,7 +19,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rstudy_analysis::locks::{lock_acquisitions, Acquisition, AcquireKind, HeldGuards};
+use rstudy_analysis::locks::{lock_acquisitions, AcquireKind, Acquisition, HeldGuards};
 use rstudy_analysis::points_to::{MemRoot, PointsTo};
 use rstudy_mir::visit::Location;
 use rstudy_mir::{Callee, Const, Intrinsic, Operand, Program, TerminatorKind};
@@ -214,7 +214,9 @@ impl Detector for DoubleLock {
             //    we currently hold.
             for bb in body.block_indices() {
                 let data = body.block(bb);
-                let Some(term) = &data.terminator else { continue };
+                let Some(term) = &data.terminator else {
+                    continue;
+                };
                 let loc = Location {
                     block: bb,
                     statement_index: data.statements.len(),
@@ -276,7 +278,9 @@ fn recursive_once(program: &Program) -> Vec<Diagnostic> {
     for (name, body) in program.iter() {
         for bb in body.block_indices() {
             let data = body.block(bb);
-            let Some(term) = &data.terminator else { continue };
+            let Some(term) = &data.terminator else {
+                continue;
+            };
             let TerminatorKind::Call {
                 func: Callee::Intrinsic(Intrinsic::OnceCallOnce),
                 args,
@@ -424,8 +428,15 @@ mod tests {
             b.ret();
             Program::from_bodies([b.finish()])
         };
-        assert!(run(&build(Intrinsic::RwLockRead)).is_empty(), "read+read ok");
-        assert_eq!(run(&build(Intrinsic::RwLockWrite)).len(), 1, "read+write deadlocks");
+        assert!(
+            run(&build(Intrinsic::RwLockRead)).is_empty(),
+            "read+read ok"
+        );
+        assert_eq!(
+            run(&build(Intrinsic::RwLockWrite)).len(),
+            1,
+            "read+write deadlocks"
+        );
     }
 
     /// The TiKV bug shape (Fig. 8): read guard alive in a match while the

@@ -19,8 +19,7 @@ use rstudy_analysis::locks::HeldGuards;
 use rstudy_analysis::points_to::{MemRoot, PointsTo};
 use rstudy_mir::visit::Location;
 use rstudy_mir::{
-    Body, Callee, Intrinsic, Local, Mutability, Operand, Program, StatementKind, TerminatorKind,
-    Ty,
+    Body, Callee, Intrinsic, Local, Mutability, Operand, Program, StatementKind, TerminatorKind, Ty,
 };
 
 use crate::config::DetectorConfig;
@@ -54,12 +53,7 @@ fn shared_ref_args(body: &Body) -> Vec<Local> {
         .collect()
 }
 
-fn check_shared_self_mutation(
-    detector: &str,
-    name: &str,
-    body: &Body,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_shared_self_mutation(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
     let shared_args = shared_ref_args(body);
     if shared_args.is_empty() {
         return;
@@ -71,9 +65,10 @@ fn check_shared_self_mutation(
             continue;
         }
         let targets = pt.targets(site.pointer);
-        let through_shared: Option<Local> = shared_args.iter().copied().find(|a| {
-            targets.contains(&MemRoot::ArgPointee(*a))
-        });
+        let through_shared: Option<Local> = shared_args
+            .iter()
+            .copied()
+            .find(|a| targets.contains(&MemRoot::ArgPointee(*a)));
         let Some(arg) = through_shared else { continue };
         // A held guard means the write is under some lock; the paper's
         // pattern is the *unsynchronized* one.
@@ -127,19 +122,16 @@ fn tainted_from(body: &Body, seed: Local) -> BTreeSet<Local> {
     taint
 }
 
-fn check_atomic_check_then_act(
-    detector: &str,
-    name: &str,
-    body: &Body,
-    out: &mut Vec<Diagnostic>,
-) {
+fn check_atomic_check_then_act(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
     let pt = PointsTo::analyze(body);
     // Collect loads (dest, roots, loc) and stores (roots, loc).
     let mut loads: Vec<(Local, BTreeSet<MemRoot>, Location)> = Vec::new();
     let mut stores: Vec<(BTreeSet<MemRoot>, Location)> = Vec::new();
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         let loc = Location {
             block: bb,
             statement_index: data.statements.len(),
@@ -165,10 +157,9 @@ fn check_atomic_check_then_act(
                 }
             };
             match i {
-                Intrinsic::AtomicLoad
-                    if destination.is_local() => {
-                        loads.push((destination.local, roots(args.first()), loc));
-                    }
+                Intrinsic::AtomicLoad if destination.is_local() => {
+                    loads.push((destination.local, roots(args.first()), loc));
+                }
                 Intrinsic::AtomicStore => {
                     stores.push((roots(args.first()), loc));
                 }
@@ -243,20 +234,12 @@ mod tests {
         // p = &self.value as *const i32 as *mut i32 — modelled as a cast of
         // the shared reference itself.
         b.assign(p, Rvalue::Cast(Operand::copy(self_), Ty::mut_ptr(Ty::Int)));
-        b.in_unsafe(|b| {
-            b.assign(
-                Place::from_local(p).deref(),
-                Rvalue::Use(Operand::copy(i)),
-            )
-        });
+        b.in_unsafe(|b| b.assign(Place::from_local(p).deref(), Rvalue::Use(Operand::copy(i))));
         b.ret();
         let program = Program::from_bodies([b.finish()]);
         let diags = run(&program);
         assert_eq!(diags.len(), 1, "{diags:?}");
-        assert_eq!(
-            diags[0].bug_class,
-            BugClass::UnsynchronizedInteriorMutation
-        );
+        assert_eq!(diags[0].bug_class, BugClass::UnsynchronizedInteriorMutation);
     }
 
     #[test]
@@ -293,16 +276,14 @@ mod tests {
         b.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(r)], g);
         b.storage_live(p);
         b.assign(p, Rvalue::Cast(Operand::copy(self_), Ty::mut_ptr(Ty::Int)));
-        b.in_unsafe(|b| {
-            b.assign(
-                Place::from_local(p).deref(),
-                Rvalue::Use(Operand::copy(i)),
-            )
-        });
+        b.in_unsafe(|b| b.assign(Place::from_local(p).deref(), Rvalue::Use(Operand::copy(i))));
         b.storage_dead(g);
         b.ret();
         let program = Program::from_bodies([b.finish()]);
-        assert!(run(&program).is_empty(), "writes under a lock are synchronized");
+        assert!(
+            run(&program).is_empty(),
+            "writes under a lock are synchronized"
+        );
     }
 
     /// The paper's Fig. 9: load `proposed`, branch, store — lost update.
@@ -363,7 +344,11 @@ mod tests {
         let self_ = b.arg("self", Ty::shared_ref(Ty::AtomicInt));
         let unit = b.temp(Ty::Unit);
         b.storage_live(unit);
-        b.call_intrinsic_cont(Intrinsic::AtomicLoad, vec![Operand::copy(self_)], Place::RETURN);
+        b.call_intrinsic_cont(
+            Intrinsic::AtomicLoad,
+            vec![Operand::copy(self_)],
+            Place::RETURN,
+        );
         b.call_intrinsic_cont(
             Intrinsic::AtomicStore,
             vec![Operand::copy(self_), Operand::int(1)],

@@ -108,7 +108,9 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
     let freed = MaybeFreed::solve(body);
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         let TerminatorKind::Drop { place, .. } = &term.kind else {
             continue;
         };
@@ -211,9 +213,7 @@ mod tests {
             vec![Operand::copy(f), Operand::int(0)],
             unit,
         );
-        b.in_unsafe(|b| {
-            b.assign(Place::from_local(f).deref(), Rvalue::Use(Operand::int(1)))
-        });
+        b.in_unsafe(|b| b.assign(Place::from_local(f).deref(), Rvalue::Use(Operand::int(1))));
         b.ret();
         let program = Program::from_bodies([b.finish()]);
         assert!(run(&program).is_empty());
@@ -225,9 +225,7 @@ mod tests {
         let p = b.local("p", Ty::mut_ptr(Ty::Int));
         b.storage_live(p);
         b.call_intrinsic_cont(Intrinsic::Alloc, vec![Operand::int(1)], p);
-        b.in_unsafe(|b| {
-            b.assign(Place::from_local(p).deref(), Rvalue::Use(Operand::int(1)))
-        });
+        b.in_unsafe(|b| b.assign(Place::from_local(p).deref(), Rvalue::Use(Operand::int(1))));
         b.ret();
         let program = Program::from_bodies([b.finish()]);
         assert!(run(&program).is_empty(), "ints have no drop glue");

@@ -89,7 +89,9 @@ impl Detector for LockOrderInversion {
                 // callee acquisitions nested under our held locks.
                 for bb in body.block_indices() {
                     let data = body.block(bb);
-                    let Some(term) = &data.terminator else { continue };
+                    let Some(term) = &data.terminator else {
+                        continue;
+                    };
                     let loc = Location {
                         block: bb,
                         statement_index: data.statements.len(),
@@ -130,8 +132,7 @@ impl Detector for LockOrderInversion {
                     // Locks acquired anywhere in the callee, nested under
                     // locks we hold across the call.
                     if let Some(callee_info) = facts.per_fn.get(&callee) {
-                        let inner =
-                            resolve_roots(&callee_info.acquired, &args, pt);
+                        let inner = resolve_roots(&callee_info.acquired, &args, pt);
                         for first in held_roots(loc) {
                             for (second, _k) in &inner {
                                 if first != *second {

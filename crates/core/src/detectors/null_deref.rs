@@ -26,8 +26,7 @@ struct MaybeNull;
 fn is_null_rvalue(rv: &Rvalue) -> bool {
     matches!(
         rv,
-        Rvalue::Use(Operand::Const(Const::Int(0)))
-            | Rvalue::Cast(Operand::Const(Const::Int(0)), _)
+        Rvalue::Use(Operand::Const(Const::Int(0))) | Rvalue::Cast(Operand::Const(Const::Int(0)), _)
     )
 }
 
@@ -140,10 +139,7 @@ mod tests {
         let p = b.local("p", Ty::mut_ptr(Ty::Int));
         b.storage_live(p);
         // p = ptr::null_mut() modelled as a 0-to-pointer cast (safe code).
-        b.assign(
-            p,
-            Rvalue::Cast(Operand::int(0), Ty::mut_ptr(Ty::Int)),
-        );
+        b.assign(p, Rvalue::Cast(Operand::int(0), Ty::mut_ptr(Ty::Int)));
         b.in_unsafe(|b| {
             b.assign(
                 Place::RETURN,

@@ -66,9 +66,7 @@ impl Analysis for MaybeUninit {
 
     fn apply_terminator(&self, state: &mut BitSet, term: &Terminator, _loc: Location) {
         if let TerminatorKind::Call {
-            func,
-            destination,
-            ..
+            func, destination, ..
         } = &term.kind
         {
             if destination.is_local() {

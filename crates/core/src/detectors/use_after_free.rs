@@ -40,7 +40,15 @@ impl Detector for UseAfterFree {
         let dangling = dangling_returners(program);
         let mut out = Vec::new();
         for (name, body) in program.iter() {
-            check_body(self.name(), name, body, program, &summaries, config, &mut out);
+            check_body(
+                self.name(),
+                name,
+                body,
+                program,
+                &summaries,
+                config,
+                &mut out,
+            );
             check_dangling_call_results(self.name(), name, body, &dangling, &mut out);
         }
         out
@@ -113,26 +121,27 @@ fn check_body(
         for root in points_to.targets(site.pointer) {
             match root {
                 MemRoot::Local(l)
-                    if (dead.contains(l.index()) || freed_locals.contains(l.index())) => {
-                        let mut d = Diagnostic::new(
-                            detector,
-                            BugClass::UseAfterFree,
-                            Severity::Error,
-                            name,
-                            site.location,
-                            site.source_info.span,
-                            site.source_info.safety,
-                            format!(
-                                "pointer {} dereferenced after the lifetime of its target {l} ended",
-                                site.pointer
-                            ),
-                        );
-                        if let Some(s) = invalidation_safety(body, *l) {
-                            d = d.with_cause_safety(s);
-                        }
-                        out.push(d);
-                        break;
+                    if (dead.contains(l.index()) || freed_locals.contains(l.index())) =>
+                {
+                    let mut d = Diagnostic::new(
+                        detector,
+                        BugClass::UseAfterFree,
+                        Severity::Error,
+                        name,
+                        site.location,
+                        site.source_info.span,
+                        site.source_info.safety,
+                        format!(
+                            "pointer {} dereferenced after the lifetime of its target {l} ended",
+                            site.pointer
+                        ),
+                    );
+                    if let Some(s) = invalidation_safety(body, *l) {
+                        d = d.with_cause_safety(s);
                     }
+                    out.push(d);
+                    break;
+                }
                 MemRoot::Heap(_) => {
                     let site_ids = heap_model.sites_of_pointer(&points_to, site.pointer);
                     if site_ids.iter().any(|&i| heap_facts.freed.contains(i)) {
@@ -188,7 +197,9 @@ fn check_body(
     //    dereferences it (precise mode) or might (naive mode).
     for bb in body.block_indices() {
         let data = body.block(bb);
-        let Some(term) = &data.terminator else { continue };
+        let Some(term) = &data.terminator else {
+            continue;
+        };
         let TerminatorKind::Call {
             func: Callee::Fn(callee),
             args,
@@ -211,11 +222,24 @@ fn check_body(
             if !is_ptr {
                 continue;
             }
+            let naive_would_flag = program.function(callee).is_some();
             let callee_derefs = match config.interproc {
                 InterprocMode::Precise => summaries.derefs_arg(callee, i + 1),
-                InterprocMode::Naive => program.function(callee).is_some(),
+                InterprocMode::Naive => naive_would_flag,
             };
             if !callee_derefs {
+                // Precise summaries suppressing a report naive mode would
+                // have raised is the paper's §7.1 false-positive fix; count
+                // those suppressions when the argument really is dangling.
+                if naive_would_flag
+                    && config.interproc == InterprocMode::Precise
+                    && points_to.targets(p.local).iter().any(|root| {
+                        matches!(root, MemRoot::Local(l)
+                            if dead.contains(l.index()) || freed_locals.contains(l.index()))
+                    })
+                {
+                    rstudy_telemetry::counter("detector.use-after-free.suppressions", 1);
+                }
                 continue;
             }
             for root in points_to.targets(p.local) {

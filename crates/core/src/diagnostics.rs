@@ -8,9 +8,7 @@ use serde::{Deserialize, Serialize};
 
 /// The class of bug a diagnostic reports, following the study's taxonomy
 /// (Table 2 effect classes for memory bugs; §6 classes for concurrency bugs).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BugClass {
     /// Out-of-bounds access (wrong access).
     BufferOverflow,
@@ -113,9 +111,7 @@ impl fmt::Display for BugClass {
 }
 
 /// How confident the detector is.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Likely a real bug on some execution.
     Error,

@@ -123,7 +123,9 @@ pub fn blocking_in_critical_section(program: &Program) -> Vec<BlockingInSection>
         let held = HeldGuards::solve(body);
         for bb in body.block_indices() {
             let data = body.block(bb);
-            let Some(term) = &data.terminator else { continue };
+            let Some(term) = &data.terminator else {
+                continue;
+            };
             let TerminatorKind::Call {
                 func: Callee::Intrinsic(i),
                 ..

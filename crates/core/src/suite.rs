@@ -1,5 +1,7 @@
 //! Running every detector over a program and aggregating the findings.
 
+use std::collections::BTreeMap;
+
 use rstudy_mir::Program;
 
 use crate::config::DetectorConfig;
@@ -47,6 +49,16 @@ impl Report {
     /// for the usual `len`/`is_empty` pairing).
     pub fn is_empty(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Diagnostics grouped by the detector that produced them, detectors in
+    /// name order and each group in the report's (source-position) order.
+    pub fn by_detector(&self) -> BTreeMap<&str, Vec<&Diagnostic>> {
+        let mut groups: BTreeMap<&str, Vec<&Diagnostic>> = BTreeMap::new();
+        for d in &self.diagnostics {
+            groups.entry(d.detector.as_str()).or_default().push(d);
+        }
+        groups
     }
 }
 
@@ -104,11 +116,44 @@ impl DetectorSuite {
     }
 
     /// Runs every detector over `program`.
+    ///
+    /// Diagnostics are sorted by source position — `(function, span, block,
+    /// statement, detector)` — so reports are stable regardless of detector
+    /// run order.
     pub fn check_program(&self, program: &Program) -> Report {
+        let _suite = rstudy_telemetry::span("suite");
         let mut diagnostics = Vec::new();
         for d in &self.detectors {
-            diagnostics.extend(d.check_program(program, &self.config));
+            let name = d.name();
+            let found = {
+                let _span = rstudy_telemetry::span(&format!("detector.{name}"));
+                d.check_program(program, &self.config)
+            };
+            rstudy_telemetry::counter(&format!("detector.{name}.findings"), found.len() as u64);
+            rstudy_telemetry::trace(|| {
+                format!(
+                    "check: detector {name} finished with {} finding(s)",
+                    found.len()
+                )
+            });
+            diagnostics.extend(found);
         }
+        diagnostics.sort_by(|a, b| {
+            (
+                &a.function,
+                a.effect_span,
+                a.effect_block,
+                a.effect_index,
+                &a.detector,
+            )
+                .cmp(&(
+                    &b.function,
+                    b.effect_span,
+                    b.effect_block,
+                    b.effect_index,
+                    &b.detector,
+                ))
+        });
         Report { diagnostics }
     }
 }
@@ -123,7 +168,7 @@ impl Default for DetectorSuite {
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Operand, Place, Rvalue, Ty};
+    use rstudy_mir::{Intrinsic, Mutability, Operand, Place, Rvalue, Ty};
 
     #[test]
     fn clean_program_yields_clean_report() {
@@ -177,5 +222,75 @@ mod tests {
         let program = Program::new();
         let report = DetectorSuite::empty().check_program(&program);
         assert!(report.is_clean());
+    }
+
+    /// A program that triggers two different detectors in two functions.
+    fn two_bug_program() -> Program {
+        // `use_uaf` has a use-after-free; `lock_twice` double-locks.
+        let mut uaf = BodyBuilder::new("use_uaf", 0, Ty::Int);
+        let x = uaf.local("x", Ty::Int);
+        let p = uaf.local("p", Ty::mut_ptr(Ty::Int));
+        uaf.storage_live(x);
+        uaf.assign(x, Rvalue::Use(Operand::int(42)));
+        uaf.storage_live(p);
+        uaf.assign(p, Rvalue::AddrOf(Mutability::Mut, x.into()));
+        uaf.storage_dead(x);
+        uaf.in_unsafe(|b| {
+            b.assign(
+                Place::RETURN,
+                Rvalue::Use(Operand::copy(Place::from_local(p).deref())),
+            )
+        });
+        uaf.ret();
+
+        let mut dl = BodyBuilder::new("lock_twice", 0, Ty::Unit);
+        let mutex_ty = Ty::Mutex(Box::new(Ty::Int));
+        let m = dl.local("m", mutex_ty.clone());
+        let r = dl.local("r", Ty::shared_ref(mutex_ty));
+        let g1 = dl.local("g1", Ty::Guard(Box::new(Ty::Int)));
+        let g2 = dl.local("g2", Ty::Guard(Box::new(Ty::Int)));
+        dl.storage_live(m);
+        dl.call_intrinsic_cont(Intrinsic::MutexNew, vec![Operand::int(0)], m);
+        dl.storage_live(r);
+        dl.assign(r, Rvalue::Ref(Mutability::Not, m.into()));
+        dl.storage_live(g1);
+        dl.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(r)], g1);
+        dl.storage_live(g2);
+        dl.call_intrinsic_cont(Intrinsic::MutexLock, vec![Operand::copy(r)], g2);
+        dl.ret();
+
+        Program::from_bodies([uaf.finish(), dl.finish()])
+    }
+
+    #[test]
+    fn by_detector_groups_findings() {
+        let report = DetectorSuite::new().check_program(&two_bug_program());
+        let groups = report.by_detector();
+        assert!(groups.contains_key("use-after-free"), "{groups:?}");
+        assert!(groups.contains_key("double-lock"), "{groups:?}");
+        let total: usize = groups.values().map(Vec::len).sum();
+        assert_eq!(total, report.len());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_position() {
+        let report = DetectorSuite::new().check_program(&two_bug_program());
+        assert!(report.len() >= 2, "{:?}", report.diagnostics());
+        let keys: Vec<_> = report
+            .diagnostics()
+            .iter()
+            .map(|d| {
+                (
+                    d.function.clone(),
+                    d.effect_span,
+                    d.effect_block,
+                    d.effect_index,
+                    d.detector.clone(),
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -137,9 +137,7 @@ mod tests {
             "interior-mutation",
         ] {
             assert!(
-                entries
-                    .iter()
-                    .any(|e| e.static_bugs.contains(&code)),
+                entries.iter().any(|e| e.static_bugs.contains(&code)),
                 "no corpus entry for {code}"
             );
         }

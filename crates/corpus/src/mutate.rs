@@ -33,9 +33,9 @@ pub fn hoist_storage_dead(program: &mut Program) -> Option<MutationSite> {
             let mut new_body = body;
             // Remove the original StorageDead wherever it is.
             for data in &mut new_body.blocks {
-                data.statements.retain(|s| {
-                    !matches!(s.kind, StatementKind::StorageDead(l) if l == dead_local)
-                });
+                data.statements.retain(
+                    |s| !matches!(s.kind, StatementKind::StorageDead(l) if l == dead_local),
+                );
             }
             let block = &mut new_body.blocks[bb.index()];
             block.statements.insert(
@@ -87,7 +87,9 @@ pub fn duplicate_dealloc(program: &mut Program) -> Option<MutationSite> {
         let body = program.function(&name)?.clone();
         for bb in body.block_indices() {
             let data = body.block(bb);
-            let Some(term) = &data.terminator else { continue };
+            let Some(term) = &data.terminator else {
+                continue;
+            };
             let TerminatorKind::Call {
                 func: rstudy_mir::Callee::Intrinsic(rstudy_mir::Intrinsic::Dealloc),
                 args,
@@ -197,7 +199,9 @@ pub fn unwrite_initialization(program: &mut Program) -> Option<MutationSite> {
         let body = program.function(&name)?.clone();
         for bb in body.block_indices() {
             let data = body.block(bb);
-            let Some(term) = &data.terminator else { continue };
+            let Some(term) = &data.terminator else {
+                continue;
+            };
             let TerminatorKind::Call {
                 func: rstudy_mir::Callee::Intrinsic(rstudy_mir::Intrinsic::PtrWrite),
                 args,
@@ -207,7 +211,10 @@ pub fn unwrite_initialization(program: &mut Program) -> Option<MutationSite> {
             else {
                 continue;
             };
-            let Some(ptr) = args.first().and_then(Operand::place).filter(|p| p.is_local())
+            let Some(ptr) = args
+                .first()
+                .and_then(Operand::place)
+                .filter(|p| p.is_local())
             else {
                 continue;
             };
@@ -215,10 +222,12 @@ pub fn unwrite_initialization(program: &mut Program) -> Option<MutationSite> {
             let mut new_body = body.clone();
             // Replace the call with: `*p = v; goto target`.
             let block = &mut new_body.blocks[bb.index()];
-            block.statements.push(Statement::new_unsafe(StatementKind::Assign(
-                Place::from_local(ptr.local).deref(),
-                rstudy_mir::Rvalue::Use(value),
-            )));
+            block
+                .statements
+                .push(Statement::new_unsafe(StatementKind::Assign(
+                    Place::from_local(ptr.local).deref(),
+                    rstudy_mir::Rvalue::Use(value),
+                )));
             block.terminator = Some(Terminator::new(TerminatorKind::Goto { target: *target }));
             program.insert(new_body);
             return Some(MutationSite {

@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::projects::ProjectId;
 
 /// A calendar quarter.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Quarter {
     /// Year (e.g. 2017).
     pub year: u16,
@@ -42,9 +40,7 @@ impl std::fmt::Display for Quarter {
 }
 
 /// Memory-bug effect classes (Table 2 columns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemClass {
     /// Buffer overflow.
     Buffer,
@@ -61,9 +57,7 @@ pub enum MemClass {
 }
 
 /// Cause-to-effect safety propagation (Table 2 rows).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Propagation {
     /// safe → safe.
     Safe,
@@ -76,9 +70,7 @@ pub enum Propagation {
 }
 
 /// Memory-bug fix strategies (§5.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum MemFix {
     /// Conditionally skip the dangerous code (30 bugs).
     SkipCondition,
@@ -91,9 +83,7 @@ pub enum MemFix {
 }
 
 /// Synchronization primitive behind a blocking bug (Table 3 columns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum SyncPrim {
     /// `Mutex` / `RwLock` (38 bugs).
     MutexRwLock,
@@ -108,9 +98,7 @@ pub enum SyncPrim {
 }
 
 /// Blocking-bug fix strategies (§6.1).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum BlockingFix {
     /// Add/remove/move synchronization operations (30 of the 51).
     AdjustSync,
@@ -122,9 +110,7 @@ pub enum BlockingFix {
 }
 
 /// How the racing threads shared data (Table 4 columns).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Sharing {
     /// Global static mutable variable (3).
     GlobalStatic,
@@ -143,9 +129,7 @@ pub enum Sharing {
 }
 
 /// Non-blocking fix strategies (§6.2).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum NonBlockingFix {
     /// Enforce atomicity of accesses (20).
     EnforceAtomicity,
@@ -503,7 +487,9 @@ mod tests {
         // Row totals: 1 / 23 / 31 / 15.
         let row = |p: Propagation| {
             bugs.iter()
-                .filter(|b| matches!(b.kind, BugKind::Memory { propagation, .. } if propagation == p))
+                .filter(
+                    |b| matches!(b.kind, BugKind::Memory { propagation, .. } if propagation == p),
+                )
                 .count()
         };
         assert_eq!(row(Propagation::Safe), 1);

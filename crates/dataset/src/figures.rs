@@ -24,14 +24,21 @@ pub fn figure1() -> Figure1 {
             .iter()
             .map(|r| (x(r.year, r.month), r.feature_changes))
             .collect(),
-        kloc: RELEASES.iter().map(|r| (x(r.year, r.month), r.kloc)).collect(),
+        kloc: RELEASES
+            .iter()
+            .map(|r| (x(r.year, r.month), r.kloc))
+            .collect(),
     }
 }
 
 /// Renders Figure 1 as aligned text columns (release, changes, KLOC).
 pub fn render_figure1() -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "{:<10} {:>7} {:>8} {:>6}", "Release", "Date", "Changes", "KLOC");
+    let _ = writeln!(
+        s,
+        "{:<10} {:>7} {:>8} {:>6}",
+        "Release", "Date", "Changes", "KLOC"
+    );
     for r in RELEASES {
         let _ = writeln!(
             s,
@@ -46,7 +53,10 @@ pub fn render_figure1() -> String {
 pub fn figure2() -> BTreeMap<ProjectId, BTreeMap<Quarter, usize>> {
     let mut out: BTreeMap<ProjectId, BTreeMap<Quarter, usize>> = BTreeMap::new();
     for b in all_bugs() {
-        *out.entry(b.project).or_default().entry(b.fixed).or_insert(0) += 1;
+        *out.entry(b.project)
+            .or_default()
+            .entry(b.fixed)
+            .or_insert(0) += 1;
     }
     out
 }
@@ -55,10 +65,7 @@ pub fn figure2() -> BTreeMap<ProjectId, BTreeMap<Quarter, usize>> {
 pub fn render_figure2() -> String {
     let data = figure2();
     let mut s = String::new();
-    let mut quarters: Vec<Quarter> = data
-        .values()
-        .flat_map(|m| m.keys().copied())
-        .collect();
+    let mut quarters: Vec<Quarter> = data.values().flat_map(|m| m.keys().copied()).collect();
     quarters.sort_unstable();
     quarters.dedup();
     let _ = write!(s, "{:<12}", "Project");

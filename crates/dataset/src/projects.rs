@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which studied codebase a record belongs to.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ProjectId {
     /// Mozilla's browser engine.
     Servo,

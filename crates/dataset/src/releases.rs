@@ -26,34 +26,202 @@ pub struct Release {
 
 /// The encoded release series.
 pub const RELEASES: &[Release] = &[
-    Release { version: "0.1", year: 2012, month: 1, feature_changes: 980, kloc: 80 },
-    Release { version: "0.2", year: 2012, month: 3, feature_changes: 1240, kloc: 95 },
-    Release { version: "0.3", year: 2012, month: 7, feature_changes: 1460, kloc: 110 },
-    Release { version: "0.4", year: 2012, month: 10, feature_changes: 1690, kloc: 130 },
-    Release { version: "0.5", year: 2012, month: 12, feature_changes: 1880, kloc: 150 },
-    Release { version: "0.6", year: 2013, month: 4, feature_changes: 2290, kloc: 175 },
-    Release { version: "0.7", year: 2013, month: 7, feature_changes: 2480, kloc: 200 },
-    Release { version: "0.8", year: 2013, month: 9, feature_changes: 2350, kloc: 225 },
-    Release { version: "0.9", year: 2014, month: 1, feature_changes: 2210, kloc: 255 },
-    Release { version: "0.10", year: 2014, month: 4, feature_changes: 1980, kloc: 290 },
-    Release { version: "0.11", year: 2014, month: 7, feature_changes: 1720, kloc: 325 },
-    Release { version: "0.12", year: 2014, month: 10, feature_changes: 1450, kloc: 360 },
-    Release { version: "1.0-alpha", year: 2015, month: 1, feature_changes: 1190, kloc: 395 },
-    Release { version: "1.0", year: 2015, month: 5, feature_changes: 870, kloc: 425 },
-    Release { version: "1.3", year: 2015, month: 9, feature_changes: 480, kloc: 455 },
-    Release { version: "1.5", year: 2015, month: 12, feature_changes: 260, kloc: 480 },
-    Release { version: "1.6", year: 2016, month: 1, feature_changes: 110, kloc: 500 },
-    Release { version: "1.9", year: 2016, month: 5, feature_changes: 90, kloc: 525 },
-    Release { version: "1.13", year: 2016, month: 11, feature_changes: 85, kloc: 555 },
-    Release { version: "1.16", year: 2017, month: 3, feature_changes: 75, kloc: 585 },
-    Release { version: "1.19", year: 2017, month: 7, feature_changes: 70, kloc: 615 },
-    Release { version: "1.22", year: 2017, month: 11, feature_changes: 65, kloc: 645 },
-    Release { version: "1.25", year: 2018, month: 3, feature_changes: 70, kloc: 675 },
-    Release { version: "1.28", year: 2018, month: 8, feature_changes: 60, kloc: 700 },
-    Release { version: "1.31", year: 2018, month: 12, feature_changes: 80, kloc: 725 },
-    Release { version: "1.34", year: 2019, month: 4, feature_changes: 55, kloc: 755 },
-    Release { version: "1.37", year: 2019, month: 8, feature_changes: 50, kloc: 780 },
-    Release { version: "1.39", year: 2019, month: 11, feature_changes: 45, kloc: 800 },
+    Release {
+        version: "0.1",
+        year: 2012,
+        month: 1,
+        feature_changes: 980,
+        kloc: 80,
+    },
+    Release {
+        version: "0.2",
+        year: 2012,
+        month: 3,
+        feature_changes: 1240,
+        kloc: 95,
+    },
+    Release {
+        version: "0.3",
+        year: 2012,
+        month: 7,
+        feature_changes: 1460,
+        kloc: 110,
+    },
+    Release {
+        version: "0.4",
+        year: 2012,
+        month: 10,
+        feature_changes: 1690,
+        kloc: 130,
+    },
+    Release {
+        version: "0.5",
+        year: 2012,
+        month: 12,
+        feature_changes: 1880,
+        kloc: 150,
+    },
+    Release {
+        version: "0.6",
+        year: 2013,
+        month: 4,
+        feature_changes: 2290,
+        kloc: 175,
+    },
+    Release {
+        version: "0.7",
+        year: 2013,
+        month: 7,
+        feature_changes: 2480,
+        kloc: 200,
+    },
+    Release {
+        version: "0.8",
+        year: 2013,
+        month: 9,
+        feature_changes: 2350,
+        kloc: 225,
+    },
+    Release {
+        version: "0.9",
+        year: 2014,
+        month: 1,
+        feature_changes: 2210,
+        kloc: 255,
+    },
+    Release {
+        version: "0.10",
+        year: 2014,
+        month: 4,
+        feature_changes: 1980,
+        kloc: 290,
+    },
+    Release {
+        version: "0.11",
+        year: 2014,
+        month: 7,
+        feature_changes: 1720,
+        kloc: 325,
+    },
+    Release {
+        version: "0.12",
+        year: 2014,
+        month: 10,
+        feature_changes: 1450,
+        kloc: 360,
+    },
+    Release {
+        version: "1.0-alpha",
+        year: 2015,
+        month: 1,
+        feature_changes: 1190,
+        kloc: 395,
+    },
+    Release {
+        version: "1.0",
+        year: 2015,
+        month: 5,
+        feature_changes: 870,
+        kloc: 425,
+    },
+    Release {
+        version: "1.3",
+        year: 2015,
+        month: 9,
+        feature_changes: 480,
+        kloc: 455,
+    },
+    Release {
+        version: "1.5",
+        year: 2015,
+        month: 12,
+        feature_changes: 260,
+        kloc: 480,
+    },
+    Release {
+        version: "1.6",
+        year: 2016,
+        month: 1,
+        feature_changes: 110,
+        kloc: 500,
+    },
+    Release {
+        version: "1.9",
+        year: 2016,
+        month: 5,
+        feature_changes: 90,
+        kloc: 525,
+    },
+    Release {
+        version: "1.13",
+        year: 2016,
+        month: 11,
+        feature_changes: 85,
+        kloc: 555,
+    },
+    Release {
+        version: "1.16",
+        year: 2017,
+        month: 3,
+        feature_changes: 75,
+        kloc: 585,
+    },
+    Release {
+        version: "1.19",
+        year: 2017,
+        month: 7,
+        feature_changes: 70,
+        kloc: 615,
+    },
+    Release {
+        version: "1.22",
+        year: 2017,
+        month: 11,
+        feature_changes: 65,
+        kloc: 645,
+    },
+    Release {
+        version: "1.25",
+        year: 2018,
+        month: 3,
+        feature_changes: 70,
+        kloc: 675,
+    },
+    Release {
+        version: "1.28",
+        year: 2018,
+        month: 8,
+        feature_changes: 60,
+        kloc: 700,
+    },
+    Release {
+        version: "1.31",
+        year: 2018,
+        month: 12,
+        feature_changes: 80,
+        kloc: 725,
+    },
+    Release {
+        version: "1.34",
+        year: 2019,
+        month: 4,
+        feature_changes: 55,
+        kloc: 755,
+    },
+    Release {
+        version: "1.37",
+        year: 2019,
+        month: 8,
+        feature_changes: 50,
+        kloc: 780,
+    },
+    Release {
+        version: "1.39",
+        year: 2019,
+        month: 11,
+        feature_changes: 45,
+        kloc: 800,
+    },
 ];
 
 /// Returns `true` for releases after the Jan 2016 stabilization (v1.6).

@@ -2,9 +2,7 @@
 
 use std::fmt::Write as _;
 
-use crate::bugs::{
-    all_bugs, BugKind, MemClass, Propagation, Sharing, SyncPrim,
-};
+use crate::bugs::{all_bugs, BugKind, MemClass, Propagation, Sharing, SyncPrim};
 use crate::projects::{ProjectId, PROJECTS};
 
 /// The project order used by every table.
@@ -96,8 +94,7 @@ pub fn render_table3() -> String {
     let cell = |proj: ProjectId, sp: SyncPrim| {
         bugs.iter()
             .filter(|b| {
-                b.project == proj
-                    && matches!(b.kind, BugKind::Blocking { sync, .. } if sync == sp)
+                b.project == proj && matches!(b.kind, BugKind::Blocking { sync, .. } if sync == sp)
             })
             .count()
     };
@@ -194,10 +191,7 @@ mod tests {
         let t = render_table2();
         // Spot-check the distinctive rows.
         assert!(t.contains("safe -> unsafe"), "{t}");
-        let line: &str = t
-            .lines()
-            .find(|l| l.starts_with("safe -> unsafe"))
-            .unwrap();
+        let line: &str = t.lines().find(|l| l.starts_with("safe -> unsafe")).unwrap();
         // Buffer=17, Null=0, Uninit=0, Invalid=1, UAF=11, DblFree=2, Total=31.
         let nums: Vec<i64> = line
             .split_whitespace()

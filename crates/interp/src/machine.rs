@@ -5,8 +5,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rstudy_mir::{
-    BasicBlock, BinOp, Body, Callee, Const, Intrinsic, Local, Operand, Place, Program,
-    ProjElem, Rvalue, StatementKind, TerminatorKind, Ty, UnOp,
+    BasicBlock, BinOp, Body, Callee, Const, Intrinsic, Local, Operand, Place, Program, ProjElem,
+    Rvalue, StatementKind, TerminatorKind, Ty, UnOp,
 };
 
 use crate::memory::{AllocId, AllocKind, Memory, MemoryFault};
@@ -124,6 +124,7 @@ impl<'p> Interpreter<'p> {
 
     /// Runs the program to completion (or fault).
     pub fn run(&self) -> Outcome {
+        let _span = rstudy_telemetry::span("interp.run");
         let mut m = Machine::new(self.program, self.config);
         m.run()
     }
@@ -149,6 +150,12 @@ struct Machine<'p> {
     pending_fault: Option<Fault>,
     /// Ring buffer of the last `trace_tail` steps.
     trace: std::collections::VecDeque<TraceEvent>,
+    /// Index of the thread scheduled on the previous tick.
+    last_picked: Option<usize>,
+    /// Times the scheduler switched away from the previous thread.
+    ctx_switches: u64,
+    /// Lock acquisitions/releases and thread spawns (flushed to telemetry).
+    sync_events: u64,
 }
 
 impl<'p> Machine<'p> {
@@ -172,11 +179,17 @@ impl<'p> Machine<'p> {
             pending_wait: BTreeMap::new(),
             pending_fault: None,
             trace: Default::default(),
+            last_picked: None,
+            ctx_switches: 0,
+            sync_events: 0,
         }
     }
 
     fn fn_id(&self, name: &str) -> Option<u32> {
-        self.fn_names.iter().position(|n| n == name).map(|i| i as u32)
+        self.fn_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| i as u32)
     }
 
     fn body(&self, name: &str) -> Option<&'p Body> {
@@ -189,6 +202,7 @@ impl<'p> Machine<'p> {
         let body = self
             .body(function)
             .unwrap_or_else(|| panic!("spawn of undefined function `{function}`"));
+        self.sync_events += 1;
         let id = ThreadId(self.threads.len() as u32);
         let mut frame = Frame {
             function: function.to_owned(),
@@ -207,7 +221,13 @@ impl<'p> Machine<'p> {
             let a = self.memory.allocate(size, AllocKind::Stack);
             if let Some(v) = args.get(i) {
                 self.memory
-                    .write(Pointer { alloc: a, offset: 0 }, *v)
+                    .write(
+                        Pointer {
+                            alloc: a,
+                            offset: 0,
+                        },
+                        *v,
+                    )
                     .expect("fresh arg allocation");
             }
             frame.locals[arg.index()] = Some(a);
@@ -229,9 +249,7 @@ impl<'p> Machine<'p> {
             let held = self.threads[tid.0 as usize].held_locks.clone();
             self.races.on_access(ptr, tid, &held, false);
         }
-        self.memory
-            .read(ptr)
-            .map_err(|m| Fault::Memory(tid, m))
+        self.memory.read(ptr).map_err(|m| Fault::Memory(tid, m))
     }
 
     fn write_cell(&mut self, tid: ThreadId, ptr: Pointer, v: Value) -> MResult<()> {
@@ -239,9 +257,7 @@ impl<'p> Machine<'p> {
             let held = self.threads[tid.0 as usize].held_locks.clone();
             self.races.on_access(ptr, tid, &held, true);
         }
-        self.memory
-            .write(ptr, v)
-            .map_err(|m| Fault::Memory(tid, m))
+        self.memory.write(ptr, v).map_err(|m| Fault::Memory(tid, m))
     }
 
     // --- place and operand evaluation --------------------------------------
@@ -287,26 +303,23 @@ impl<'p> Machine<'p> {
                         Value::Arc(a) => {
                             // Cell 0 is the strong count; the value starts
                             // at cell 1.
-                            ptr = Pointer { alloc: a, offset: 1 };
+                            ptr = Pointer {
+                                alloc: a,
+                                offset: 1,
+                            };
                             ty = match ty {
                                 Some(Ty::Arc(inner)) => Some(*inner),
                                 _ => None,
                             };
                         }
-                        Value::NullPtr => {
-                            return Err(Fault::Memory(tid, MemoryFault::NullDeref))
-                        }
+                        Value::NullPtr => return Err(Fault::Memory(tid, MemoryFault::NullDeref)),
                         _ => return Err(Fault::Memory(tid, MemoryFault::NullDeref)),
                     }
                 }
                 ProjElem::Field(i) => {
                     let (off, new_ty) = match &ty {
                         Some(Ty::Tuple(elems)) => {
-                            let off: u64 = elems
-                                .iter()
-                                .take(*i as usize)
-                                .map(Ty::size_cells)
-                                .sum();
+                            let off: u64 = elems.iter().take(*i as usize).map(Ty::size_cells).sum();
                             (off, elems.get(*i as usize).cloned())
                         }
                         _ => (*i as u64, None),
@@ -334,10 +347,7 @@ impl<'p> Machine<'p> {
                         _ => 1,
                     };
                     if idx < 0 {
-                        return Err(Fault::Memory(
-                            tid,
-                            MemoryFault::OutOfBounds(ptr, 0),
-                        ));
+                        return Err(Fault::Memory(tid, MemoryFault::OutOfBounds(ptr, 0)));
                     }
                     ptr.offset += idx as u64 * elem_size;
                     ty = match ty {
@@ -352,12 +362,8 @@ impl<'p> Machine<'p> {
 
     fn local_pointer(&mut self, tid: ThreadId, local: Local) -> MResult<Pointer> {
         let frame = self.top_frame(tid);
-        let alloc = frame.locals[local.index()].unwrap_or_else(|| {
-            panic!(
-                "{}: local {local} used before StorageLive",
-                frame.function
-            )
-        });
+        let alloc = frame.locals[local.index()]
+            .unwrap_or_else(|| panic!("{}: local {local} used before StorageLive", frame.function));
         Ok(Pointer { alloc, offset: 0 })
     }
 
@@ -393,9 +399,7 @@ impl<'p> Machine<'p> {
             Operand::Move(place) => {
                 let (ptr, _) = self.eval_place(tid, place)?;
                 let v = self.read_cell(tid, ptr)?;
-                self.memory
-                    .clear(ptr)
-                    .map_err(|m| Fault::Memory(tid, m))?;
+                self.memory.clear(ptr).map_err(|m| Fault::Memory(tid, m))?;
                 Ok(v)
             }
         }
@@ -504,6 +508,7 @@ impl<'p> Machine<'p> {
     // --- drops and guards ----------------------------------------------------
 
     fn release_guard(&mut self, tid: ThreadId, id: SyncId, kind: GuardKind) {
+        self.sync_events += 1;
         if let SyncObject::Lock { state, .. } = self.sync.get_mut(id) {
             match (state.clone(), kind) {
                 (LockState::Exclusive(holder), _) if holder == tid => {
@@ -551,10 +556,7 @@ impl<'p> Machine<'p> {
                 if !self.memory.is_live(alloc) {
                     // The last handle already freed the allocation: this
                     // handle was duplicated (e.g. by ptr::read).
-                    return Err(Fault::Memory(
-                        tid,
-                        MemoryFault::DoubleDrop(count_cell),
-                    ));
+                    return Err(Fault::Memory(tid, MemoryFault::DoubleDrop(count_cell)));
                 }
                 let count = self
                     .memory
@@ -591,9 +593,7 @@ impl<'p> Machine<'p> {
                 Ok(Some(v)) => {
                     any_value = true;
                     self.drop_value(tid, v)?;
-                    self.memory
-                        .clear(cell)
-                        .map_err(|m| Fault::Memory(tid, m))?;
+                    self.memory.clear(cell).map_err(|m| Fault::Memory(tid, m))?;
                 }
                 Ok(None) => {}
                 Err(m) => return Err(Fault::Memory(tid, m)),
@@ -693,6 +693,10 @@ impl<'p> Machine<'p> {
                 SchedulePolicy::Random(_) => runnable[self.rng.gen_range(0..runnable.len())],
             };
             self.steps += 1;
+            if self.last_picked.is_some_and(|prev| prev != pick) {
+                self.ctx_switches += 1;
+            }
+            self.last_picked = Some(pick);
             if self.config.trace_tail > 0 {
                 let tid = ThreadId(pick as u32);
                 let frame = self.top_frame(tid);
@@ -707,6 +711,14 @@ impl<'p> Machine<'p> {
                 }
                 self.trace.push_back(event);
             }
+            rstudy_telemetry::trace(|| {
+                let tid = ThreadId(pick as u32);
+                let frame = self.top_frame(tid);
+                format!(
+                    "interp: {tid} {}::bb{}[{}]",
+                    frame.function, frame.block.0, frame.stmt
+                )
+            });
             if let Err(f) = self.step(ThreadId(pick as u32)) {
                 fault = Some(f);
                 break;
@@ -717,6 +729,14 @@ impl<'p> Machine<'p> {
             Some(ThreadState::Finished(v)) => *v,
             _ => None,
         };
+        // One flush per run keeps the registry lock off the step loop.
+        if rstudy_telemetry::enabled() {
+            rstudy_telemetry::counter("interp.runs", 1);
+            rstudy_telemetry::counter("interp.context_switches", self.ctx_switches);
+            rstudy_telemetry::counter("interp.sync_events", self.sync_events);
+            rstudy_telemetry::record("interp.run.steps", self.steps);
+            rstudy_telemetry::record("interp.run.threads", self.threads.len() as u64);
+        }
         Outcome {
             return_value,
             fault,
@@ -800,12 +820,7 @@ impl<'p> Machine<'p> {
                 if has_glue && place.has_deref() {
                     match self.memory.read_maybe_uninit(ptr) {
                         Ok(Some(old)) => self.drop_value(tid, old)?,
-                        Ok(None) => {
-                            return Err(Fault::Memory(
-                                tid,
-                                MemoryFault::DropOfUninit(ptr),
-                            ))
-                        }
+                        Ok(None) => return Err(Fault::Memory(tid, MemoryFault::DropOfUninit(ptr))),
                         Err(m) => return Err(Fault::Memory(tid, m)),
                     }
                 }
@@ -920,7 +935,13 @@ impl<'p> Machine<'p> {
             let a = self.memory.allocate(size, AllocKind::Stack);
             if let Some(v) = values.get(i) {
                 self.memory
-                    .write(Pointer { alloc: a, offset: 0 }, *v)
+                    .write(
+                        Pointer {
+                            alloc: a,
+                            offset: 0,
+                        },
+                        *v,
+                    )
                     .expect("fresh arg allocation");
             }
             frame.locals[arg.index()] = Some(a);
@@ -930,8 +951,7 @@ impl<'p> Machine<'p> {
     }
 
     fn do_return(&mut self, tid: ThreadId) -> MResult<()> {
-        let frame = self
-            .threads[tid.0 as usize]
+        let frame = self.threads[tid.0 as usize]
             .frames
             .pop()
             .expect("return with a frame");
@@ -1007,13 +1027,20 @@ impl<'p> Machine<'p> {
     ) -> MResult<()> {
         match intrinsic {
             Intrinsic::Alloc => {
-                let n = self.eval_operand(tid, &args[0])?.as_int().unwrap_or(1).max(1);
+                let n = self
+                    .eval_operand(tid, &args[0])?
+                    .as_int()
+                    .unwrap_or(1)
+                    .max(1);
                 let a = self.memory.allocate(n as u64, AllocKind::Heap);
                 self.finish_call(
                     tid,
                     &destination,
                     target,
-                    Value::Ptr(Pointer { alloc: a, offset: 0 }),
+                    Value::Ptr(Pointer {
+                        alloc: a,
+                        offset: 0,
+                    }),
                 )
             }
             Intrinsic::Dealloc => {
@@ -1024,9 +1051,7 @@ impl<'p> Machine<'p> {
                             .free(p.alloc, true)
                             .map_err(|m| Fault::Memory(tid, m))?;
                     }
-                    Value::NullPtr => {
-                        return Err(Fault::Memory(tid, MemoryFault::NullDeref))
-                    }
+                    Value::NullPtr => return Err(Fault::Memory(tid, MemoryFault::NullDeref)),
                     _ => panic!("dealloc of non-pointer {v}"),
                 }
                 self.finish_call(tid, &destination, target, Value::Unit)
@@ -1089,16 +1114,20 @@ impl<'p> Machine<'p> {
             }
             Intrinsic::MemUninitialized => {
                 let (ptr, _) = self.eval_place(tid, &destination)?;
-                self.memory
-                    .clear(ptr)
-                    .map_err(|m| Fault::Memory(tid, m))?;
+                self.memory.clear(ptr).map_err(|m| Fault::Memory(tid, m))?;
                 self.advance(tid, target)
             }
             Intrinsic::MutexNew | Intrinsic::RwLockNew => {
                 let v = self.eval_operand(tid, &args[0])?;
                 let data = self.memory.allocate(1, AllocKind::Sync);
                 self.memory
-                    .write(Pointer { alloc: data, offset: 0 }, v)
+                    .write(
+                        Pointer {
+                            alloc: data,
+                            offset: 0,
+                        },
+                        v,
+                    )
                     .expect("fresh sync allocation");
                 let id = self.sync.insert(SyncObject::Lock {
                     state: LockState::Unlocked,
@@ -1153,18 +1182,19 @@ impl<'p> Machine<'p> {
                     };
                 for (t, lock) in woken {
                     let (dest, tgt) = self.pending_wait.remove(&t).expect("waiter stash");
-                    self.threads[t.0 as usize].block_reason = Some(BlockReason::Lock(
-                        lock,
-                        GuardKind::Mutex,
-                        dest,
-                        tgt,
-                    ));
+                    self.threads[t.0 as usize].block_reason =
+                        Some(BlockReason::Lock(lock, GuardKind::Mutex, dest, tgt));
                 }
                 self.finish_call(tid, &destination, target, Value::Unit)
             }
             Intrinsic::ChannelUnbounded | Intrinsic::ChannelBounded => {
                 let capacity = if intrinsic == Intrinsic::ChannelBounded {
-                    Some(self.eval_operand(tid, &args[0])?.as_int().unwrap_or(0).max(0) as usize)
+                    Some(
+                        self.eval_operand(tid, &args[0])?
+                            .as_int()
+                            .unwrap_or(0)
+                            .max(0) as usize,
+                    )
                 } else {
                     None
                 };
@@ -1221,9 +1251,7 @@ impl<'p> Machine<'p> {
                 };
                 match state {
                     OnceState::Done => self.finish_call(tid, &destination, target, Value::Unit),
-                    OnceState::Running(holder) if holder == tid => {
-                        Err(Fault::RecursiveOnce(tid))
-                    }
+                    OnceState::Running(holder) if holder == tid => Err(Fault::RecursiveOnce(tid)),
                     OnceState::Running(_) => {
                         self.block_thread(tid, BlockReason::OnceWait(id, destination, target));
                         Ok(())
@@ -1238,9 +1266,7 @@ impl<'p> Machine<'p> {
                         let name = self.fn_names[i as usize].clone();
                         // Initializers may take the Once itself as their
                         // single argument (how real closures capture it).
-                        let takes_once = self
-                            .body(&name)
-                            .is_some_and(|b| b.arg_count >= 1);
+                        let takes_once = self.body(&name).is_some_and(|b| b.arg_count >= 1);
                         if takes_once {
                             self.call_value_function(
                                 tid,
@@ -1328,7 +1354,10 @@ impl<'p> Machine<'p> {
                     },
                     other => panic!("arc::clone of non-arc {other}"),
                 };
-                let count_cell = Pointer { alloc: handle, offset: 0 };
+                let count_cell = Pointer {
+                    alloc: handle,
+                    offset: 0,
+                };
                 let count = self
                     .memory
                     .read(count_cell)
@@ -1371,9 +1400,7 @@ impl<'p> Machine<'p> {
             }
             Intrinsic::ThreadYield => self.finish_call(tid, &destination, target, Value::Unit),
             Intrinsic::Abort => Err(Fault::Abort(tid)),
-            Intrinsic::ExternCall => {
-                self.finish_call(tid, &destination, target, Value::Int(0))
-            }
+            Intrinsic::ExternCall => self.finish_call(tid, &destination, target, Value::Int(0)),
         }
     }
 
@@ -1386,9 +1413,7 @@ impl<'p> Machine<'p> {
         target: Option<BasicBlock>,
     ) -> MResult<()> {
         match self.try_acquire(tid, id, kind) {
-            Ok(true) => {
-                self.finish_call(tid, &destination, target, Value::Guard(id, kind))
-            }
+            Ok(true) => self.finish_call(tid, &destination, target, Value::Guard(id, kind)),
             Ok(false) => {
                 self.block_thread(tid, BlockReason::Lock(id, kind, destination, target));
                 Ok(())
@@ -1427,6 +1452,7 @@ impl<'p> Machine<'p> {
             }
             _ => return Ok(false),
         }
+        self.sync_events += 1;
         self.threads[tid.0 as usize].held_locks.insert(id);
         Ok(true)
     }
@@ -1436,18 +1462,16 @@ impl<'p> Machine<'p> {
         let reason = self.threads[tid.0 as usize].block_reason.clone();
         let Some(reason) = reason else { return };
         let outcome: MResult<bool> = match reason {
-            BlockReason::Lock(id, kind, dest, target) => {
-                match self.try_acquire(tid, id, kind) {
-                    Ok(true) => {
-                        self.threads[tid.0 as usize].state = ThreadState::Runnable;
-                        self.threads[tid.0 as usize].block_reason = None;
-                        self.finish_call(tid, &dest, target, Value::Guard(id, kind))
-                            .map(|_| true)
-                    }
-                    Ok(false) => Ok(false),
-                    Err(f) => Err(f),
+            BlockReason::Lock(id, kind, dest, target) => match self.try_acquire(tid, id, kind) {
+                Ok(true) => {
+                    self.threads[tid.0 as usize].state = ThreadState::Runnable;
+                    self.threads[tid.0 as usize].block_reason = None;
+                    self.finish_call(tid, &dest, target, Value::Guard(id, kind))
+                        .map(|_| true)
                 }
-            }
+                Ok(false) => Ok(false),
+                Err(f) => Err(f),
+            },
             BlockReason::CondvarWait(_) => Ok(false), // woken by notify only
             BlockReason::Recv(ch, dest, target) => {
                 let popped = match self.sync.get_mut(ch) {
@@ -1476,22 +1500,21 @@ impl<'p> Machine<'p> {
                     }
                     self.threads[tid.0 as usize].state = ThreadState::Runnable;
                     self.threads[tid.0 as usize].block_reason = None;
-                    self.finish_call(tid, &dest, target, Value::Unit).map(|_| true)
+                    self.finish_call(tid, &dest, target, Value::Unit)
+                        .map(|_| true)
                 } else {
                     Ok(false)
                 }
             }
-            BlockReason::Join(t, dest, target) => {
-                match self.threads[t.0 as usize].state.clone() {
-                    ThreadState::Finished(rv) => {
-                        self.threads[tid.0 as usize].state = ThreadState::Runnable;
-                        self.threads[tid.0 as usize].block_reason = None;
-                        self.finish_call(tid, &dest, target, rv.unwrap_or(Value::Unit))
-                            .map(|_| true)
-                    }
-                    _ => Ok(false),
+            BlockReason::Join(t, dest, target) => match self.threads[t.0 as usize].state.clone() {
+                ThreadState::Finished(rv) => {
+                    self.threads[tid.0 as usize].state = ThreadState::Runnable;
+                    self.threads[tid.0 as usize].block_reason = None;
+                    self.finish_call(tid, &dest, target, rv.unwrap_or(Value::Unit))
+                        .map(|_| true)
                 }
-            }
+                _ => Ok(false),
+            },
             BlockReason::OnceWait(id, dest, target) => {
                 let done = matches!(
                     self.sync.get(id),
@@ -1502,7 +1525,8 @@ impl<'p> Machine<'p> {
                 if done {
                     self.threads[tid.0 as usize].state = ThreadState::Runnable;
                     self.threads[tid.0 as usize].block_reason = None;
-                    self.finish_call(tid, &dest, target, Value::Unit).map(|_| true)
+                    self.finish_call(tid, &dest, target, Value::Unit)
+                        .map(|_| true)
                 } else {
                     Ok(false)
                 }

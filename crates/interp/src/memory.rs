@@ -226,10 +226,7 @@ mod tests {
     fn uninit_read_faults() {
         let mut m = Memory::new();
         let a = m.allocate(1, AllocKind::Stack);
-        assert_eq!(
-            m.read(ptr(a, 0)),
-            Err(MemoryFault::UninitRead(ptr(a, 0)))
-        );
+        assert_eq!(m.read(ptr(a, 0)), Err(MemoryFault::UninitRead(ptr(a, 0))));
         assert_eq!(m.read_maybe_uninit(ptr(a, 0)), Ok(None));
     }
 
@@ -249,10 +246,7 @@ mod tests {
         let a = m.allocate(1, AllocKind::Heap);
         m.write(ptr(a, 0), Value::Int(1)).unwrap();
         m.free(a, true).unwrap();
-        assert_eq!(
-            m.read(ptr(a, 0)),
-            Err(MemoryFault::UseAfterFree(ptr(a, 0)))
-        );
+        assert_eq!(m.read(ptr(a, 0)), Err(MemoryFault::UseAfterFree(ptr(a, 0))));
         assert!(!m.is_live(a));
     }
 

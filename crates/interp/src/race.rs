@@ -79,7 +79,10 @@ impl LocksetDetector {
             }
         }
         if matches!(info.state, CellState::SharedModified)
-            && info.candidate_locks.as_ref().is_some_and(BTreeSet::is_empty)
+            && info
+                .candidate_locks
+                .as_ref()
+                .is_some_and(BTreeSet::is_empty)
             && !info.reported
         {
             info.reported = true;

@@ -141,6 +141,9 @@ mod tests {
             offset: 2,
         };
         assert_eq!(Value::Ptr(p).to_string(), "&a3+2");
-        assert_eq!(Value::Guard(SyncId(1), GuardKind::Mutex).to_string(), "guard(sync1)");
+        assert_eq!(
+            Value::Guard(SyncId(1), GuardKind::Mutex).to_string(),
+            "guard(sync1)"
+        );
     }
 }

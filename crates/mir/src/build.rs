@@ -383,11 +383,7 @@ mod tests {
         b.storage_live(t);
         b.assign(
             t,
-            Rvalue::BinaryOp(
-                crate::syntax::BinOp::Add,
-                Operand::copy(x),
-                Operand::int(1),
-            ),
+            Rvalue::BinaryOp(crate::syntax::BinOp::Add, Operand::copy(x), Operand::int(1)),
         );
         b.assign_place(Place::RETURN, Rvalue::Use(Operand::copy(t)));
         b.storage_dead(t);

@@ -116,7 +116,8 @@ fn lex(src: &str) -> Result<Vec<Token>, ParseError> {
         }
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -384,9 +385,7 @@ impl Parser {
             let mut data = BasicBlockData::new();
             while !self.eat_punct("}") {
                 if data.terminator.is_some() {
-                    return Err(self.error_here(format!(
-                        "statement after terminator in {bb}"
-                    )));
+                    return Err(self.error_here(format!("statement after terminator in {bb}")));
                 }
                 self.parse_instruction(&mut data)?;
             }
@@ -1011,15 +1010,39 @@ fn f(_1 as p: *mut *mut int) -> unit {
         let cases: &[(&str, &str)] = &[
             ("fn f() -> unit { bb0: { return } }", "expected `;`"),
             ("fn f() -> unit { bb0: { retur; } }", "expected"),
-            ("fn f() -> unit { bb1: { return; } }", "blocks must be consecutive"),
-            ("fn f() -> unit { let _2: int; bb0: { return; } }", "local declarations must be consecutive"),
-            ("fn f(_2: int) -> unit { bb0: { return; } }", "argument locals must be consecutive"),
-            ("fn f() -> unit { bb0: { goto -> ; } }", "expected block label"),
-            ("fn f() -> unit { bb0: { _0 = const @; } }", "unexpected character"),
-            ("fn f() -> unit { bb0: { _0 = const 99999999999999999999; } }", "out of range"),
+            (
+                "fn f() -> unit { bb1: { return; } }",
+                "blocks must be consecutive",
+            ),
+            (
+                "fn f() -> unit { let _2: int; bb0: { return; } }",
+                "local declarations must be consecutive",
+            ),
+            (
+                "fn f(_2: int) -> unit { bb0: { return; } }",
+                "argument locals must be consecutive",
+            ),
+            (
+                "fn f() -> unit { bb0: { goto -> ; } }",
+                "expected block label",
+            ),
+            (
+                "fn f() -> unit { bb0: { _0 = const @; } }",
+                "unexpected character",
+            ),
+            (
+                "fn f() -> unit { bb0: { _0 = const 99999999999999999999; } }",
+                "out of range",
+            ),
             ("fn f() -> nosuch< { bb0: { return; } }", "expected"),
-            ("fn f() -> unit { bb0: { StorageLive(x); } }", "expected local"),
-            ("fn f() -> unit { bb0: { switchInt(_0) -> [bb1]; } }", "expected"),
+            (
+                "fn f() -> unit { bb0: { StorageLive(x); } }",
+                "expected local",
+            ),
+            (
+                "fn f() -> unit { bb0: { switchInt(_0) -> [bb1]; } }",
+                "expected",
+            ),
         ];
         for (src, want) in cases {
             let err = parse_body(src).expect_err(src);

@@ -178,12 +178,7 @@ mod tests {
         let mut b = BodyBuilder::new("f", 0, Ty::Unit);
         let p = b.local("p", Ty::mut_ptr(Ty::Int));
         b.storage_live(p);
-        b.in_unsafe(|b| {
-            b.assign_place(
-                Place::from_local(p).deref(),
-                Rvalue::Use(Operand::int(3)),
-            )
-        });
+        b.in_unsafe(|b| b.assign_place(Place::from_local(p).deref(), Rvalue::Use(Operand::int(3))));
         b.ret();
         let s = body_to_string(&b.finish());
         assert!(s.contains("unsafe (*_1) = const 3;"), "{s}");
@@ -222,7 +217,12 @@ mod tests {
         let next = b.new_block();
         b.call(Callee::Ptr(fp), vec![], Place::RETURN, Some(next));
         b.switch_to(next);
-        b.call(Callee::Intrinsic(Intrinsic::Abort), vec![], Place::RETURN, None);
+        b.call(
+            Callee::Intrinsic(Intrinsic::Abort),
+            vec![],
+            Place::RETURN,
+            None,
+        );
         let s = body_to_string(&b.finish());
         assert!(s.contains("_0 = call (*_1)() -> bb1;"), "{s}");
         assert!(s.contains("_0 = call process::abort() -> !;"), "{s}");

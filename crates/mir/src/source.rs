@@ -13,7 +13,9 @@ use serde::{Deserialize, Serialize};
 /// Spans in this IR are deliberately coarse: a (line, column) pair is enough
 /// to report diagnostics against the textual MIR corpora we ship, and to give
 /// detectors a stable ordering of program points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Span {
     /// 1-based line number; 0 means "synthetic" (built programmatically).
     pub line: u32,

@@ -128,7 +128,9 @@ pub fn remove_unreachable_blocks(body: &mut Body) -> usize {
     for block in &mut body.blocks {
         if let Some(term) = block.terminator.as_mut() {
             let rewrite = |t: &mut BasicBlock| {
-                *t = *remap.get(t).expect("successor of reachable block is reachable");
+                *t = *remap
+                    .get(t)
+                    .expect("successor of reachable block is reachable");
             };
             match &mut term.kind {
                 TerminatorKind::Goto { target } => rewrite(target),
@@ -157,8 +159,7 @@ pub fn remove_unreachable_blocks(body: &mut Body) -> usize {
 pub fn simplify(body: &mut Body) -> usize {
     let mut total = 0;
     loop {
-        let changed =
-            remove_nops(body) + thread_gotos(body) + remove_unreachable_blocks(body);
+        let changed = remove_nops(body) + thread_gotos(body) + remove_unreachable_blocks(body);
         total += changed;
         if changed == 0 {
             return total;

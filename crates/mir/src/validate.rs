@@ -136,7 +136,11 @@ impl Visitor for BodyValidator<'_> {
                 }
             }
         }
-        if let TerminatorKind::Call { func: Callee::Ptr(l), .. } = &term.kind {
+        if let TerminatorKind::Call {
+            func: Callee::Ptr(l),
+            ..
+        } = &term.kind
+        {
             self.check_local(*l, "callee local", loc);
         }
         // Default traversal for operands/places.
@@ -272,7 +276,9 @@ mod tests {
     #[test]
     fn rejects_out_of_range_local() {
         let mut body = ok_body();
-        body.blocks[0].statements.push(Statement::new(StatementKind::StorageLive(Local(99))));
+        body.blocks[0]
+            .statements
+            .push(Statement::new(StatementKind::StorageLive(Local(99))));
         let errs = validate_body(&body).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("out of range")));
     }
@@ -316,7 +322,9 @@ mod tests {
         let p = Program::from_bodies([b.finish()]);
         let errs = validate_program(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("entry")));
-        assert!(errs.iter().any(|e| e.message.contains("undefined function")));
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("undefined function")));
     }
 
     #[test]
@@ -330,7 +338,10 @@ mod tests {
         caller.ret();
         let p = Program::from_bodies([callee.finish(), caller.finish()]);
         let errs = validate_program(&p).unwrap_err();
-        assert!(errs.iter().any(|e| e.message.contains("it takes 2")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.message.contains("it takes 2")),
+            "{errs:?}"
+        );
     }
 
     #[test]

@@ -157,9 +157,7 @@ pub trait Visitor {
             TerminatorKind::Drop { place, .. } => {
                 self.visit_place(place, PlaceContext::Drop, location)
             }
-            TerminatorKind::Goto { .. }
-            | TerminatorKind::Return
-            | TerminatorKind::Unreachable => {}
+            TerminatorKind::Goto { .. } | TerminatorKind::Return | TerminatorKind::Unreachable => {}
         }
     }
 
@@ -224,17 +222,19 @@ mod tests {
         b.storage_live(a);
         b.storage_live(d);
         let next = b.new_block();
-        b.call(Callee::Fn("g".into()), vec![Operand::copy(a)], d, Some(next));
+        b.call(
+            Callee::Fn("g".into()),
+            vec![Operand::copy(a)],
+            d,
+            Some(next),
+        );
         b.switch_to(next);
         b.ret();
         let body = b.finish();
 
         let mut v = Collect(Vec::new());
         v.visit_body(&body);
-        assert_eq!(
-            v.0,
-            vec![(a, PlaceContext::Copy), (d, PlaceContext::Write)]
-        );
+        assert_eq!(v.0, vec![(a, PlaceContext::Copy), (d, PlaceContext::Write)]);
     }
 
     #[test]

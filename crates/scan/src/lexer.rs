@@ -293,7 +293,9 @@ mod tests {
         assert!(ks.contains(&TokenKind::Ident("done".into())));
         // The literal is one token.
         assert_eq!(
-            ks.iter().filter(|k| matches!(k, TokenKind::Literal)).count(),
+            ks.iter()
+                .filter(|k| matches!(k, TokenKind::Literal))
+                .count(),
             1
         );
     }
@@ -321,7 +323,12 @@ mod tests {
             .count();
         assert_eq!(literals, 7);
         // The range `..` survives as punctuation.
-        assert!(ks.iter().filter(|k| matches!(k, TokenKind::Punct('.'))).count() >= 2);
+        assert!(
+            ks.iter()
+                .filter(|k| matches!(k, TokenKind::Punct('.')))
+                .count()
+                >= 2
+        );
     }
 
     #[test]
@@ -329,7 +336,9 @@ mod tests {
         let ks = kinds(r##"b"bytes" br#"raw"# tail"##);
         assert!(ks.contains(&TokenKind::Ident("tail".into())));
         assert_eq!(
-            ks.iter().filter(|k| matches!(k, TokenKind::Literal)).count(),
+            ks.iter()
+                .filter(|k| matches!(k, TokenKind::Literal))
+                .count(),
             2
         );
     }

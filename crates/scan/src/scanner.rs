@@ -80,10 +80,21 @@ const PERF_CALLS: &[&str] = &[
 ];
 
 /// Paths that signal reuse of non-Rust or pre-existing code.
-const FFI_HINTS: &[&str] = &["libc", "ffi", "sys", "extern_call", "c_char", "c_void", "glibc"];
+const FFI_HINTS: &[&str] = &[
+    "libc",
+    "ffi",
+    "sys",
+    "extern_call",
+    "c_char",
+    "c_void",
+    "glibc",
+];
 
 /// Scans one source string for unsafe usages.
 pub fn scan_source(src: &str) -> Vec<UnsafeUsage> {
+    let _span = rstudy_telemetry::span("scan.file");
+    rstudy_telemetry::counter("scan.files", 1);
+    rstudy_telemetry::counter("scan.lines", src.lines().count() as u64);
     let tokens = lex(src);
     let mut usages = Vec::new();
     let mut statics_mut: Vec<String> = collect_static_muts(&tokens);
@@ -156,6 +167,14 @@ pub fn scan_source(src: &str) -> Vec<UnsafeUsage> {
                 i += 1;
             }
         }
+    }
+    if rstudy_telemetry::enabled() {
+        let blocks = usages
+            .iter()
+            .filter(|u| u.kind == UnsafeKind::Block)
+            .count();
+        rstudy_telemetry::counter("scan.unsafe_blocks", blocks as u64);
+        rstudy_telemetry::counter("scan.unsafe_usages", usages.len() as u64);
     }
     usages
 }
@@ -264,7 +283,10 @@ fn classify_purpose(ops: &[OpKind], kind: UnsafeKind, region: &[Token]) -> Purpo
     {
         return Purpose::Performance;
     }
-    if ops.iter().any(|o| matches!(o, OpKind::RawPointer | OpKind::Transmute)) {
+    if ops
+        .iter()
+        .any(|o| matches!(o, OpKind::RawPointer | OpKind::Transmute))
+    {
         return Purpose::CodeReuse;
     }
     if matches!(kind, UnsafeKind::Trait | UnsafeKind::Impl) {

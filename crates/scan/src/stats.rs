@@ -146,11 +146,7 @@ impl ScanStats {
         }
         let _ = writeln!(s, "  inferred purpose:");
         for (k, v) in &self.breakdown.by_purpose {
-            let _ = writeln!(
-                s,
-                "    {k:<14} {v} ({:.0}%)",
-                self.purpose_percent(k)
-            );
+            let _ = writeln!(s, "    {k:<14} {v} ({:.0}%)", self.purpose_percent(k));
         }
         s
     }

@@ -1,0 +1,320 @@
+//! Workspace-wide instrumentation for the safety-study toolchain.
+//!
+//! The paper's headline claims are quantitative — detector precision and
+//! analysis cost — so every hot layer of this reproduction (detectors,
+//! dataflow engines, the interpreter, the unsafe scanner) reports where its
+//! time goes through this crate:
+//!
+//! * **Spans** — hierarchical wall-clock timing. [`span`] returns an RAII
+//!   guard; nesting follows the per-thread call structure automatically.
+//! * **Counters** — monotonic event counts ([`counter`]).
+//! * **Histograms** — value distributions with power-of-two buckets
+//!   ([`record`]).
+//! * **Trace events** — an ordered in-memory event log for `--trace`
+//!   ([`trace`]), built lazily so disabled tracing costs one atomic load.
+//!
+//! Everything funnels into one global [`Registry`]. When telemetry is
+//! disabled (the default) every entry point reduces to a relaxed atomic
+//! load and an early return, so instrumented code is safe to ship in hot
+//! paths. [`snapshot`] freezes the registry into a serializable
+//! [`Snapshot`] for `--profile` text rendering or `--metrics-json` export.
+//!
+//! ```
+//! rstudy_telemetry::reset();
+//! rstudy_telemetry::enable();
+//! {
+//!     let _outer = rstudy_telemetry::span("check");
+//!     let _inner = rstudy_telemetry::span("detector.use-after-free");
+//!     rstudy_telemetry::counter("findings", 2);
+//! }
+//! let snap = rstudy_telemetry::snapshot();
+//! assert_eq!(snap.counters["findings"], 2);
+//! assert_eq!(snap.spans[0].children[0].name, "detector.use-after-free");
+//! ```
+
+mod registry;
+mod snapshot;
+
+pub use registry::{SpanGuard, TraceEvent};
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanNode};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric collection on.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns metric collection off (guards already open still record on drop).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether metric collection is on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the trace event log on or off. Tracing implies metrics: trace
+/// events are only gathered while telemetry is [`enabled`].
+pub fn set_tracing(on: bool) {
+    TRACING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the trace event log is on.
+#[inline]
+pub fn tracing() -> bool {
+    TRACING.load(Ordering::Relaxed) && enabled()
+}
+
+/// Opens a timing span. The returned guard records the span's wall-clock
+/// duration into the global registry when dropped; spans opened while this
+/// one is live (on the same thread) become its children.
+///
+/// When telemetry is disabled this is a no-op costing one atomic load.
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if enabled() {
+        registry::open_span(name)
+    } else {
+        SpanGuard::noop()
+    }
+}
+
+/// Adds `delta` to the named monotonic counter.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if enabled() && delta > 0 {
+        registry::add_counter(name, delta);
+    }
+}
+
+/// Records one observation into the named histogram.
+#[inline]
+pub fn record(name: &str, value: u64) {
+    if enabled() {
+        registry::record_histogram(name, value);
+    }
+}
+
+/// Appends a trace event; `build` runs only when tracing is on.
+#[inline]
+pub fn trace<F: FnOnce() -> String>(build: F) {
+    if tracing() {
+        registry::push_event(build());
+    }
+}
+
+/// Clears all recorded metrics and trace events (the enabled/tracing flags
+/// are left as-is).
+pub fn reset() {
+    registry::reset();
+}
+
+/// Freezes the current registry contents into a serializable snapshot.
+pub fn snapshot() -> Snapshot {
+    registry::snapshot()
+}
+
+/// Renders the current registry as the human-readable `--profile` report.
+pub fn render_profile() -> String {
+    snapshot().render()
+}
+
+/// Serializes the current registry as pretty-printed JSON (the
+/// `--metrics-json` payload).
+pub fn to_json() -> String {
+    serde_json::to_string_pretty(&snapshot()).expect("metrics serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+    use std::time::Duration;
+
+    /// The registry is global, so tests serialize on this lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn fresh() -> MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        enable();
+        set_tracing(false);
+        guard
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let _lock = fresh();
+        disable();
+        {
+            let _g = span("ignored");
+            counter("ignored", 5);
+            record("ignored", 1);
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn span_nesting_follows_call_structure() {
+        let _lock = fresh();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        let snap = snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let outer = &snap.spans[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 2);
+    }
+
+    #[test]
+    fn span_timing_is_monotonic_and_bounded() {
+        let _lock = fresh();
+        {
+            let _outer = span("timed");
+            {
+                let _inner = span("sleep");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let snap = snapshot();
+        let outer = &snap.spans[0];
+        let inner = &outer.children[0];
+        assert!(
+            inner.total_ns >= 5_000_000,
+            "inner {} < 5ms",
+            inner.total_ns
+        );
+        assert!(
+            outer.total_ns >= inner.total_ns,
+            "parent {} < child {}",
+            outer.total_ns,
+            inner.total_ns
+        );
+        assert!(inner.min_ns <= inner.max_ns);
+        assert!(inner.max_ns <= inner.total_ns);
+    }
+
+    #[test]
+    fn counters_accumulate_atomically_across_threads() {
+        let _lock = fresh();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counter("threads.increments", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(snapshot().counters["threads.increments"], 8000);
+    }
+
+    #[test]
+    fn spans_from_other_threads_attach_at_root() {
+        let _lock = fresh();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let _g = span("worker");
+                });
+            }
+        });
+        let snap = snapshot();
+        let worker = snap.spans.iter().find(|n| n.name == "worker").unwrap();
+        assert_eq!(worker.count, 4);
+    }
+
+    #[test]
+    fn histograms_track_distribution() {
+        let _lock = fresh();
+        for v in [1u64, 2, 3, 100] {
+            record("hist", v);
+        }
+        let snap = snapshot();
+        let h = &snap.histograms["hist"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 106);
+        assert_eq!(h.min, 1);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets.iter().map(|b| b.count).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn trace_events_preserve_order_and_laziness() {
+        let _lock = fresh();
+        let mut built = 0;
+        trace(|| {
+            built += 1;
+            String::from("dropped: tracing off")
+        });
+        assert_eq!(built, 0);
+        set_tracing(true);
+        trace(|| String::from("first"));
+        trace(|| String::from("second"));
+        set_tracing(false);
+        let snap = snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].message, "first");
+        assert_eq!(snap.events[1].message, "second");
+        assert!(snap.events[0].seq < snap.events[1].seq);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let _lock = fresh();
+        {
+            let _g = span("roundtrip");
+            counter("roundtrip.count", 3);
+            record("roundtrip.hist", 42);
+        }
+        let json = to_json();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.counters["roundtrip.count"], 3);
+        assert_eq!(back.spans[0].name, "roundtrip");
+        assert_eq!(back.histograms["roundtrip.hist"].count, 1);
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let _lock = fresh();
+        {
+            let _g = span("rendered");
+            counter("rendered.counter", 1);
+        }
+        let text = render_profile();
+        assert!(text.contains("rendered"));
+        assert!(text.contains("counters"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _lock = fresh();
+        {
+            let _g = span("gone");
+            counter("gone", 1);
+        }
+        reset();
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+    }
+}

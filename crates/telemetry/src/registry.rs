@@ -1,0 +1,267 @@
+//! The global registry behind the crate's free functions.
+//!
+//! Spans are tracked with a per-thread path stack (so nesting needs no
+//! explicit parent handles) and merged into one global tree keyed by span
+//! name path. Counters, histograms, and the trace log live beside it under
+//! a single mutex; hot call sites are expected to accumulate locally and
+//! flush per pass, so the lock is taken at per-pass granularity.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::snapshot::{BucketCount, HistogramSnapshot, Snapshot, SpanNode};
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Default)]
+pub(crate) struct SpanStats {
+    pub count: u64,
+    pub total_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One node of the global span tree.
+#[derive(Debug, Default)]
+pub(crate) struct Node {
+    pub stats: SpanStats,
+    pub children: BTreeMap<String, Node>,
+}
+
+/// Histogram with power-of-two buckets.
+#[derive(Debug)]
+pub(crate) struct Histogram {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// `buckets[i]` counts values whose bit length is `i` (i.e. value 0 in
+    /// bucket 0, 1 in bucket 1, 2..=3 in bucket 2, 4..=7 in bucket 3, ...).
+    pub buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket] += 1;
+    }
+}
+
+/// One entry of the trace event log.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// The rendered event text.
+    pub message: String,
+}
+
+/// Bound on the in-memory trace log; past it, newest events are counted but
+/// not stored so a long interpreter run cannot exhaust memory.
+const MAX_EVENTS: usize = 65_536;
+
+#[derive(Default)]
+struct Registry {
+    root: Node,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    events: Vec<TraceEvent>,
+    events_dropped: u64,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    root: Node {
+        stats: SpanStats {
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+        },
+        children: BTreeMap::new(),
+    },
+    counters: BTreeMap::new(),
+    histograms: BTreeMap::new(),
+    events: Vec::new(),
+    events_dropped: 0,
+});
+
+static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// RAII guard returned by [`crate::span`].
+#[must_use = "a span is timed until the guard drops"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    pub(crate) fn noop() -> SpanGuard {
+        SpanGuard { start: None }
+    }
+}
+
+pub(crate) fn open_span(name: &str) -> SpanGuard {
+    SPAN_STACK.with(|stack| stack.borrow_mut().push(name.to_owned()));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let path = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path: Vec<String> = stack.clone();
+            stack.pop();
+            path
+        });
+        if path.is_empty() {
+            // Unbalanced guard (e.g. dropped after a `reset` raced the
+            // stack); nothing sensible to record.
+            return;
+        }
+        let mut reg = lock();
+        let mut node = &mut reg.root;
+        for name in &path {
+            node = node.children.entry(name.clone()).or_default();
+        }
+        let stats = &mut node.stats;
+        if stats.count == 0 {
+            stats.min_ns = elapsed_ns;
+            stats.max_ns = elapsed_ns;
+        } else {
+            stats.min_ns = stats.min_ns.min(elapsed_ns);
+            stats.max_ns = stats.max_ns.max(elapsed_ns);
+        }
+        stats.count += 1;
+        stats.total_ns = stats.total_ns.saturating_add(elapsed_ns);
+    }
+}
+
+pub(crate) fn add_counter(name: &str, delta: u64) {
+    let mut reg = lock();
+    match reg.counters.get_mut(name) {
+        Some(v) => *v = v.saturating_add(delta),
+        None => {
+            reg.counters.insert(name.to_owned(), delta);
+        }
+    }
+}
+
+pub(crate) fn record_histogram(name: &str, value: u64) {
+    let mut reg = lock();
+    match reg.histograms.get_mut(name) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histogram::default();
+            h.record(value);
+            reg.histograms.insert(name.to_owned(), h);
+        }
+    }
+}
+
+pub(crate) fn push_event(message: String) {
+    let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut reg = lock();
+    if reg.events.len() >= MAX_EVENTS {
+        reg.events_dropped += 1;
+        return;
+    }
+    reg.events.push(TraceEvent { seq, message });
+}
+
+pub(crate) fn reset() {
+    let mut reg = lock();
+    reg.root = Node::default();
+    reg.counters.clear();
+    reg.histograms.clear();
+    reg.events.clear();
+    reg.events_dropped = 0;
+}
+
+pub(crate) fn snapshot() -> Snapshot {
+    let reg = lock();
+    Snapshot {
+        spans: freeze_children(&reg.root),
+        counters: reg.counters.clone(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(name, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| BucketCount {
+                        le: match i {
+                            0 => 0,
+                            1..=63 => (1u64 << i) - 1,
+                            _ => u64::MAX,
+                        },
+                        count: c,
+                    })
+                    .collect();
+                (
+                    name.clone(),
+                    HistogramSnapshot {
+                        count: h.count,
+                        sum: h.sum,
+                        min: h.min,
+                        max: h.max,
+                        buckets,
+                    },
+                )
+            })
+            .collect(),
+        events: reg.events.clone(),
+        events_dropped: reg.events_dropped,
+    }
+}
+
+fn freeze_children(node: &Node) -> Vec<SpanNode> {
+    node.children
+        .iter()
+        .map(|(name, child)| SpanNode {
+            name: name.clone(),
+            count: child.stats.count,
+            total_ns: child.stats.total_ns,
+            min_ns: child.stats.min_ns,
+            max_ns: child.stats.max_ns,
+            children: freeze_children(child),
+        })
+        .collect()
+}

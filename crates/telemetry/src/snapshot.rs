@@ -1,0 +1,178 @@
+//! Frozen, serializable views of the registry, plus the `--profile` text
+//! rendering.
+//!
+//! The JSON schema (via `serde_json::to_string_pretty`):
+//!
+//! ```json
+//! {
+//!   "spans": [
+//!     { "name": "check", "count": 1, "total_ns": 123, "min_ns": 123,
+//!       "max_ns": 123, "children": [ ... ] }
+//!   ],
+//!   "counters": { "detector.use-after-free.findings": 4 },
+//!   "histograms": {
+//!     "interp.run.steps": { "count": 1, "sum": 900, "min": 900, "max": 900,
+//!                            "buckets": [ { "le": 1023, "count": 1 } ] }
+//!   },
+//!   "events": [ { "seq": 0, "message": "..." } ],
+//!   "events_dropped": 0
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::registry::TraceEvent;
+
+/// Aggregated timings of one span name at one tree position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanNode {
+    /// Span name as passed to [`crate::span`].
+    pub name: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Summed wall-clock nanoseconds across closings.
+    pub total_ns: u64,
+    /// Fastest single closing, in nanoseconds.
+    pub min_ns: u64,
+    /// Slowest single closing, in nanoseconds.
+    pub max_ns: u64,
+    /// Spans opened while this one was live (same thread), sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+/// One histogram bucket: values `<= le` (and greater than the prior
+/// bucket's `le`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Observations in the bucket.
+    pub count: u64,
+}
+
+/// Frozen histogram contents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations (saturating).
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty power-of-two buckets in increasing `le` order.
+    pub buckets: Vec<BucketCount>,
+}
+
+/// A frozen copy of the whole registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Root spans (each thread's outermost spans), sorted by name.
+    pub spans: Vec<SpanNode>,
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Trace event log in global order (empty unless tracing was on).
+    pub events: Vec<TraceEvent>,
+    /// Events discarded after the log reached its in-memory bound.
+    pub events_dropped: u64,
+}
+
+impl Snapshot {
+    /// Renders the human-readable `--profile` report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── telemetry ──────────────────────────────────────────\n");
+        if self.spans.is_empty() {
+            out.push_str("spans: (none recorded)\n");
+        } else {
+            out.push_str("spans:\n");
+            for node in &self.spans {
+                render_span(&mut out, node, 1);
+            }
+        }
+        out.push_str("counters:\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "  {name:<48} {value}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<48} n={} min={} mean={} max={}",
+                    h.count, h.min, mean, h.max
+                );
+            }
+        }
+        if !self.events.is_empty() || self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "trace events: {} recorded, {} dropped",
+                self.events.len(),
+                self.events_dropped
+            );
+        }
+        out
+    }
+
+    /// Flattens the span tree to `(depth, node)` pairs, preorder.
+    pub fn iter_spans(&self) -> Vec<(usize, &SpanNode)> {
+        let mut out = Vec::new();
+        fn walk<'a>(nodes: &'a [SpanNode], depth: usize, out: &mut Vec<(usize, &'a SpanNode)>) {
+            for n in nodes {
+                out.push((depth, n));
+                walk(&n.children, depth + 1, out);
+            }
+        }
+        walk(&self.spans, 0, &mut out);
+        out
+    }
+
+    /// Looks up a span node by slash-separated path (e.g. `"check/detector.heap"`).
+    pub fn span_at(&self, path: &str) -> Option<&SpanNode> {
+        let mut nodes = &self.spans;
+        let mut found = None;
+        for part in path.split('/') {
+            let node = nodes.iter().find(|n| n.name == part)?;
+            nodes = &node.children;
+            found = Some(node);
+        }
+        found
+    }
+}
+
+fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let _ = writeln!(
+        out,
+        "{label:<50} {:>10}  ×{}",
+        format_ns(node.total_ns),
+        node.count
+    );
+    for child in &node.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}

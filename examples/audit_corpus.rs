@@ -53,9 +53,7 @@ fn main() {
             (None, false) => "data race".to_owned(),
             (None, true) => format!("ok ({:?})", outcome.return_int()),
         };
-        let truth = if entry.static_bugs.is_empty()
-            && entry.dynamic == DynamicExpectation::Clean
-        {
+        let truth = if entry.static_bugs.is_empty() && entry.dynamic == DynamicExpectation::Clean {
             "clean"
         } else {
             "buggy"
@@ -63,8 +61,7 @@ fn main() {
         if truth == "buggy" {
             buggy_entries += 1;
             static_hits += usize::from(!report.is_clean());
-            dynamic_hits +=
-                usize::from(outcome.fault.is_some() || !outcome.races.is_empty());
+            dynamic_hits += usize::from(outcome.fault.is_some() || !outcome.races.is_empty());
         }
         println!(
             "{:<28} {:<28} {:<16} {:<10}",

@@ -52,9 +52,9 @@ fn main() {
     let mut found_dl = 0;
     for entry in DL_TARGETS {
         let diags = DoubleLock.check_program(&entry.program(), &precise);
-        let hit = diags.iter().any(|d| {
-            matches!(d.bug_class, BugClass::DoubleLock | BugClass::RecursiveOnce)
-        });
+        let hit = diags
+            .iter()
+            .any(|d| matches!(d.bug_class, BugClass::DoubleLock | BugClass::RecursiveOnce));
         found_dl += usize::from(hit);
         println!(
             "  {:<22} {}",
@@ -69,7 +69,11 @@ fn main() {
         println!(
             "  {:<22} {}",
             entry.name,
-            if diags.is_empty() { "clean" } else { "REPORTED" }
+            if diags.is_empty() {
+                "clean"
+            } else {
+                "REPORTED"
+            }
         );
     }
     println!("  => {found_dl} bugs found; {fp_dl} false positives (paper: 6 found, 0 FPs)");

@@ -2,7 +2,8 @@
 //!
 //! See the individual crates for documentation:
 //! [`rstudy_mir`], [`rstudy_analysis`], [`rstudy_core`], [`rstudy_interp`],
-//! [`rstudy_scan`], [`rstudy_dataset`], [`rstudy_corpus`].
+//! [`rstudy_scan`], [`rstudy_dataset`], [`rstudy_corpus`],
+//! [`rstudy_telemetry`].
 
 pub use rstudy_analysis as analysis;
 pub use rstudy_core as core;
@@ -11,3 +12,4 @@ pub use rstudy_dataset as dataset;
 pub use rstudy_interp as interp;
 pub use rstudy_mir as mir;
 pub use rstudy_scan as scan;
+pub use rstudy_telemetry as telemetry;

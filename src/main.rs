@@ -21,12 +21,22 @@ use rust_safety_study::mir::validate::validate_program;
 use rust_safety_study::mir::Program;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Telemetry flags are global: valid in any position, for every command.
+    let profile = take_flag(&mut args, "--profile");
+    let metrics_json = take_value(&mut args, "--metrics-json");
+    let wants_trace = args.iter().any(|a| a == "--trace");
+    if profile || metrics_json.is_some() || wants_trace {
+        rstudy_telemetry::enable();
+    }
+    if wants_trace {
+        rstudy_telemetry::set_tracing(true);
+    }
     let Some(cmd) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    match cmd.as_str() {
+    let code = match cmd.as_str() {
         "check" => cmd_check(&args[1..]),
         "run" => cmd_run(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
@@ -41,6 +51,36 @@ fn main() -> ExitCode {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
         }
+    };
+    if profile {
+        print!("{}", rstudy_telemetry::render_profile());
+    }
+    if let Some(path) = metrics_json {
+        if let Err(e) = std::fs::write(&path, rstudy_telemetry::to_json()) {
+            eprintln!("--metrics-json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    code
+}
+
+/// Removes every occurrence of `name` from `args`; returns whether any was
+/// present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// Removes `name <value>` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    args.remove(i);
+    if i < args.len() {
+        Some(args.remove(i))
+    } else {
+        eprintln!("{name}: missing value");
+        None
     }
 }
 
@@ -48,23 +88,27 @@ const USAGE: &str = "\
 rust-safety-study — static & dynamic Rust-safety tooling (PLDI 2020 reproduction)
 
 USAGE:
-  rust-safety-study check <file.mir> [--naive]   run all ten static detectors
+  rust-safety-study check <file.mir> [--naive] [--trace]
   rust-safety-study run <file.mir> [--seed N] [--max-steps N] [--trace]
   rust-safety-study lint <file.mir>              critical sections & hazards
   rust-safety-study scan <path>...               scan .rs files for unsafe usages
   rust-safety-study report [--json]              Tables 1-4, Figures 1-2, §4 stats
-  rust-safety-study corpus [name]                list / print corpus programs";
+  rust-safety-study corpus [name]                list / print corpus programs
+
+GLOBAL FLAGS:
+  --profile             print the telemetry span/counter tree after the command
+  --metrics-json <path> write the full telemetry registry as JSON
+  --trace               record (and print) per-step / per-detector trace events";
 
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let program = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
-    validate_program(&program)
-        .map_err(|errs| format!("{path}: invalid program: {}", errs[0]))?;
+    validate_program(&program).map_err(|errs| format!("{path}: invalid program: {}", errs[0]))?;
     Ok(program)
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("check: missing <file.mir>");
         return ExitCode::from(2);
     };
@@ -80,7 +124,10 @@ fn cmd_check(args: &[String]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let report = DetectorSuite::new().with_config(config).check_program(&program);
+    let report = DetectorSuite::new()
+        .with_config(config)
+        .check_program(&program);
+    print_trace_events();
     if report.is_clean() {
         println!("{path}: no findings");
         return ExitCode::SUCCESS;
@@ -90,6 +137,20 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
     println!("{}: {} finding(s)", path, report.len());
     ExitCode::FAILURE
+}
+
+/// Prints the telemetry trace event log (used by `check --trace`).
+fn print_trace_events() {
+    if !rstudy_telemetry::tracing() {
+        return;
+    }
+    let snap = rstudy_telemetry::snapshot();
+    for e in &snap.events {
+        println!("  {}", e.message);
+    }
+    if snap.events_dropped > 0 {
+        println!("  ... {} trace event(s) dropped", snap.events_dropped);
+    }
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -126,10 +187,19 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let outcome = Interpreter::new(&program).with_config(config).run();
     println!("steps: {}", outcome.steps);
-    if !outcome.trace.is_empty() {
-        println!("trace (last {} steps):", outcome.trace.len());
-        for e in &outcome.trace {
-            println!("  {e}");
+    if config.trace_tail > 0 {
+        // The interpreter records every scheduled step into the telemetry
+        // event log; print the last `trace_tail` of them.
+        let snap = rstudy_telemetry::snapshot();
+        let tail: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.message.starts_with("interp:"))
+            .collect();
+        let skip = tail.len().saturating_sub(config.trace_tail);
+        println!("trace (last {} steps):", tail.len() - skip);
+        for e in &tail[skip..] {
+            println!("  {}", e.message);
         }
     }
     for r in &outcome.races {
@@ -215,7 +285,13 @@ fn scan_path(path: &Path, stats: &mut rust_safety_study::scan::stats::ScanStats)
         if let Ok(src) = std::fs::read_to_string(path) {
             let usages = scan_source(&src);
             for u in &usages {
-                println!("{}:{}: unsafe {:?} ({:?})", path.display(), u.line, u.kind, u.purpose);
+                println!(
+                    "{}:{}: unsafe {:?} ({:?})",
+                    path.display(),
+                    u.line,
+                    u.kind,
+                    u.purpose
+                );
             }
             stats.merge(&ScanStats::from_usages(&usages));
         }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_dynamic-9159197340b7ffe3.d: tests/corpus_dynamic.rs
+
+/root/repo/target/debug/deps/corpus_dynamic-9159197340b7ffe3: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

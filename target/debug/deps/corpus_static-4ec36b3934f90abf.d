@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_static-4ec36b3934f90abf.d: tests/corpus_static.rs
+
+/root/repo/target/debug/deps/corpus_static-4ec36b3934f90abf: tests/corpus_static.rs
+
+tests/corpus_static.rs:

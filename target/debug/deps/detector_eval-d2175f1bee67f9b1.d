@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_eval-d2175f1bee67f9b1.d: tests/detector_eval.rs
+
+/root/repo/target/debug/deps/detector_eval-d2175f1bee67f9b1: tests/detector_eval.rs
+
+tests/detector_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-fb090717b72fbf8a.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-fb090717b72fbf8a: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp-2270b7696fe8de19.d: crates/bench/benches/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp-2270b7696fe8de19.rmeta: crates/bench/benches/interp.rs Cargo.toml
+
+crates/bench/benches/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-847ade1934903dbd.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-847ade1934903dbd.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-fbf207ac8e2d8fe4.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-fbf207ac8e2d8fe4: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b72cfa28ae5e1350.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b72cfa28ae5e1350: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ba627f0cfae88faf.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ba627f0cfae88faf.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rstudy_bench-0c8c10a8070c6361.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rstudy_bench-0c8c10a8070c6361: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

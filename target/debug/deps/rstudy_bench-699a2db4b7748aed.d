@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_bench-699a2db4b7748aed.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_bench-699a2db4b7748aed.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

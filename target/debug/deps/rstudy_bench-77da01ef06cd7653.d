@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rstudy_bench-77da01ef06cd7653.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-77da01ef06cd7653.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-77da01ef06cd7653.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rstudy_bench-fc96f41cc65c1885.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-fc96f41cc65c1885.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-fc96f41cc65c1885.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

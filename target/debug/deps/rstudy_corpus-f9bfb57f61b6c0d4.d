@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rstudy_corpus-f9bfb57f61b6c0d4.d: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/debug/deps/librstudy_corpus-f9bfb57f61b6c0d4.rlib: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/debug/deps/librstudy_corpus-f9bfb57f61b6c0d4.rmeta: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/blocking.rs:
+crates/corpus/src/detector_eval.rs:
+crates/corpus/src/memory.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/nonblocking.rs:

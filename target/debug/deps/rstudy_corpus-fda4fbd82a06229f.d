@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rstudy_corpus-fda4fbd82a06229f.d: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_corpus-fda4fbd82a06229f.rmeta: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs Cargo.toml
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/blocking.rs:
+crates/corpus/src/detector_eval.rs:
+crates/corpus/src/memory.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/nonblocking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

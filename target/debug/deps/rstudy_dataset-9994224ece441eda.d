@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rstudy_dataset-9994224ece441eda.d: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_dataset-9994224ece441eda.rmeta: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/bugs.rs:
+crates/dataset/src/export.rs:
+crates/dataset/src/figures.rs:
+crates/dataset/src/projects.rs:
+crates/dataset/src/releases.rs:
+crates/dataset/src/tables.rs:
+crates/dataset/src/unsafe_usages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rstudy_interp-8e33a5ca326dc1b1.d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/librstudy_interp-8e33a5ca326dc1b1.rlib: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/librstudy_interp-8e33a5ca326dc1b1.rmeta: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/explore.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/outcome.rs:
+crates/interp/src/race.rs:
+crates/interp/src/sync.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/rstudy_mir-6cab87cf4cfbf2a3.d: crates/mir/src/lib.rs crates/mir/src/build.rs crates/mir/src/intrinsics.rs crates/mir/src/parse.rs crates/mir/src/pretty.rs crates/mir/src/program.rs crates/mir/src/source.rs crates/mir/src/syntax.rs crates/mir/src/transform.rs crates/mir/src/ty.rs crates/mir/src/validate.rs crates/mir/src/visit.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_mir-6cab87cf4cfbf2a3.rmeta: crates/mir/src/lib.rs crates/mir/src/build.rs crates/mir/src/intrinsics.rs crates/mir/src/parse.rs crates/mir/src/pretty.rs crates/mir/src/program.rs crates/mir/src/source.rs crates/mir/src/syntax.rs crates/mir/src/transform.rs crates/mir/src/ty.rs crates/mir/src/validate.rs crates/mir/src/visit.rs Cargo.toml
+
+crates/mir/src/lib.rs:
+crates/mir/src/build.rs:
+crates/mir/src/intrinsics.rs:
+crates/mir/src/parse.rs:
+crates/mir/src/pretty.rs:
+crates/mir/src/program.rs:
+crates/mir/src/source.rs:
+crates/mir/src/syntax.rs:
+crates/mir/src/transform.rs:
+crates/mir/src/ty.rs:
+crates/mir/src/validate.rs:
+crates/mir/src/visit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rstudy_scan-7046a613c69222f7.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/debug/deps/librstudy_scan-7046a613c69222f7.rlib: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/debug/deps/librstudy_scan-7046a613c69222f7.rmeta: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rstudy_scan-f8974cb40ae96f7e.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_scan-f8974cb40ae96f7e.rmeta: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs Cargo.toml
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

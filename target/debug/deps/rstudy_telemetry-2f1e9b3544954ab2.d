@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rstudy_telemetry-2f1e9b3544954ab2.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_telemetry-2f1e9b3544954ab2.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_telemetry-8f97a4070e5c4528.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/librstudy_telemetry-8f97a4070e5c4528.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/librstudy_telemetry-8f97a4070e5c4528.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-13780813f9d082d9.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-13780813f9d082d9: src/main.rs
+
+src/main.rs:

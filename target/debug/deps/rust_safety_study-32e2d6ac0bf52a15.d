@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-32e2d6ac0bf52a15.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-32e2d6ac0bf52a15: src/main.rs
+
+src/main.rs:

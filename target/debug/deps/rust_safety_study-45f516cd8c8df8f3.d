@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-45f516cd8c8df8f3.d: src/lib.rs
+
+/root/repo/target/debug/deps/rust_safety_study-45f516cd8c8df8f3: src/lib.rs
+
+src/lib.rs:

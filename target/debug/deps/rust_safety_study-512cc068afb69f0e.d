@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rust_safety_study-512cc068afb69f0e.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-512cc068afb69f0e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-512cc068afb69f0e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-a471b8867778630a.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-a471b8867778630a: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rust_safety_study-edccea9e28cb2225.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-edccea9e28cb2225.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-edccea9e28cb2225.rmeta: src/lib.rs
+
+src/lib.rs:

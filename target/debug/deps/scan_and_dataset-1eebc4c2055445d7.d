@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_and_dataset-1eebc4c2055445d7.d: tests/scan_and_dataset.rs
+
+/root/repo/target/debug/deps/scan_and_dataset-1eebc4c2055445d7: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_exploration-b7bfd0287e769bd9.d: tests/schedule_exploration.rs
+
+/root/repo/target/debug/deps/schedule_exploration-b7bfd0287e769bd9: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-523635690ab5d325.d: tests/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-523635690ab5d325.rmeta: tests/transforms.rs Cargo.toml
+
+tests/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

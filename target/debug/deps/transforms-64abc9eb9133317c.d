@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-64abc9eb9133317c.d: tests/transforms.rs
+
+/root/repo/target/debug/deps/transforms-64abc9eb9133317c: tests/transforms.rs
+
+tests/transforms.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_corpus-ab67076befa0c7a7.d: examples/audit_corpus.rs
+
+/root/repo/target/debug/examples/audit_corpus-ab67076befa0c7a7: examples/audit_corpus.rs
+
+examples/audit_corpus.rs:

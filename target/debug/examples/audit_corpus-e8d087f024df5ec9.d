@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_corpus-e8d087f024df5ec9.d: examples/audit_corpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_corpus-e8d087f024df5ec9.rmeta: examples/audit_corpus.rs Cargo.toml
+
+examples/audit_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

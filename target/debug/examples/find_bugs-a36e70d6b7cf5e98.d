@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/find_bugs-a36e70d6b7cf5e98.d: examples/find_bugs.rs
+
+/root/repo/target/debug/examples/find_bugs-a36e70d6b7cf5e98: examples/find_bugs.rs
+
+examples/find_bugs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interp_demo-465b336c8d33538e.d: examples/interp_demo.rs
+
+/root/repo/target/debug/examples/interp_demo-465b336c8d33538e: examples/interp_demo.rs
+
+examples/interp_demo.rs:

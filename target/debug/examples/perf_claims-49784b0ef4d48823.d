@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_claims-49784b0ef4d48823.d: examples/perf_claims.rs
+
+/root/repo/target/debug/examples/perf_claims-49784b0ef4d48823: examples/perf_claims.rs
+
+examples/perf_claims.rs:

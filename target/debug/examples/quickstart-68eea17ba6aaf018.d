@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-68eea17ba6aaf018.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-68eea17ba6aaf018: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_unsafe-10e64c22c5e50d12.d: examples/scan_unsafe.rs
+
+/root/repo/target/debug/examples/scan_unsafe-10e64c22c5e50d12: examples/scan_unsafe.rs
+
+examples/scan_unsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/study_report-3e68470a43bf6149.d: examples/study_report.rs
+
+/root/repo/target/debug/examples/study_report-3e68470a43bf6149: examples/study_report.rs
+
+examples/study_report.rs:

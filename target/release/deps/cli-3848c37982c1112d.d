@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cli-3848c37982c1112d.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-3848c37982c1112d: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/release/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpus_dynamic-4dfa5c1952dbc051.d: tests/corpus_dynamic.rs
+
+/root/repo/target/release/deps/corpus_dynamic-4dfa5c1952dbc051: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

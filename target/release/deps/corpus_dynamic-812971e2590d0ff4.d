@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpus_dynamic-812971e2590d0ff4.d: tests/corpus_dynamic.rs
+
+/root/repo/target/release/deps/corpus_dynamic-812971e2590d0ff4: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpus_static-3d40e92f3b4e3db9.d: tests/corpus_static.rs
+
+/root/repo/target/release/deps/corpus_static-3d40e92f3b4e3db9: tests/corpus_static.rs
+
+tests/corpus_static.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/corpus_static-dea5de49bfd8156a.d: tests/corpus_static.rs
+
+/root/repo/target/release/deps/corpus_static-dea5de49bfd8156a: tests/corpus_static.rs
+
+tests/corpus_static.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_eval-2ad3a296045207c4.d: tests/detector_eval.rs
+
+/root/repo/target/release/deps/detector_eval-2ad3a296045207c4: tests/detector_eval.rs
+
+tests/detector_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/detector_eval-34d834011a7bce43.d: tests/detector_eval.rs
+
+/root/repo/target/release/deps/detector_eval-34d834011a7bce43: tests/detector_eval.rs
+
+tests/detector_eval.rs:

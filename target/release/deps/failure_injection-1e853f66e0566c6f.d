@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-1e853f66e0566c6f.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-1e853f66e0566c6f: tests/failure_injection.rs
+
+tests/failure_injection.rs:

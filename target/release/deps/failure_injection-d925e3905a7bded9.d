@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-d925e3905a7bded9.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-d925e3905a7bded9: tests/failure_injection.rs
+
+tests/failure_injection.rs:

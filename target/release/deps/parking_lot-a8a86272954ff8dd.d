@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-a8a86272954ff8dd.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-a8a86272954ff8dd: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-9c2e1464d0f2859c.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-9c2e1464d0f2859c: tests/pipeline.rs
+
+tests/pipeline.rs:

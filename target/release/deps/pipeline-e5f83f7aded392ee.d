@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-e5f83f7aded392ee.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-e5f83f7aded392ee: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-729f6eb477c6c115.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-729f6eb477c6c115: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f22a6999b74db04d.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f22a6999b74db04d: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/rstudy_analysis-fa89c2e49b99b0b5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+
+/root/repo/target/release/deps/librstudy_analysis-fa89c2e49b99b0b5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+
+/root/repo/target/release/deps/librstudy_analysis-fa89c2e49b99b0b5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/const_prop.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dominators.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/locks.rs:
+crates/analysis/src/points_to.rs:
+crates/analysis/src/reaching.rs:
+crates/analysis/src/storage.rs:

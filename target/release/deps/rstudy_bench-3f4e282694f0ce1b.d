@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rstudy_bench-3f4e282694f0ce1b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librstudy_bench-3f4e282694f0ce1b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librstudy_bench-3f4e282694f0ce1b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

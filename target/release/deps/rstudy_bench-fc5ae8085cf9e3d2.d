@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rstudy_bench-fc5ae8085cf9e3d2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/rstudy_bench-fc5ae8085cf9e3d2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rstudy_corpus-b4a1c828571f0bab.d: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/release/deps/librstudy_corpus-b4a1c828571f0bab.rlib: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/release/deps/librstudy_corpus-b4a1c828571f0bab.rmeta: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/blocking.rs:
+crates/corpus/src/detector_eval.rs:
+crates/corpus/src/memory.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/nonblocking.rs:

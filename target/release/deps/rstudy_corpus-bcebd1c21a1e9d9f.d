@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rstudy_corpus-bcebd1c21a1e9d9f.d: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/release/deps/rstudy_corpus-bcebd1c21a1e9d9f: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/blocking.rs:
+crates/corpus/src/detector_eval.rs:
+crates/corpus/src/memory.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/nonblocking.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rstudy_dataset-b98627f24a71341f.d: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs
+
+/root/repo/target/release/deps/librstudy_dataset-b98627f24a71341f.rlib: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs
+
+/root/repo/target/release/deps/librstudy_dataset-b98627f24a71341f.rmeta: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/bugs.rs:
+crates/dataset/src/export.rs:
+crates/dataset/src/figures.rs:
+crates/dataset/src/projects.rs:
+crates/dataset/src/releases.rs:
+crates/dataset/src/tables.rs:
+crates/dataset/src/unsafe_usages.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rstudy_interp-0e042d2197ee3f1d.d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/rstudy_interp-0e042d2197ee3f1d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/explore.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/outcome.rs:
+crates/interp/src/race.rs:
+crates/interp/src/sync.rs:
+crates/interp/src/value.rs:

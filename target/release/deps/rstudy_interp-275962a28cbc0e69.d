@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rstudy_interp-275962a28cbc0e69.d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/librstudy_interp-275962a28cbc0e69.rlib: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/librstudy_interp-275962a28cbc0e69.rmeta: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/explore.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/outcome.rs:
+crates/interp/src/race.rs:
+crates/interp/src/sync.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rstudy_interp-447fe4b4216709ad.d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/librstudy_interp-447fe4b4216709ad.rlib: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/librstudy_interp-447fe4b4216709ad.rmeta: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/explore.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/outcome.rs:
+crates/interp/src/race.rs:
+crates/interp/src/sync.rs:
+crates/interp/src/value.rs:

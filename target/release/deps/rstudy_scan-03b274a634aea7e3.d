@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rstudy_scan-03b274a634aea7e3.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/release/deps/librstudy_scan-03b274a634aea7e3.rlib: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/release/deps/librstudy_scan-03b274a634aea7e3.rmeta: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:

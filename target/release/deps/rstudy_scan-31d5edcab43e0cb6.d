@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rstudy_scan-31d5edcab43e0cb6.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/release/deps/rstudy_scan-31d5edcab43e0cb6: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rstudy_telemetry-142ba2cfddfdf585.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/release/deps/rstudy_telemetry-142ba2cfddfdf585: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rstudy_telemetry-ab39dc2e2579deec.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/release/deps/librstudy_telemetry-ab39dc2e2579deec.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/release/deps/librstudy_telemetry-ab39dc2e2579deec.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

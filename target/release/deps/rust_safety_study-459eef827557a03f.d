@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-459eef827557a03f.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-459eef827557a03f: src/main.rs
+
+src/main.rs:

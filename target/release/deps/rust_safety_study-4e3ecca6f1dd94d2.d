@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-4e3ecca6f1dd94d2.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-4e3ecca6f1dd94d2: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-769cf766f72e7989.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-769cf766f72e7989: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rust_safety_study-800b003be7ca0b90.d: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-800b003be7ca0b90.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-800b003be7ca0b90.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rust_safety_study-a5b7040fade65685.d: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-a5b7040fade65685.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-a5b7040fade65685.rmeta: src/lib.rs
+
+src/lib.rs:

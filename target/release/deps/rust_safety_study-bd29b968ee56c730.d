@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-bd29b968ee56c730.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-bd29b968ee56c730: src/main.rs
+
+src/main.rs:

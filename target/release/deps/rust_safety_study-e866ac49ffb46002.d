@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-e866ac49ffb46002.d: src/lib.rs
+
+/root/repo/target/release/deps/rust_safety_study-e866ac49ffb46002: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-f3f56525e7883f0a.d: src/lib.rs
+
+/root/repo/target/release/deps/rust_safety_study-f3f56525e7883f0a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scan_and_dataset-a392063397a7daa9.d: tests/scan_and_dataset.rs
+
+/root/repo/target/release/deps/scan_and_dataset-a392063397a7daa9: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scan_and_dataset-cc979d470a4105a8.d: tests/scan_and_dataset.rs
+
+/root/repo/target/release/deps/scan_and_dataset-cc979d470a4105a8: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedule_exploration-adc6f6a68e3a8601.d: tests/schedule_exploration.rs
+
+/root/repo/target/release/deps/schedule_exploration-adc6f6a68e3a8601: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedule_exploration-dc39f8821a711257.d: tests/schedule_exploration.rs
+
+/root/repo/target/release/deps/schedule_exploration-dc39f8821a711257: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-b2c6497a3638e9a6.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-b2c6497a3638e9a6: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

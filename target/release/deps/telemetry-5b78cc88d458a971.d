@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/telemetry-5b78cc88d458a971.d: tests/telemetry.rs
+
+/root/repo/target/release/deps/telemetry-5b78cc88d458a971: tests/telemetry.rs
+
+tests/telemetry.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/release/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

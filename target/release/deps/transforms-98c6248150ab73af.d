@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transforms-98c6248150ab73af.d: tests/transforms.rs
+
+/root/repo/target/release/deps/transforms-98c6248150ab73af: tests/transforms.rs
+
+tests/transforms.rs:

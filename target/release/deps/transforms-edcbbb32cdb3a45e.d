@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transforms-edcbbb32cdb3a45e.d: tests/transforms.rs
+
+/root/repo/target/release/deps/transforms-edcbbb32cdb3a45e: tests/transforms.rs
+
+tests/transforms.rs:

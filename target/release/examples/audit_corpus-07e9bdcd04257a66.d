@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/audit_corpus-07e9bdcd04257a66.d: examples/audit_corpus.rs
+
+/root/repo/target/release/examples/audit_corpus-07e9bdcd04257a66: examples/audit_corpus.rs
+
+examples/audit_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/audit_corpus-2f166ac43be871aa.d: examples/audit_corpus.rs
+
+/root/repo/target/release/examples/audit_corpus-2f166ac43be871aa: examples/audit_corpus.rs
+
+examples/audit_corpus.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/find_bugs-1846fb18e8a48ee5.d: examples/find_bugs.rs
+
+/root/repo/target/release/examples/find_bugs-1846fb18e8a48ee5: examples/find_bugs.rs
+
+examples/find_bugs.rs:

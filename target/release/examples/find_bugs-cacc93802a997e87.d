@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/find_bugs-cacc93802a997e87.d: examples/find_bugs.rs
+
+/root/repo/target/release/examples/find_bugs-cacc93802a997e87: examples/find_bugs.rs
+
+examples/find_bugs.rs:

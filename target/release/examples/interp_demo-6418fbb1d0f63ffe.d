@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interp_demo-6418fbb1d0f63ffe.d: examples/interp_demo.rs
+
+/root/repo/target/release/examples/interp_demo-6418fbb1d0f63ffe: examples/interp_demo.rs
+
+examples/interp_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/interp_demo-99124f2613a75bbc.d: examples/interp_demo.rs
+
+/root/repo/target/release/examples/interp_demo-99124f2613a75bbc: examples/interp_demo.rs
+
+examples/interp_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_claims-25bcae3a89f02555.d: examples/perf_claims.rs
+
+/root/repo/target/release/examples/perf_claims-25bcae3a89f02555: examples/perf_claims.rs
+
+examples/perf_claims.rs:

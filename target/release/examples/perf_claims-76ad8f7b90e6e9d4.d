@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/perf_claims-76ad8f7b90e6e9d4.d: examples/perf_claims.rs
+
+/root/repo/target/release/examples/perf_claims-76ad8f7b90e6e9d4: examples/perf_claims.rs
+
+examples/perf_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7961c8bee786d40e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7961c8bee786d40e: examples/quickstart.rs
+
+examples/quickstart.rs:

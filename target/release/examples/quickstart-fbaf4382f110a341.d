@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-fbaf4382f110a341.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-fbaf4382f110a341: examples/quickstart.rs
+
+examples/quickstart.rs:

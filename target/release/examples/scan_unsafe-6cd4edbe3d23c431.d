@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_unsafe-6cd4edbe3d23c431.d: examples/scan_unsafe.rs
+
+/root/repo/target/release/examples/scan_unsafe-6cd4edbe3d23c431: examples/scan_unsafe.rs
+
+examples/scan_unsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scan_unsafe-c629c1e683ae9cc2.d: examples/scan_unsafe.rs
+
+/root/repo/target/release/examples/scan_unsafe-c629c1e683ae9cc2: examples/scan_unsafe.rs
+
+examples/scan_unsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/study_report-1c62c2c6eedc44d1.d: examples/study_report.rs
+
+/root/repo/target/release/examples/study_report-1c62c2c6eedc44d1: examples/study_report.rs
+
+examples/study_report.rs:

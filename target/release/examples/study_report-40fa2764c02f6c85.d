@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/study_report-40fa2764c02f6c85.d: examples/study_report.rs
+
+/root/repo/target/release/examples/study_report-40fa2764c02f6c85: examples/study_report.rs
+
+examples/study_report.rs:

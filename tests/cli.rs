@@ -38,7 +38,11 @@ fn run_completes_the_channel_pipeline() {
         .args(["run", &mir_path("channel_pipeline.mir"), "--seed", "3"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("returned"), "{stdout}");
     assert!(stdout.contains("99"), "{stdout}");
@@ -74,7 +78,10 @@ fn report_emits_tables_and_json() {
     assert!(stdout.contains("Servo"), "{stdout}");
     assert!(stdout.contains("4990"), "{stdout}");
 
-    let out = bin().args(["report", "--json"]).output().expect("binary runs");
+    let out = bin()
+        .args(["report", "--json"])
+        .output()
+        .expect("binary runs");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{'), "{stdout}");

@@ -18,9 +18,7 @@ fn every_corpus_entry_matches_its_dynamic_ground_truth() {
     let mut failures = Vec::new();
     for entry in all_entries() {
         let program = entry.program();
-        let outcome = Interpreter::new(&program)
-            .with_config(config())
-            .run();
+        let outcome = Interpreter::new(&program).with_config(config()).run();
         let ok = match entry.dynamic {
             DynamicExpectation::Clean => outcome.is_clean(),
             DynamicExpectation::MemoryFault => outcome.memory_fault().is_some(),

@@ -42,7 +42,10 @@ fn statically_clean_entries_stay_clean_under_every_individual_detector() {
     // Guard against a detector only being quiet because another detector's
     // diagnostics masked an exact-set mismatch.
     let suite = DetectorSuite::new();
-    for entry in all_entries().into_iter().filter(|e| e.is_statically_clean()) {
+    for entry in all_entries()
+        .into_iter()
+        .filter(|e| e.is_statically_clean())
+    {
         let report = suite.check_program(&entry.program());
         assert!(
             report.is_clean(),

@@ -79,7 +79,11 @@ fn main() -> unit {
     assert!(rstudy_mir::validate::validate_program(&program).is_ok());
 
     let report = DetectorSuite::new().check_program(&program);
-    assert!(report.count(BugClass::DoubleFree) > 0, "{:#?}", report.diagnostics());
+    assert!(
+        report.count(BugClass::DoubleFree) > 0,
+        "{:#?}",
+        report.diagnostics()
+    );
     let outcome = Interpreter::new(&program).run();
     assert!(
         matches!(

@@ -33,7 +33,11 @@ fn scanner_finds_memory_ops_as_the_dominant_operation() {
     for s in samples::ALL {
         stats.merge(&ScanStats::from_usages(&scan_source(s.source)));
     }
-    assert!(stats.memory_op_percent() > 25.0, "{}", stats.memory_op_percent());
+    assert!(
+        stats.memory_op_percent() > 25.0,
+        "{}",
+        stats.memory_op_percent()
+    );
 }
 
 #[test]

@@ -51,12 +51,7 @@ fn simplify_preserves_dynamic_behaviour() {
         };
         assert_eq!(class(&a), class(&b), "{}: {a:?} vs {b:?}", entry.name);
         assert_eq!(a.return_value, b.return_value, "{}", entry.name);
-        assert_eq!(
-            a.races.is_empty(),
-            b.races.is_empty(),
-            "{}",
-            entry.name
-        );
+        assert_eq!(a.races.is_empty(), b.races.is_empty(), "{}", entry.name);
     }
 }
 

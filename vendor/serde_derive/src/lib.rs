@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote`, which cannot be fetched in this build environment).
+//!
+//! Parses the deriving item just enough to learn its shape — struct vs enum,
+//! field names and arities — and emits `impl serde::Serialize` /
+//! `impl serde::Deserialize` blocks that route through the value-based
+//! facade in the vendored `serde` crate. Generics are not supported (the
+//! workspace derives only on concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of one set of fields.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// The parsed deriving item.
+enum Item {
+    Struct(String, Fields),
+    Enum(String, Vec<(String, Fields)>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => ser_struct(name, fields),
+        Item::Enum(name, variants) => ser_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct(name, fields) => de_struct(name, fields),
+        Item::Enum(name, variants) => de_enum(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` and `#![...]` attribute sequences.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Punct(p)) = self.peek() {
+                if p.as_char() == '!' {
+                    self.next();
+                }
+            }
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.next();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Skips a balanced `<...>` generics list if one starts here.
+    fn skip_generics(&mut self) {
+        let starts = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+        if !starts {
+            return;
+        }
+        let mut depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Skips tokens until a top-level `,` (depth-aware over `<...>`), and
+    /// consumes the comma. Returns `false` at end of input.
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn expect_ident(c: &mut Cursor, what: &str) -> String {
+    match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = expect_ident(&mut c, "`struct` or `enum`");
+    let name = expect_ident(&mut c, "item name");
+    c.skip_generics();
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_named_fields(g.stream())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    parse_tuple_fields(g.stream())
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body: {other:?}"),
+            };
+            Item::Struct(name, fields)
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum(name, parse_variants(body))
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        names.push(expect_ident(&mut c, "field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    Fields::Named(names)
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Fields {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        count += 1;
+        if !c.skip_until_comma() {
+            break;
+        }
+    }
+    Fields::Tuple(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = expect_ident(&mut c, "variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = parse_tuple_fields(g.stream());
+                c.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an optional discriminant and the trailing comma.
+        if !c.at_end() && !c.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const S: &str = "::serde::Serialize";
+const D: &str = "::serde::Deserialize";
+const V: &str = "::serde::Value";
+
+fn ser_named_body(prefix: &str, names: &[String]) -> String {
+    let mut out = String::from("{ let mut m = ::std::vec::Vec::new(); ");
+    for n in names {
+        out.push_str(&format!(
+            "m.push((::std::string::String::from(\"{n}\"), {S}::to_value(&{prefix}{n}))); "
+        ));
+    }
+    out.push_str(&format!("{V}::Map(m) }}"));
+    out
+}
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("{V}::Null"),
+        Fields::Named(names) => ser_named_body("self.", names),
+        Fields::Tuple(1) => format!("{S}::to_value(&self.0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{S}::to_value(&self.{i})"))
+                .collect();
+            format!("{V}::Seq(::std::vec![{}])", items.join(", "))
+        }
+    };
+    format!("impl {S} for {name} {{ fn to_value(&self) -> {V} {{ {body} }} }}")
+}
+
+fn ser_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        let arm = match fields {
+            Fields::Unit => {
+                format!("{name}::{vname} => {V}::Str(::std::string::String::from(\"{vname}\")),")
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let payload = if *n == 1 {
+                    format!("{S}::to_value(f0)")
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("{S}::to_value({b})"))
+                        .collect();
+                    format!("{V}::Seq(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{vname}({}) => {V}::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                    binders.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                let payload = ser_named_body("", names);
+                format!(
+                    "{name}::{vname} {{ {} }} => {V}::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                    names.join(", ")
+                )
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("impl {S} for {name} {{ fn to_value(&self) -> {V} {{ match self {{ {arms} }} }} }}")
+}
+
+fn de_named_body(ty_path: &str, names: &[String], source: &str) -> String {
+    let fields: Vec<String> = names
+        .iter()
+        .map(|n| format!("{n}: {D}::from_value({source}.get_field(\"{n}\")?)?"))
+        .collect();
+    format!("{ty_path} {{ {} }}", fields.join(", "))
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("{{ let _ = v; ::std::result::Result::Ok({name}) }}"),
+        Fields::Named(names) => format!(
+            "::std::result::Result::Ok({})",
+            de_named_body(name, names, "v")
+        ),
+        Fields::Tuple(1) => format!("::std::result::Result::Ok({name}({D}::from_value(v)?))"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("{D}::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let items = v.as_seq_n({n})?; ::std::result::Result::Ok({name}({})) }}",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl {D} for {name} {{ \
+           fn from_value(v: &{V}) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn de_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+            )),
+            Fields::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}({D}::from_value(payload)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("{D}::from_value(&items[{i}])?")).collect();
+                payload_arms.push_str(&format!(
+                    "\"{vname}\" => {{ let items = payload.as_seq_n({n})?; \
+                       ::std::result::Result::Ok({name}::{vname}({})) }},",
+                    items.join(", ")
+                ));
+            }
+            Fields::Named(names) => payload_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({}),",
+                de_named_body(&format!("{name}::{vname}"), names, "payload")
+            )),
+        }
+    }
+    format!(
+        "impl {D} for {name} {{ \
+           fn from_value(v: &{V}) -> ::std::result::Result<Self, ::serde::Error> {{ \
+             match v {{ \
+               {V}::Str(s) => match s.as_str() {{ \
+                 {unit_arms} \
+                 other => ::std::result::Result::Err(::serde::Error::new( \
+                   ::std::format!(\"unknown variant `{{other}}` for {name}\"))), \
+               }}, \
+               {V}::Map(entries) if entries.len() == 1 => {{ \
+                 let (tag, payload) = &entries[0]; \
+                 match tag.as_str() {{ \
+                   {payload_arms} \
+                   other => ::std::result::Result::Err(::serde::Error::new( \
+                     ::std::format!(\"unknown variant `{{other}}` for {name}\"))), \
+                 }} \
+               }}, \
+               other => ::std::result::Result::Err(::serde::Error::new( \
+                 ::std::format!(\"expected {name} variant, got {{}}\", other.kind()))), \
+             }} \
+           }} \
+         }}"
+    )
+}
