@@ -13,4 +13,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== --jobs equivalence smoke check =="
+# The parallel suite must produce byte-identical reports at any job count.
+BIN=target/release/rust-safety-study
+SEQ=$("$BIN" check examples/mir/use_after_free.mir --jobs 1 || true)
+PAR=$("$BIN" check examples/mir/use_after_free.mir --jobs 8 || true)
+if [ "$SEQ" != "$PAR" ]; then
+    echo "FAIL: check output differs between --jobs 1 and --jobs 8" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -228,13 +228,14 @@ pub fn solve_with_cfg<A: Analysis>(analysis: A, body: &Body, cfg: &Cfg) -> Resul
         }
     }
 
-    if rstudy_telemetry::enabled() {
-        let name = analysis.name();
-        rstudy_telemetry::counter(&format!("analysis.{name}.solves"), 1);
-        rstudy_telemetry::counter(&format!("analysis.{name}.block_visits"), block_visits);
-        rstudy_telemetry::counter(&format!("analysis.{name}.worklist_pushes"), joins_changed);
-        rstudy_telemetry::record(&format!("analysis.{name}.iterations"), iterations as u64);
-    }
+    // The lazy-name variants only build their `format!` strings when
+    // telemetry is enabled, so this block costs one atomic load per solve
+    // on unprofiled runs.
+    let name = analysis.name();
+    rstudy_telemetry::counter_with(|| format!("analysis.{name}.solves"), 1);
+    rstudy_telemetry::counter_with(|| format!("analysis.{name}.block_visits"), block_visits);
+    rstudy_telemetry::counter_with(|| format!("analysis.{name}.worklist_pushes"), joins_changed);
+    rstudy_telemetry::record_with(|| format!("analysis.{name}.iterations"), iterations as u64);
 
     Results { analysis, boundary }
 }

@@ -16,11 +16,13 @@
 
 #![warn(missing_docs)]
 pub mod bitset;
+pub mod cache;
 pub mod callgraph;
 pub mod cfg;
 pub mod const_prop;
 pub mod dataflow;
 pub mod dominators;
+pub mod heap;
 pub mod liveness;
 pub mod locks;
 pub mod points_to;

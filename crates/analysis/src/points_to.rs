@@ -55,7 +55,7 @@ enum Constraint {
 }
 
 /// Points-to results for one body.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PointsTo {
     /// Per-local points-to sets.
     locals: Vec<BTreeSet<MemRoot>>,

@@ -11,12 +11,12 @@
 
 use std::collections::BTreeSet;
 
-use rstudy_analysis::points_to::{MemRoot, PointsTo};
+use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{Callee, Intrinsic, Operand, Program, TerminatorKind};
+use rstudy_mir::{Callee, Intrinsic, Operand, TerminatorKind};
 
 use crate::config::DetectorConfig;
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The condvar/channel misuse detector.
@@ -38,10 +38,10 @@ struct OpSite {
     imprecise: bool,
 }
 
-fn collect_sites(program: &Program, wanted: &[Intrinsic]) -> Vec<(Intrinsic, OpSite)> {
+fn collect_sites(cx: &AnalysisContext<'_>, wanted: &[Intrinsic]) -> Vec<(Intrinsic, OpSite)> {
     let mut out = Vec::new();
-    for (name, body) in program.iter() {
-        let pt = PointsTo::analyze(body);
+    for (name, body) in cx.program().iter() {
+        let pt = cx.cache().points_to(name);
         for bb in body.block_indices() {
             let data = body.block(bb);
             let Some(term) = &data.terminator else {
@@ -100,13 +100,13 @@ impl Detector for BlockingMisuse {
         "blocking-misuse"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_global(&self, cx: &AnalysisContext<'_>, _config: &DetectorConfig) -> Vec<Diagnostic> {
         let mut out = Vec::new();
 
         // --- condvar: wait with no notify anywhere -----------------------
-        let waits = collect_sites(program, &[Intrinsic::CondvarWait]);
+        let waits = collect_sites(cx, &[Intrinsic::CondvarWait]);
         let notifies = collect_sites(
-            program,
+            cx,
             &[Intrinsic::CondvarNotifyOne, Intrinsic::CondvarNotifyAll],
         );
         for (_, wait) in &waits {
@@ -140,8 +140,8 @@ impl Detector for BlockingMisuse {
         // --- channel: recv with no send anywhere (and vice versa for
         //     bounded channels is fix-specific; only the recv side is the
         //     studied pattern with a clean signature) ----------------------
-        let recvs = collect_sites(program, &[Intrinsic::ChannelRecv]);
-        let sends = collect_sites(program, &[Intrinsic::ChannelSend]);
+        let recvs = collect_sites(cx, &[Intrinsic::ChannelRecv]);
+        let sends = collect_sites(cx, &[Intrinsic::ChannelSend]);
         for (_, recv) in &recvs {
             if recv.imprecise {
                 continue;

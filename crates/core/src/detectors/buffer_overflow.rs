@@ -7,13 +7,12 @@
 //! and reports accesses whose index is provably outside the array.
 
 use rstudy_analysis::const_prop::{ConstMap, ConstProp};
-use rstudy_analysis::points_to::{MemRoot, PointsTo};
+use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{BinOp, Body, Local, Program, ProjElem, Rvalue, Safety, StatementKind, Ty};
+use rstudy_mir::{BinOp, Body, Local, ProjElem, Rvalue, Safety, StatementKind, Ty};
 
 use crate::config::DetectorConfig;
-use crate::detectors::common::deref_sites;
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The buffer-overflow detector.
@@ -25,11 +24,15 @@ impl Detector for BufferOverflow {
         "buffer-overflow"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_body(self.name(), name, body, &mut out);
-        }
+        check_one_body(self.name(), cx, function, body, &mut out);
         out
     }
 }
@@ -55,9 +58,15 @@ fn index_def_safety(body: &Body, index: Local) -> Safety {
     Safety::Safe
 }
 
-fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
+fn check_one_body(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
     let consts = ConstProp::solve(body);
-    let points_to = PointsTo::analyze(body);
+    let points_to = cx.cache().points_to(name);
 
     // 1. Direct indexing of array-typed places: `arr[i]` / `arr[7]`.
     for bb in body.block_indices() {
@@ -128,7 +137,7 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
             offsets.push((place.local, p, k, cause));
         }
     }
-    for site in deref_sites(body) {
+    for site in cx.deref_sites(name) {
         for &(q, p, k, cause) in &offsets {
             if site.pointer != q {
                 continue;
@@ -240,7 +249,7 @@ fn check_place_indexing(
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Operand, Place};
+    use rstudy_mir::{Mutability, Operand, Place, Program};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         BufferOverflow.check_program(program, &DetectorConfig::new())

@@ -3,12 +3,13 @@
 
 use std::collections::BTreeMap;
 
-use rstudy_analysis::callgraph::CallGraph;
 use rstudy_mir::visit::Location;
 use rstudy_mir::{
     Body, Callee, Intrinsic, Local, Operand, Place, Program, Rvalue, SourceInfo, StatementKind,
     TerminatorKind,
 };
+
+use crate::detectors::AnalysisContext;
 
 /// One spot where memory behind a pointer local is accessed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,7 +180,14 @@ impl DerefSummaries {
     /// function derefs it directly or forwards it to an argument position
     /// another function dereferences.
     pub fn compute(program: &Program) -> DerefSummaries {
-        let _ = CallGraph::build(program); // documents intent; edges re-derived below
+        DerefSummaries::compute_with(&AnalysisContext::new(program))
+    }
+
+    /// Like [`DerefSummaries::compute`], but reuses the per-body deref
+    /// sites memoized in `cx` instead of re-extracting them on every
+    /// fixpoint iteration.
+    pub fn compute_with(cx: &AnalysisContext<'_>) -> DerefSummaries {
+        let program = cx.program();
         let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (name, _) in program.iter() {
             map.insert(name.to_owned(), Vec::new());
@@ -190,7 +198,7 @@ impl DerefSummaries {
             for (name, body) in program.iter() {
                 let mut derefed: Vec<usize> = map[name].clone();
                 // Direct dereferences of argument locals.
-                for site in deref_sites(body) {
+                for site in cx.deref_sites(name) {
                     if body.is_arg(site.pointer) {
                         let pos = site.pointer.0 as usize;
                         if !derefed.contains(&pos) {

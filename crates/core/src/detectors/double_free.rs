@@ -8,13 +8,12 @@
 //!    ("unsafe → safe" in Table 2 — the unsafe read is the cause, the safe
 //!    implicit drops are the effect).
 
-use rstudy_analysis::points_to::{MemRoot, PointsTo};
+use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{Body, Callee, Intrinsic, Local, Operand, Program, SourceInfo, TerminatorKind};
+use rstudy_mir::{Body, Callee, Intrinsic, Local, Operand, SourceInfo, TerminatorKind};
 
 use crate::config::DetectorConfig;
-use crate::detectors::heap::{HeapModel, HeapState};
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The double-free detector.
@@ -26,11 +25,15 @@ impl Detector for DoubleFree {
         "double-free"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_body(self.name(), name, body, &mut out);
-        }
+        check_one_body(self.name(), cx, function, body, &mut out);
         out
     }
 }
@@ -81,10 +84,16 @@ fn drop_events(body: &Body) -> Vec<DropEvent> {
     out
 }
 
-fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
-    let points_to = PointsTo::analyze(body);
-    let heap_model = HeapModel::collect(body);
-    let heap = HeapState::new(&heap_model, &points_to).solve(body);
+fn check_one_body(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
+    let points_to = cx.cache().points_to(name);
+    let heap_model = cx.cache().heap_model(name);
+    let heap = cx.cache().heap_state(name);
 
     // 1. dealloc on memory that may already be freed.
     for bb in body.block_indices() {
@@ -194,7 +203,7 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Rvalue, Safety, Ty};
+    use rstudy_mir::{Mutability, Program, Rvalue, Safety, Ty};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         DoubleFree.check_program(program, &DetectorConfig::new())

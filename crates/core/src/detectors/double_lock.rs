@@ -18,14 +18,15 @@
 //! study's recursive `call_once` deadlock.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
-use rstudy_analysis::locks::{lock_acquisitions, AcquireKind, Acquisition, HeldGuards};
+use rstudy_analysis::locks::{AcquireKind, Acquisition};
 use rstudy_analysis::points_to::{MemRoot, PointsTo};
 use rstudy_mir::visit::Location;
-use rstudy_mir::{Callee, Const, Intrinsic, Operand, Program, TerminatorKind};
+use rstudy_mir::{Body, Callee, Const, Intrinsic, Operand, TerminatorKind};
 
 use crate::config::DetectorConfig;
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// Per-function lock facts, shared with the lock-order detector.
@@ -42,18 +43,21 @@ pub(crate) struct FnLockInfo {
 #[derive(Debug, Default)]
 pub(crate) struct LockFacts {
     pub per_fn: BTreeMap<String, FnLockInfo>,
-    pub points_to: BTreeMap<String, PointsTo>,
+    pub points_to: BTreeMap<String, Arc<PointsTo>>,
 }
 
 impl LockFacts {
     /// Computes per-function acquisition sets with interprocedural
     /// propagation (callee arg-pointee roots substituted by caller actuals).
-    pub fn compute(program: &Program) -> LockFacts {
+    /// Per-body points-to sets and acquisition lists come from the shared
+    /// cache, so other detectors reuse the same results.
+    pub fn compute(cx: &AnalysisContext<'_>) -> LockFacts {
+        let program = cx.program();
         let mut facts = LockFacts::default();
-        for (name, body) in program.iter() {
-            let pt = PointsTo::analyze(body);
+        for (name, _) in program.iter() {
+            let pt = cx.cache().points_to(name);
             let mut info = FnLockInfo::default();
-            for acq in lock_acquisitions(body) {
+            for acq in cx.cache().acquisitions(name) {
                 let roots: BTreeSet<MemRoot> = match acq.lock_ref {
                     Some(r) => pt.targets(r).clone(),
                     None => BTreeSet::new(),
@@ -61,7 +65,7 @@ impl LockFacts {
                 for root in &roots {
                     info.acquired.insert((*root, acq.kind));
                 }
-                info.acquisitions.push((acq, roots));
+                info.acquisitions.push((acq.clone(), roots));
             }
             facts.per_fn.insert(name.to_owned(), info);
             facts.points_to.insert(name.to_owned(), pt);
@@ -156,186 +160,184 @@ impl Detector for DoubleLock {
         "double-lock"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
-        let facts = LockFacts::compute(program);
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
+        let facts = cx.lock_facts();
         let mut out = Vec::new();
+        let name = function;
+        let info = &facts.per_fn[name];
+        let pt = &facts.points_to[name];
+        let held = cx.cache().held_guards(name);
 
-        for (name, body) in program.iter() {
-            let info = &facts.per_fn[name];
-            let pt = &facts.points_to[name];
-            let held = HeldGuards::solve(body);
-
-            // Identity roots of every guard that may be held at `loc`.
-            let held_roots = |loc: Location| -> BTreeSet<(MemRoot, AcquireKind)> {
-                let state = held.state_before(body, loc);
-                let mut roots = BTreeSet::new();
-                for (acq, acq_roots) in &info.acquisitions {
-                    if state.contains(acq.guard.index()) {
-                        for r in acq_roots {
-                            roots.insert((*r, acq.kind));
-                        }
-                    }
-                }
-                roots
-            };
-
-            // 1. Intraprocedural: a second acquisition of a held lock.
-            for (acq, roots) in &info.acquisitions {
-                let held_now = held_roots(acq.location);
-                // Exclude the guard being produced by this very call.
-                for (root, held_kind) in &held_now {
-                    if matches!(root, MemRoot::Unknown) {
-                        continue;
-                    }
-                    if roots.contains(root) && held_kind.conflicts_with(acq.kind) {
-                        let term = body.block(acq.location.block).terminator();
-                        out.push(
-                            Diagnostic::new(
-                                self.name(),
-                                BugClass::DoubleLock,
-                                Severity::Error,
-                                name,
-                                acq.location,
-                                term.source_info.span,
-                                term.source_info.safety,
-                                format!(
-                                    "lock {root} is acquired here while a guard for it is still alive \
-                                     (the implicit unlock has not happened yet)"
-                                ),
-                            )
-                            .with_cause_safety(term.source_info.safety),
-                        );
-                        break;
+        // Identity roots of every guard that may be held at `loc`.
+        let held_roots = |loc: Location| -> BTreeSet<(MemRoot, AcquireKind)> {
+            let state = held.state_before(body, loc);
+            let mut roots = BTreeSet::new();
+            for (acq, acq_roots) in &info.acquisitions {
+                if state.contains(acq.guard.index()) {
+                    for r in acq_roots {
+                        roots.insert((*r, acq.kind));
                     }
                 }
             }
+            roots
+        };
 
-            // 2. Interprocedural: calling a function that acquires a lock
-            //    we currently hold.
-            for bb in body.block_indices() {
-                let data = body.block(bb);
-                let Some(term) = &data.terminator else {
+        // 1. Intraprocedural: a second acquisition of a held lock.
+        for (acq, roots) in &info.acquisitions {
+            let held_now = held_roots(acq.location);
+            // Exclude the guard being produced by this very call.
+            for (root, held_kind) in &held_now {
+                if matches!(root, MemRoot::Unknown) {
                     continue;
-                };
-                let loc = Location {
-                    block: bb,
-                    statement_index: data.statements.len(),
-                };
-                let (callee, args) = match &term.kind {
-                    TerminatorKind::Call {
-                        func: Callee::Fn(c),
-                        args,
-                        ..
-                    } => (c.clone(), args.clone()),
-                    _ => continue,
-                };
-                let Some(callee_info) = facts.per_fn.get(&callee) else {
-                    continue;
-                };
-                let callee_acquires = resolve_roots(&callee_info.acquired, &args, pt);
-                let held_now = held_roots(loc);
-                for (root, held_kind) in &held_now {
-                    if matches!(root, MemRoot::Unknown) {
-                        continue;
-                    }
-                    let conflict = callee_acquires
-                        .iter()
-                        .any(|(r, k)| r == root && held_kind.conflicts_with(*k));
-                    if conflict {
-                        out.push(
-                            Diagnostic::new(
-                                self.name(),
-                                BugClass::DoubleLock,
-                                Severity::Error,
-                                name,
-                                loc,
-                                term.source_info.span,
-                                term.source_info.safety,
-                                format!(
-                                    "`{callee}` may acquire lock {root}, which is still held here"
-                                ),
-                            )
-                            .with_cause_safety(term.source_info.safety),
-                        );
-                        break;
-                    }
+                }
+                if roots.contains(root) && held_kind.conflicts_with(acq.kind) {
+                    let term = body.block(acq.location.block).terminator();
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            BugClass::DoubleLock,
+                            Severity::Error,
+                            name,
+                            acq.location,
+                            term.source_info.span,
+                            term.source_info.safety,
+                            format!(
+                                "lock {root} is acquired here while a guard for it is still alive \
+                                 (the implicit unlock has not happened yet)"
+                            ),
+                        )
+                        .with_cause_safety(term.source_info.safety),
+                    );
+                    break;
                 }
             }
         }
 
-        // 3. Recursive call_once: the initializer reaches call_once again.
-        out.extend(recursive_once(program));
-        out
-    }
-}
-
-/// Finds `once::call_once` initializers that (transitively) call
-/// `once::call_once` again — the study's guaranteed deadlock.
-fn recursive_once(program: &Program) -> Vec<Diagnostic> {
-    use rstudy_analysis::callgraph::CallGraph;
-    let graph = CallGraph::build(program);
-    let mut out = Vec::new();
-    for (name, body) in program.iter() {
+        // 2. Interprocedural: calling a function that acquires a lock
+        //    we currently hold.
         for bb in body.block_indices() {
             let data = body.block(bb);
             let Some(term) = &data.terminator else {
                 continue;
             };
-            let TerminatorKind::Call {
-                func: Callee::Intrinsic(Intrinsic::OnceCallOnce),
-                args,
-                ..
-            } = &term.kind
-            else {
+            let loc = Location {
+                block: bb,
+                statement_index: data.statements.len(),
+            };
+            let (callee, args) = match &term.kind {
+                TerminatorKind::Call {
+                    func: Callee::Fn(c),
+                    args,
+                    ..
+                } => (c.clone(), args.clone()),
+                _ => continue,
+            };
+            let Some(callee_info) = facts.per_fn.get(&callee) else {
                 continue;
             };
-            let Some(Operand::Const(Const::Fn(init))) = args.get(1) else {
-                continue;
-            };
-            // Does the initializer reach another call_once?
-            let reach = graph.reachable_from(init);
-            let calls_once_again = reach.iter().any(|f| {
-                program.function(f).is_some_and(|b| {
-                    b.block_indices().any(|bb| {
-                        matches!(
-                            b.block(bb).terminator.as_ref().map(|t| &t.kind),
-                            Some(TerminatorKind::Call {
-                                func: Callee::Intrinsic(Intrinsic::OnceCallOnce),
-                                ..
-                            })
+            let callee_acquires = resolve_roots(&callee_info.acquired, &args, pt);
+            let held_now = held_roots(loc);
+            for (root, held_kind) in &held_now {
+                if matches!(root, MemRoot::Unknown) {
+                    continue;
+                }
+                let conflict = callee_acquires
+                    .iter()
+                    .any(|(r, k)| r == root && held_kind.conflicts_with(*k));
+                if conflict {
+                    out.push(
+                        Diagnostic::new(
+                            self.name(),
+                            BugClass::DoubleLock,
+                            Severity::Error,
+                            name,
+                            loc,
+                            term.source_info.span,
+                            term.source_info.safety,
+                            format!("`{callee}` may acquire lock {root}, which is still held here"),
                         )
-                    })
-                })
-            });
-            if calls_once_again {
-                let loc = Location {
-                    block: bb,
-                    statement_index: data.statements.len(),
-                };
-                out.push(Diagnostic::new(
-                    "double-lock",
-                    BugClass::RecursiveOnce,
-                    Severity::Error,
-                    name,
-                    loc,
-                    term.source_info.span,
-                    term.source_info.safety,
-                    format!(
-                        "initializer `{init}` passed to call_once reaches another \
-                         call_once; recursive initialization deadlocks"
-                    ),
-                ));
+                        .with_cause_safety(term.source_info.safety),
+                    );
+                    break;
+                }
             }
         }
+
+        // 3. Recursive call_once: the initializer reaches call_once again.
+        recursive_once(cx, name, body, &mut out);
+        out
     }
-    out
+}
+
+/// Finds `once::call_once` initializers in `body` that (transitively) call
+/// `once::call_once` again — the study's guaranteed deadlock. The call
+/// graph is only built when the body actually uses `call_once`.
+fn recursive_once(cx: &AnalysisContext<'_>, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
+    let program = cx.program();
+    for bb in body.block_indices() {
+        let data = body.block(bb);
+        let Some(term) = &data.terminator else {
+            continue;
+        };
+        let TerminatorKind::Call {
+            func: Callee::Intrinsic(Intrinsic::OnceCallOnce),
+            args,
+            ..
+        } = &term.kind
+        else {
+            continue;
+        };
+        let Some(Operand::Const(Const::Fn(init))) = args.get(1) else {
+            continue;
+        };
+        // Does the initializer reach another call_once?
+        let reach = cx.cache().call_graph().reachable_from(init);
+        let calls_once_again = reach.iter().any(|f| {
+            program.function(f).is_some_and(|b| {
+                b.block_indices().any(|bb| {
+                    matches!(
+                        b.block(bb).terminator.as_ref().map(|t| &t.kind),
+                        Some(TerminatorKind::Call {
+                            func: Callee::Intrinsic(Intrinsic::OnceCallOnce),
+                            ..
+                        })
+                    )
+                })
+            })
+        });
+        if calls_once_again {
+            let loc = Location {
+                block: bb,
+                statement_index: data.statements.len(),
+            };
+            out.push(Diagnostic::new(
+                "double-lock",
+                BugClass::RecursiveOnce,
+                Severity::Error,
+                name,
+                loc,
+                term.source_info.span,
+                term.source_info.safety,
+                format!(
+                    "initializer `{init}` passed to call_once reaches another \
+                     call_once; recursive initialization deadlocks"
+                ),
+            ));
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Local, Mutability, Place, Rvalue, Ty};
+    use rstudy_mir::{Local, Mutability, Place, Program, Rvalue, Ty};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         DoubleLock.check_program(program, &DetectorConfig::new())

@@ -15,16 +15,14 @@
 
 use std::collections::BTreeSet;
 
-use rstudy_analysis::locks::HeldGuards;
-use rstudy_analysis::points_to::{MemRoot, PointsTo};
+use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
 use rstudy_mir::{
-    Body, Callee, Intrinsic, Local, Mutability, Operand, Program, StatementKind, TerminatorKind, Ty,
+    Body, Callee, Intrinsic, Local, Mutability, Operand, StatementKind, TerminatorKind, Ty,
 };
 
 use crate::config::DetectorConfig;
-use crate::detectors::common::deref_sites;
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The interior-mutability misuse detector.
@@ -36,12 +34,16 @@ impl Detector for InteriorMutability {
         "interior-mutability"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_shared_self_mutation(self.name(), name, body, &mut out);
-            check_atomic_check_then_act(self.name(), name, body, &mut out);
-        }
+        check_shared_self_mutation(self.name(), cx, function, body, &mut out);
+        check_atomic_check_then_act(self.name(), cx, function, body, &mut out);
         out
     }
 }
@@ -53,14 +55,20 @@ fn shared_ref_args(body: &Body) -> Vec<Local> {
         .collect()
 }
 
-fn check_shared_self_mutation(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
+fn check_shared_self_mutation(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
     let shared_args = shared_ref_args(body);
     if shared_args.is_empty() {
         return;
     }
-    let pt = PointsTo::analyze(body);
-    let held = HeldGuards::solve(body);
-    for site in deref_sites(body) {
+    let pt = cx.cache().points_to(name);
+    let held = cx.cache().held_guards(name);
+    for site in cx.deref_sites(name) {
         if !site.is_write {
             continue;
         }
@@ -122,8 +130,14 @@ fn tainted_from(body: &Body, seed: Local) -> BTreeSet<Local> {
     taint
 }
 
-fn check_atomic_check_then_act(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
-    let pt = PointsTo::analyze(body);
+fn check_atomic_check_then_act(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
+    let pt = cx.cache().points_to(name);
     // Collect loads (dest, roots, loc) and stores (roots, loc).
     let mut loads: Vec<(Local, BTreeSet<MemRoot>, Location)> = Vec::new();
     let mut stores: Vec<(BTreeSet<MemRoot>, Location)> = Vec::new();
@@ -215,7 +229,7 @@ fn check_atomic_check_then_act(detector: &str, name: &str, body: &Body, out: &mu
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Place, Rvalue};
+    use rstudy_mir::{Place, Program, Rvalue};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         InteriorMutability.check_program(program, &DetectorConfig::new())

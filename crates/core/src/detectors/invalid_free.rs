@@ -8,14 +8,11 @@
 //! reports plain deref-assignments of droppable values into uninitialized
 //! heap memory, and `Drop`s of locals that are still uninitialized.
 
-use rstudy_analysis::points_to::PointsTo;
-use rstudy_analysis::storage::{MaybeFreed, MaybeInvalid};
 use rstudy_mir::visit::Location;
-use rstudy_mir::{Body, Program, StatementKind, TerminatorKind, Ty};
+use rstudy_mir::{Body, StatementKind, TerminatorKind, Ty};
 
 use crate::config::DetectorConfig;
-use crate::detectors::heap::{HeapModel, HeapState};
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The invalid-free detector.
@@ -38,19 +35,29 @@ impl Detector for InvalidFree {
         "invalid-free"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_body(self.name(), name, body, &mut out);
-        }
+        check_one_body(self.name(), cx, function, body, &mut out);
         out
     }
 }
 
-fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
-    let points_to = PointsTo::analyze(body);
-    let heap_model = HeapModel::collect(body);
-    let heap = HeapState::new(&heap_model, &points_to).solve(body);
+fn check_one_body(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
+    let points_to = cx.cache().points_to(name);
+    let heap_model = cx.cache().heap_model(name);
+    let heap = cx.cache().heap_state(name);
 
     // 1. `*f = value` into never-written heap memory, where the pointee type
     //    has drop glue (Fig. 6).
@@ -104,8 +111,8 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
     }
 
     // 2. Dropping a local that was never initialized.
-    let invalid = MaybeInvalid::solve(body);
-    let freed = MaybeFreed::solve(body);
+    let invalid = cx.cache().maybe_invalid(name);
+    let freed = cx.cache().maybe_freed(name);
     for bb in body.block_indices() {
         let data = body.block(bb);
         let Some(term) = &data.terminator else {
@@ -150,7 +157,7 @@ fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Intrinsic, Operand, Place, Rvalue};
+    use rstudy_mir::{Intrinsic, Operand, Place, Program, Rvalue};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         InvalidFree.check_program(program, &DetectorConfig::new())

@@ -9,14 +9,14 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use rstudy_analysis::locks::{AcquireKind, HeldGuards};
+use rstudy_analysis::locks::AcquireKind;
 use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{Callee, Const, Intrinsic, Operand, Program, TerminatorKind};
+use rstudy_mir::{Callee, Const, Intrinsic, Operand, TerminatorKind};
 
 use crate::config::DetectorConfig;
-use crate::detectors::double_lock::{resolve_roots, LockFacts};
-use crate::detectors::Detector;
+use crate::detectors::double_lock::resolve_roots;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// A lock identity that is stable across the whole program: the function
@@ -41,8 +41,9 @@ impl Detector for LockOrderInversion {
         "lock-order"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
-        let facts = LockFacts::compute(program);
+    fn check_global(&self, cx: &AnalysisContext<'_>, _config: &DetectorConfig) -> Vec<Diagnostic> {
+        let program = cx.program();
+        let facts = cx.lock_facts();
 
         // Per function: order edges in the function's own root space,
         // including edges formed by calling lock-acquiring functions while
@@ -59,7 +60,7 @@ impl Detector for LockOrderInversion {
             for (name, body) in program.iter() {
                 let info = &facts.per_fn[name];
                 let pt = &facts.points_to[name];
-                let held = HeldGuards::solve(body);
+                let held = cx.cache().held_guards(name);
 
                 let held_roots = |loc: Location| -> BTreeSet<MemRoot> {
                     let state = held.state_before(body, loc);
@@ -232,7 +233,7 @@ fn resolve_one(
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Place, Rvalue, Ty};
+    use rstudy_mir::{Mutability, Place, Program, Rvalue, Ty};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         LockOrderInversion.check_program(program, &DetectorConfig::new())

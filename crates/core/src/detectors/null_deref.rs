@@ -11,12 +11,11 @@ use rstudy_analysis::bitset::BitSet;
 use rstudy_analysis::dataflow::{self, Analysis, Direction};
 use rstudy_mir::visit::Location;
 use rstudy_mir::{
-    Body, Const, Operand, Program, Rvalue, Statement, StatementKind, Terminator, TerminatorKind,
+    Body, Const, Operand, Rvalue, Statement, StatementKind, Terminator, TerminatorKind,
 };
 
 use crate::config::DetectorConfig;
-use crate::detectors::common::deref_sites;
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// Forward *may* analysis: bit set ⇒ the pointer local may be null.
@@ -93,30 +92,34 @@ impl Detector for NullDeref {
         "null-deref"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            let nullness = dataflow::solve(MaybeNull, body);
-            for site in deref_sites(body) {
-                if !body.local_decl(site.pointer).ty.is_raw_ptr() {
-                    continue;
-                }
-                let state = nullness.state_before(body, site.location);
-                if state.contains(site.pointer.index()) {
-                    out.push(
-                        Diagnostic::new(
-                            self.name(),
-                            BugClass::NullPointerDereference,
-                            Severity::Error,
-                            name,
-                            site.location,
-                            site.source_info.span,
-                            site.source_info.safety,
-                            format!("{} may be null when dereferenced", site.pointer),
-                        )
-                        .with_cause_safety(rstudy_mir::Safety::Safe),
-                    );
-                }
+        let nullness = dataflow::solve(MaybeNull, body);
+        for site in cx.deref_sites(function) {
+            if !body.local_decl(site.pointer).ty.is_raw_ptr() {
+                continue;
+            }
+            let state = nullness.state_before(body, site.location);
+            if state.contains(site.pointer.index()) {
+                out.push(
+                    Diagnostic::new(
+                        self.name(),
+                        BugClass::NullPointerDereference,
+                        Severity::Error,
+                        function,
+                        site.location,
+                        site.source_info.span,
+                        site.source_info.safety,
+                        format!("{} may be null when dereferenced", site.pointer),
+                    )
+                    .with_cause_safety(rstudy_mir::Safety::Safe),
+                );
             }
         }
         out
@@ -127,7 +130,7 @@ impl Detector for NullDeref {
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Place, Ty};
+    use rstudy_mir::{Mutability, Place, Program, Ty};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         NullDeref.check_program(program, &DetectorConfig::new())

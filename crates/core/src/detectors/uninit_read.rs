@@ -11,16 +11,11 @@
 
 use rstudy_analysis::bitset::BitSet;
 use rstudy_analysis::dataflow::{self, Analysis, Direction};
-use rstudy_analysis::points_to::PointsTo;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{
-    Body, Callee, Intrinsic, Program, Statement, StatementKind, Terminator, TerminatorKind,
-};
+use rstudy_mir::{Body, Callee, Intrinsic, Statement, StatementKind, Terminator, TerminatorKind};
 
 use crate::config::DetectorConfig;
-use crate::detectors::common::deref_sites;
-use crate::detectors::heap::{HeapModel, HeapState};
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// Forward *may* analysis: bit set ⇒ the local may be uninitialized
@@ -89,23 +84,33 @@ impl Detector for UninitRead {
         "uninit-read"
     }
 
-    fn check_program(&self, program: &Program, _config: &DetectorConfig) -> Vec<Diagnostic> {
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        _config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_body(self.name(), name, body, &mut out);
-        }
+        check_one_body(self.name(), cx, function, body, &mut out);
         out
     }
 }
 
-fn check_body(detector: &str, name: &str, body: &Body, out: &mut Vec<Diagnostic>) {
-    let points_to = PointsTo::analyze(body);
-    let heap_model = HeapModel::collect(body);
-    let heap = HeapState::new(&heap_model, &points_to).solve(body);
+fn check_one_body(
+    detector: &str,
+    cx: &AnalysisContext<'_>,
+    name: &str,
+    body: &Body,
+    out: &mut Vec<Diagnostic>,
+) {
+    let points_to = cx.cache().points_to(name);
+    let heap_model = cx.cache().heap_model(name);
+    let heap = cx.cache().heap_state(name);
     let uninit = dataflow::solve(MaybeUninit, body);
 
     // 1. Reads through pointers into never-written heap allocations.
-    for site in deref_sites(body) {
+    for site in cx.deref_sites(name) {
         if site.is_write {
             continue;
         }
@@ -232,7 +237,7 @@ fn uninit_cause_safety(body: &Body, local: rstudy_mir::Local) -> rstudy_mir::Saf
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Operand, Place, Rvalue, Safety, Ty};
+    use rstudy_mir::{Operand, Place, Program, Rvalue, Safety, Ty};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         UninitRead.check_program(program, &DetectorConfig::new())

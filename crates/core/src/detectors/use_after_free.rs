@@ -13,17 +13,12 @@
 //!   reports for its "current (unoptimized) way of performing
 //!   inter-procedural analysis" (3 FPs).
 
-use rstudy_analysis::points_to::{MemRoot, PointsTo};
-use rstudy_analysis::storage::{MaybeFreed, MaybeStorageDead};
+use rstudy_analysis::points_to::MemRoot;
 use rstudy_mir::visit::Location;
-use rstudy_mir::{
-    Body, Callee, Intrinsic, Local, Program, Safety, StatementKind, TerminatorKind, Ty,
-};
+use rstudy_mir::{Body, Callee, Intrinsic, Local, Safety, StatementKind, TerminatorKind, Ty};
 
 use crate::config::{DetectorConfig, InterprocMode};
-use crate::detectors::common::{deref_sites, DerefSummaries};
-use crate::detectors::heap::{HeapModel, HeapState};
-use crate::detectors::Detector;
+use crate::detectors::{AnalysisContext, Detector};
 use crate::diagnostics::{BugClass, Diagnostic, Severity};
 
 /// The use-after-free detector.
@@ -35,22 +30,16 @@ impl Detector for UseAfterFree {
         "use-after-free"
     }
 
-    fn check_program(&self, program: &Program, config: &DetectorConfig) -> Vec<Diagnostic> {
-        let summaries = DerefSummaries::compute(program);
-        let dangling = dangling_returners(program);
+    fn check_body(
+        &self,
+        cx: &AnalysisContext<'_>,
+        function: &str,
+        body: &Body,
+        config: &DetectorConfig,
+    ) -> Vec<Diagnostic> {
         let mut out = Vec::new();
-        for (name, body) in program.iter() {
-            check_body(
-                self.name(),
-                name,
-                body,
-                program,
-                &summaries,
-                config,
-                &mut out,
-            );
-            check_dangling_call_results(self.name(), name, body, &dangling, &mut out);
-        }
+        check_one_body(self.name(), cx, function, body, config, &mut out);
+        check_dangling_call_results(self.name(), cx, function, body, &mut out);
         out
     }
 }
@@ -93,24 +82,24 @@ fn dealloc_safety(body: &Body) -> Option<Safety> {
     None
 }
 
-#[allow(clippy::too_many_arguments)]
-fn check_body(
+fn check_one_body(
     detector: &str,
+    cx: &AnalysisContext<'_>,
     name: &str,
     body: &Body,
-    program: &Program,
-    summaries: &DerefSummaries,
     config: &DetectorConfig,
     out: &mut Vec<Diagnostic>,
 ) {
-    let points_to = PointsTo::analyze(body);
-    let storage_dead = MaybeStorageDead::solve(body);
-    let freed = MaybeFreed::solve(body);
-    let heap_model = HeapModel::collect(body);
-    let heap = HeapState::new(&heap_model, &points_to).solve(body);
+    let program = cx.program();
+    let summaries = cx.summaries();
+    let points_to = cx.cache().points_to(name);
+    let storage_dead = cx.cache().storage_dead(name);
+    let freed = cx.cache().maybe_freed(name);
+    let heap_model = cx.cache().heap_model(name);
+    let heap = cx.cache().heap_state(name);
 
     // 1. Direct dereferences whose pointee may be dead.
-    for site in deref_sites(body) {
+    for site in cx.deref_sites(name) {
         // The dealloc "deref" is double-free territory, not UAF.
         if is_dealloc_site(body, site.location) {
             continue;
@@ -274,35 +263,17 @@ fn check_body(
     }
 }
 
-/// Functions whose return value may point into their own (dead) frame.
-fn dangling_returners(program: &Program) -> std::collections::BTreeSet<String> {
-    let mut out = std::collections::BTreeSet::new();
-    for (name, body) in program.iter() {
-        if !body.local_decl(Local::RETURN).ty.is_pointer_like() {
-            continue;
-        }
-        let pt = PointsTo::analyze(body);
-        if pt
-            .targets(Local::RETURN)
-            .iter()
-            .any(|r| matches!(r, MemRoot::Local(l) if !body.is_arg(*l)))
-        {
-            out.insert(name.to_owned());
-        }
-    }
-    out
-}
-
 /// Reports dereferences of pointers obtained from a dangling-returning
 /// callee: the pointee's frame died when the callee returned, so every
 /// such dereference is a use after free.
 fn check_dangling_call_results(
     detector: &str,
+    cx: &AnalysisContext<'_>,
     name: &str,
     body: &Body,
-    dangling: &std::collections::BTreeSet<String>,
     out: &mut Vec<Diagnostic>,
 ) {
+    let dangling = cx.dangling_returners();
     if dangling.is_empty() {
         return;
     }
@@ -348,7 +319,7 @@ fn check_dangling_call_results(
             }
         }
     }
-    for site in deref_sites(body) {
+    for site in cx.deref_sites(name) {
         if tainted.contains(&site.pointer) {
             out.push(
                 Diagnostic::new(
@@ -411,7 +382,7 @@ fn owns_resources(ty: &Ty) -> bool {
 mod tests {
     use super::*;
     use rstudy_mir::build::BodyBuilder;
-    use rstudy_mir::{Mutability, Operand, Place, Rvalue};
+    use rstudy_mir::{Mutability, Operand, Place, Program, Rvalue};
 
     fn run(program: &Program) -> Vec<Diagnostic> {
         UseAfterFree.check_program(program, &DetectorConfig::new())

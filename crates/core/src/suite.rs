@@ -1,13 +1,22 @@
 //! Running every detector over a program and aggregating the findings.
+//!
+//! The suite fans out one task per (detector × body) — plus one
+//! whole-program task per detector — over a small pool of scoped worker
+//! threads sharing an [`AnalysisContext`]. Task order is fixed, result
+//! slots are disjoint and the final sort is stable, so the report is
+//! byte-identical at any `--jobs` setting.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
-use rstudy_mir::Program;
+use rstudy_mir::{Body, Program};
 
 use crate::config::DetectorConfig;
 use crate::detectors::{
-    BlockingMisuse, BufferOverflow, Detector, DoubleFree, DoubleLock, InteriorMutability,
-    InvalidFree, LockOrderInversion, NullDeref, UninitRead, UseAfterFree,
+    AnalysisContext, BlockingMisuse, BufferOverflow, Detector, DoubleFree, DoubleLock,
+    InteriorMutability, InvalidFree, LockOrderInversion, NullDeref, UninitRead, UseAfterFree,
 };
 use crate::diagnostics::{BugClass, Diagnostic};
 
@@ -68,6 +77,10 @@ impl Report {
 pub struct DetectorSuite {
     detectors: Vec<Box<dyn Detector>>,
     config: DetectorConfig,
+    /// Worker threads for `check_program`; `0` means auto-size.
+    jobs: usize,
+    /// Whether all tasks share one memoizing [`AnalysisContext`].
+    shared_cache: bool,
 }
 
 impl DetectorSuite {
@@ -87,6 +100,8 @@ impl DetectorSuite {
                 Box::new(InteriorMutability),
             ],
             config: DetectorConfig::new(),
+            jobs: 0,
+            shared_cache: true,
         }
     }
 
@@ -95,6 +110,34 @@ impl DetectorSuite {
         DetectorSuite {
             detectors: Vec::new(),
             config: DetectorConfig::new(),
+            jobs: 0,
+            shared_cache: true,
+        }
+    }
+
+    /// Sets the number of worker threads used by
+    /// [`check_program`](DetectorSuite::check_program). `0` (the default)
+    /// sizes the pool to the machine's available parallelism; `1` forces
+    /// the fully sequential path. The report is identical at any setting.
+    pub fn with_jobs(mut self, jobs: usize) -> DetectorSuite {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Enables or disables the shared per-body analysis cache (on by
+    /// default). With the cache off, every (detector × body) task
+    /// recomputes its analyses from scratch — only useful for ablation
+    /// measurements.
+    pub fn with_shared_cache(mut self, shared: bool) -> DetectorSuite {
+        self.shared_cache = shared;
+        self
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs != 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
 
@@ -122,22 +165,98 @@ impl DetectorSuite {
     /// run order.
     pub fn check_program(&self, program: &Program) -> Report {
         let _suite = rstudy_telemetry::span("suite");
-        let mut diagnostics = Vec::new();
-        for d in &self.detectors {
-            let name = d.name();
-            let found = {
-                let _span = rstudy_telemetry::span(&format!("detector.{name}"));
-                d.check_program(program, &self.config)
+        rstudy_telemetry::declare_histogram("suite.task_ns");
+        let telemetry_on = rstudy_telemetry::enabled();
+
+        let functions: Vec<(&str, &Body)> = program.iter().collect();
+        let nf = functions.len();
+        let slots_per_detector = nf + 1;
+        let total = self.detectors.len() * slots_per_detector;
+
+        let mut results: Vec<Mutex<Vec<Diagnostic>>> =
+            (0..total).map(|_| Mutex::new(Vec::new())).collect();
+        let detector_ns: Vec<AtomicU64> =
+            self.detectors.iter().map(|_| AtomicU64::new(0)).collect();
+
+        let shared = self.shared_cache.then(|| AnalysisContext::new(program));
+
+        // One task per (detector × body), plus one whole-program task per
+        // detector. Task order is fixed and result slots are disjoint, so
+        // any worker interleaving yields the same report.
+        let run_one = |cx: &AnalysisContext<'_>, di: usize, fi: usize| {
+            if fi < nf {
+                self.detectors[di].check_body(cx, functions[fi].0, functions[fi].1, &self.config)
+            } else {
+                self.detectors[di].check_global(cx, &self.config)
+            }
+        };
+        let run_task = |ti: usize| {
+            let di = ti / slots_per_detector;
+            let fi = ti % slots_per_detector;
+            let start = telemetry_on.then(Instant::now);
+            let found = match &shared {
+                Some(cx) => run_one(cx, di, fi),
+                None => run_one(&AnalysisContext::new(program), di, fi),
             };
-            rstudy_telemetry::counter(&format!("detector.{name}.findings"), found.len() as u64);
-            rstudy_telemetry::trace(|| {
-                format!(
-                    "check: detector {name} finished with {} finding(s)",
-                    found.len()
-                )
+            if let Some(start) = start {
+                let ns = start.elapsed().as_nanos() as u64;
+                rstudy_telemetry::record("suite.task_ns", ns);
+                detector_ns[di].fetch_add(ns, Ordering::Relaxed);
+            }
+            *results[ti].lock().unwrap_or_else(|e| e.into_inner()) = found;
+        };
+
+        let workers = self.effective_jobs().min(total.max(1));
+        if workers <= 1 || total <= 1 {
+            for ti in 0..total {
+                run_task(ti);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let _worker = rstudy_telemetry::span("suite.worker");
+                        loop {
+                            let ti = next.fetch_add(1, Ordering::Relaxed);
+                            if ti >= total {
+                                break;
+                            }
+                            run_task(ti);
+                        }
+                    });
+                }
             });
-            diagnostics.extend(found);
         }
+
+        // Drain the slots in suite order and attribute the measured time to
+        // the span-tree position a sequential run would have used.
+        let mut diagnostics = Vec::new();
+        for (di, d) in self.detectors.iter().enumerate() {
+            let name = d.name();
+            let before = diagnostics.len();
+            for fi in 0..slots_per_detector {
+                let slot = results[di * slots_per_detector + fi]
+                    .get_mut()
+                    .unwrap_or_else(|e| e.into_inner());
+                diagnostics.append(slot);
+            }
+            let n = diagnostics.len() - before;
+            if telemetry_on {
+                let child = format!("detector.{name}");
+                rstudy_telemetry::record_span_at(
+                    &["suite", child.as_str()],
+                    detector_ns[di].load(Ordering::Relaxed),
+                );
+            }
+            rstudy_telemetry::counter_with(|| format!("detector.{name}.findings"), n as u64);
+            rstudy_telemetry::trace(|| {
+                format!("check: detector {name} finished with {n} finding(s)")
+            });
+        }
+        rstudy_telemetry::counter("suite.tasks", total as u64);
+        drop(shared); // flushes the analysis.cache.{hits,misses} counters
+
         diagnostics.sort_by(|a, b| {
             (
                 &a.function,
@@ -270,6 +389,26 @@ mod tests {
         assert!(groups.contains_key("double-lock"), "{groups:?}");
         let total: usize = groups.values().map(Vec::len).sum();
         assert_eq!(total, report.len());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let program = two_bug_program();
+        let seq = DetectorSuite::new().with_jobs(1).check_program(&program);
+        let par = DetectorSuite::new().with_jobs(8).check_program(&program);
+        assert_eq!(seq.diagnostics(), par.diagnostics());
+        assert!(!seq.is_clean());
+    }
+
+    #[test]
+    fn uncached_run_matches_cached() {
+        let program = two_bug_program();
+        let cached = DetectorSuite::new().with_jobs(4).check_program(&program);
+        let fresh = DetectorSuite::new()
+            .with_jobs(4)
+            .with_shared_cache(false)
+            .check_program(&program);
+        assert_eq!(cached.diagnostics(), fresh.diagnostics());
     }
 
     #[test]

@@ -85,6 +85,18 @@ pub fn span(name: &str) -> SpanGuard {
     }
 }
 
+/// Like [`span`], but builds the name lazily: `build` only runs when
+/// telemetry is enabled, so hot call sites with dynamic names (e.g.
+/// `format!("detector.{name}")`) allocate nothing while disabled.
+#[inline]
+pub fn span_with<F: FnOnce() -> String>(build: F) -> SpanGuard {
+    if enabled() {
+        registry::open_span(&build())
+    } else {
+        SpanGuard::noop()
+    }
+}
+
 /// Adds `delta` to the named monotonic counter.
 #[inline]
 pub fn counter(name: &str, delta: u64) {
@@ -93,11 +105,50 @@ pub fn counter(name: &str, delta: u64) {
     }
 }
 
+/// Like [`counter`], but builds the name lazily: `build` only runs when
+/// telemetry is enabled and `delta > 0`.
+#[inline]
+pub fn counter_with<F: FnOnce() -> String>(build: F, delta: u64) {
+    if enabled() && delta > 0 {
+        registry::add_counter(&build(), delta);
+    }
+}
+
 /// Records one observation into the named histogram.
 #[inline]
 pub fn record(name: &str, value: u64) {
     if enabled() {
         registry::record_histogram(name, value);
+    }
+}
+
+/// Like [`record`], but builds the name lazily: `build` only runs when
+/// telemetry is enabled.
+#[inline]
+pub fn record_with<F: FnOnce() -> String>(build: F, value: u64) {
+    if enabled() {
+        registry::record_histogram(&build(), value);
+    }
+}
+
+/// Merges one span closing of `elapsed_ns` at the root-relative `path`,
+/// bypassing the calling thread's span stack. A coordinator that fans work
+/// out to worker threads uses this to attribute the measured time to the
+/// logical position in the span tree (e.g. `["suite", "detector.x"]`),
+/// keeping profiles identical to a single-threaded run.
+#[inline]
+pub fn record_span_at(path: &[&str], elapsed_ns: u64) {
+    if enabled() {
+        registry::record_span(path, elapsed_ns);
+    }
+}
+
+/// Registers the named histogram so it appears in snapshots even when no
+/// sample is ever recorded (count 0, min/max serialized as 0).
+#[inline]
+pub fn declare_histogram(name: &str) {
+    if enabled() {
+        registry::declare_histogram(name);
     }
 }
 
@@ -303,6 +354,85 @@ mod tests {
         let text = render_profile();
         assert!(text.contains("rendered"));
         assert!(text.contains("counters"));
+    }
+
+    #[test]
+    fn lazy_name_builders_never_run_while_disabled() {
+        let _lock = fresh();
+        disable();
+        let mut built = 0;
+        {
+            let _g = span_with(|| {
+                built += 1;
+                String::from("lazy.span")
+            });
+        }
+        counter_with(
+            || {
+                built += 1;
+                String::from("lazy.counter")
+            },
+            7,
+        );
+        record_with(
+            || {
+                built += 1;
+                String::from("lazy.hist")
+            },
+            7,
+        );
+        assert_eq!(built, 0, "no name may be built while disabled");
+        enable();
+        // A zero delta also skips the counter name build.
+        counter_with(
+            || {
+                built += 1;
+                String::from("lazy.counter")
+            },
+            0,
+        );
+        assert_eq!(built, 0);
+        counter_with(|| String::from("lazy.counter"), 2);
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert_eq!(snap.counters["lazy.counter"], 2);
+    }
+
+    #[test]
+    fn record_span_at_merges_under_the_given_path() {
+        let _lock = fresh();
+        record_span_at(&["suite", "detector.x"], 100);
+        record_span_at(&["suite", "detector.x"], 300);
+        let snap = snapshot();
+        let node = snap.span_at("suite/detector.x").unwrap();
+        assert_eq!(node.count, 2);
+        assert_eq!(node.total_ns, 400);
+        assert_eq!(node.min_ns, 100);
+        assert_eq!(node.max_ns, 300);
+        // The implicitly-created parent has no closings and no sentinels.
+        let parent = snap.span_at("suite").unwrap();
+        assert_eq!(parent.count, 0);
+        assert!(parent.min_ns == 0 && parent.max_ns == 0);
+    }
+
+    #[test]
+    fn zero_sample_histogram_serializes_without_sentinels() {
+        let _lock = fresh();
+        declare_histogram("declared.but.empty");
+        let snap = snapshot();
+        let h = &snap.histograms["declared.but.empty"];
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0, "zero-count min must not leak a sentinel");
+        assert_eq!(h.max, 0);
+        assert!(h.buckets.is_empty());
+        let back: Snapshot = serde_json::from_str(&to_json()).unwrap();
+        assert_eq!(back.histograms["declared.but.empty"].min, 0);
+        // Declaring is idempotent and does not clobber samples.
+        record("declared.but.empty", 9);
+        declare_histogram("declared.but.empty");
+        let h = snapshot().histograms["declared.but.empty"].clone();
+        assert_eq!((h.count, h.min, h.max), (1, 9, 9));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl Default for Histogram {
         Histogram {
             count: 0,
             sum: 0,
-            min: 0,
+            // Sentinel until the first sample; snapshots normalize a
+            // zero-count histogram's min/max to 0 so the sentinel never
+            // leaks into rendered or serialized output.
+            min: u64::MAX,
             max: 0,
             buckets: [0; 65],
         }
@@ -56,13 +59,8 @@ impl Default for Histogram {
 
 impl Histogram {
     fn record(&mut self, value: u64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
         self.count += 1;
         self.sum = self.sum.saturating_add(value);
         let bucket = (64 - value.leading_zeros()) as usize;
@@ -138,6 +136,21 @@ pub(crate) fn open_span(name: &str) -> SpanGuard {
     }
 }
 
+impl SpanStats {
+    /// Merges one closing of `elapsed_ns` into the aggregate.
+    fn merge_closing(&mut self, elapsed_ns: u64) {
+        if self.count == 0 {
+            self.min_ns = elapsed_ns;
+            self.max_ns = elapsed_ns;
+        } else {
+            self.min_ns = self.min_ns.min(elapsed_ns);
+            self.max_ns = self.max_ns.max(elapsed_ns);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(elapsed_ns);
+    }
+}
+
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(start) = self.start else { return };
@@ -158,17 +171,30 @@ impl Drop for SpanGuard {
         for name in &path {
             node = node.children.entry(name.clone()).or_default();
         }
-        let stats = &mut node.stats;
-        if stats.count == 0 {
-            stats.min_ns = elapsed_ns;
-            stats.max_ns = elapsed_ns;
-        } else {
-            stats.min_ns = stats.min_ns.min(elapsed_ns);
-            stats.max_ns = stats.max_ns.max(elapsed_ns);
-        }
-        stats.count += 1;
-        stats.total_ns = stats.total_ns.saturating_add(elapsed_ns);
+        node.stats.merge_closing(elapsed_ns);
     }
+}
+
+/// Merges one closing of `elapsed_ns` at a root-relative span path,
+/// independent of the calling thread's span stack. Lets a coordinator
+/// attribute work performed on worker threads to the logical tree position.
+pub(crate) fn record_span(path: &[&str], elapsed_ns: u64) {
+    if path.is_empty() {
+        return;
+    }
+    let mut reg = lock();
+    let mut node = &mut reg.root;
+    for name in path {
+        node = node.children.entry((*name).to_owned()).or_default();
+    }
+    node.stats.merge_closing(elapsed_ns);
+}
+
+/// Registers an empty histogram so it shows up in snapshots (with
+/// `count == 0` and zeroed min/max) even if nothing is ever recorded.
+pub(crate) fn declare_histogram(name: &str) {
+    let mut reg = lock();
+    reg.histograms.entry(name.to_owned()).or_default();
 }
 
 pub(crate) fn add_counter(name: &str, delta: u64) {
@@ -240,8 +266,8 @@ pub(crate) fn snapshot() -> Snapshot {
                     HistogramSnapshot {
                         count: h.count,
                         sum: h.sum,
-                        min: h.min,
-                        max: h.max,
+                        min: if h.count == 0 { 0 } else { h.min },
+                        max: if h.count == 0 { 0 } else { h.max },
                         buckets,
                     },
                 )

@@ -22,9 +22,30 @@ use rust_safety_study::mir::Program;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Telemetry flags are global: valid in any position, for every command.
+    // Telemetry and threading flags are global: valid in any position, for
+    // every command.
     let profile = take_flag(&mut args, "--profile");
-    let metrics_json = take_value(&mut args, "--metrics-json");
+    let metrics_json = match take_value(&mut args, "--metrics-json") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let jobs = match take_value(&mut args, "--jobs") {
+        Ok(None) => 0,
+        Ok(Some(s)) => match s.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs: expected a positive integer, got `{s}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let wants_trace = args.iter().any(|a| a == "--trace");
     if profile || metrics_json.is_some() || wants_trace {
         rstudy_telemetry::enable();
@@ -37,7 +58,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let code = match cmd.as_str() {
-        "check" => cmd_check(&args[1..]),
+        "check" => cmd_check(&args[1..], jobs),
         "run" => cmd_run(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
@@ -72,15 +93,27 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
     args.len() != before
 }
 
-/// Removes `name <value>` from `args`, returning the value.
-fn take_value(args: &mut Vec<String>, name: &str) -> Option<String> {
-    let i = args.iter().position(|a| a == name)?;
+/// Removes `name <value>` or `name=<value>` from `args`, returning the
+/// value. A flag present without a value is an error, not a silently
+/// dropped request.
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let prefix = format!("{name}=");
+    if let Some(i) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let arg = args.remove(i);
+        let value = arg[prefix.len()..].to_owned();
+        if value.is_empty() {
+            return Err(format!("{name}: missing value"));
+        }
+        return Ok(Some(value));
+    }
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
     args.remove(i);
     if i < args.len() {
-        Some(args.remove(i))
+        Ok(Some(args.remove(i)))
     } else {
-        eprintln!("{name}: missing value");
-        None
+        Err(format!("{name}: missing value"))
     }
 }
 
@@ -98,6 +131,7 @@ USAGE:
 GLOBAL FLAGS:
   --profile             print the telemetry span/counter tree after the command
   --metrics-json <path> write the full telemetry registry as JSON
+  --jobs <N>            worker threads for `check` (default: all cores; 1 = sequential)
   --trace               record (and print) per-step / per-detector trace events";
 
 fn load(path: &str) -> Result<Program, String> {
@@ -107,7 +141,7 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-fn cmd_check(args: &[String]) -> ExitCode {
+fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
     let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
         eprintln!("check: missing <file.mir>");
         return ExitCode::from(2);
@@ -126,6 +160,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
     };
     let report = DetectorSuite::new()
         .with_config(config)
+        .with_jobs(jobs)
         .check_program(&program);
     print_trace_events();
     if report.is_clean() {

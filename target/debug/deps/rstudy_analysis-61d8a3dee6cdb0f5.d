@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/rstudy_analysis-61d8a3dee6cdb0f5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+/root/repo/target/debug/deps/rstudy_analysis-61d8a3dee6cdb0f5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
 
-/root/repo/target/debug/deps/rstudy_analysis-61d8a3dee6cdb0f5: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+/root/repo/target/debug/deps/rstudy_analysis-61d8a3dee6cdb0f5: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bitset.rs:
+crates/analysis/src/cache.rs:
 crates/analysis/src/callgraph.rs:
 crates/analysis/src/cfg.rs:
 crates/analysis/src/const_prop.rs:
 crates/analysis/src/dataflow.rs:
 crates/analysis/src/dominators.rs:
+crates/analysis/src/heap.rs:
 crates/analysis/src/liveness.rs:
 crates/analysis/src/locks.rs:
 crates/analysis/src/points_to.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_parallel-152fb9e39f7dab88.d: tests/suite_parallel.rs
+
+/root/repo/target/debug/deps/suite_parallel-152fb9e39f7dab88: tests/suite_parallel.rs
+
+tests/suite_parallel.rs:

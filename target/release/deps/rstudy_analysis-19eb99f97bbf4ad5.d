@@ -1,16 +1,18 @@
-/root/repo/target/release/deps/rstudy_analysis-19eb99f97bbf4ad5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+/root/repo/target/release/deps/rstudy_analysis-19eb99f97bbf4ad5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
 
-/root/repo/target/release/deps/librstudy_analysis-19eb99f97bbf4ad5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+/root/repo/target/release/deps/librstudy_analysis-19eb99f97bbf4ad5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
 
-/root/repo/target/release/deps/librstudy_analysis-19eb99f97bbf4ad5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+/root/repo/target/release/deps/librstudy_analysis-19eb99f97bbf4ad5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bitset.rs:
+crates/analysis/src/cache.rs:
 crates/analysis/src/callgraph.rs:
 crates/analysis/src/cfg.rs:
 crates/analysis/src/const_prop.rs:
 crates/analysis/src/dataflow.rs:
 crates/analysis/src/dominators.rs:
+crates/analysis/src/heap.rs:
 crates/analysis/src/liveness.rs:
 crates/analysis/src/locks.rs:
 crates/analysis/src/points_to.rs:

@@ -142,3 +142,82 @@ fn run_with_trace_prints_the_step_tail() {
     assert!(stdout.contains("trace (last"), "{stdout}");
     assert!(stdout.contains("main::bb0[0]"), "{stdout}");
 }
+
+#[test]
+fn metrics_json_without_a_value_is_a_usage_error() {
+    let out = bin()
+        .args(["check", &mir_path("use_after_free.mir"), "--metrics-json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--metrics-json: missing value"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
+fn metrics_json_accepts_the_equals_form() {
+    let json_path =
+        std::env::temp_dir().join(format!("rstudy-metrics-eq-{}.json", std::process::id()));
+    let out = bin()
+        .args([
+            "check",
+            &mir_path("use_after_free.mir"),
+            &format!("--metrics-json={}", json_path.display()),
+        ])
+        .output()
+        .expect("binary runs");
+    // `check` on a buggy input fails, but the metrics must still be written.
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(&json_path).expect("metrics file written");
+    std::fs::remove_file(&json_path).ok();
+    assert!(json.contains("\"suite\""), "{json}");
+}
+
+#[test]
+fn metrics_json_with_an_empty_equals_value_is_a_usage_error() {
+    let out = bin()
+        .args(["check", &mir_path("use_after_free.mir"), "--metrics-json="])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--metrics-json: missing value"), "{stderr}");
+}
+
+#[test]
+fn jobs_does_not_change_check_output() {
+    let base = bin()
+        .args(["check", &mir_path("use_after_free.mir"), "--jobs", "1"])
+        .output()
+        .expect("binary runs");
+    let parallel = bin()
+        .args(["check", &mir_path("use_after_free.mir"), "--jobs", "4"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(base.status.code(), parallel.status.code());
+    assert_eq!(
+        base.stdout, parallel.stdout,
+        "reports must be byte-identical"
+    );
+}
+
+#[test]
+fn invalid_jobs_values_are_usage_errors() {
+    for bad in ["0", "-2", "many"] {
+        let out = bin()
+            .args(["check", &mir_path("use_after_free.mir"), "--jobs", bad])
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--jobs"), "{stderr}");
+    }
+    let out = bin()
+        .args(["check", &mir_path("use_after_free.mir"), "--jobs"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs: missing value"), "{stderr}");
+}

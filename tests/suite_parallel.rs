@@ -1,0 +1,101 @@
+//! The parallel detector suite must be indistinguishable from the
+//! sequential one: same diagnostics, byte for byte, at any `--jobs`
+//! setting and with the shared analysis cache on or off.
+
+use rust_safety_study::core::config::DetectorConfig;
+use rust_safety_study::core::detectors::{AnalysisContext, Detector, DoubleFree, UseAfterFree};
+use rust_safety_study::core::suite::DetectorSuite;
+use rust_safety_study::corpus::all_entries;
+use rust_safety_study::mir::Program;
+
+/// Renders a report into comparable lines.
+fn rendered(program: &Program, jobs: usize, shared_cache: bool) -> Vec<String> {
+    DetectorSuite::new()
+        .with_jobs(jobs)
+        .with_shared_cache(shared_cache)
+        .check_program(program)
+        .diagnostics()
+        .iter()
+        .map(|d| d.to_string())
+        .collect()
+}
+
+#[test]
+fn parallel_reports_match_sequential_over_the_whole_corpus() {
+    for entry in all_entries() {
+        let program = entry.program();
+        let seq = rendered(&program, 1, true);
+        let par = rendered(&program, 8, true);
+        assert_eq!(seq, par, "entry `{}` diverges under --jobs 8", entry.name);
+    }
+}
+
+#[test]
+fn disabling_the_shared_cache_changes_nothing_but_speed() {
+    for entry in all_entries() {
+        let program = entry.program();
+        let cached = rendered(&program, 4, true);
+        let fresh = rendered(&program, 4, false);
+        assert_eq!(
+            cached, fresh,
+            "entry `{}` diverges without the shared cache",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn detectors_sharing_a_body_hit_the_cache() {
+    // Two detectors that both need points-to and heap facts for the same
+    // body: the second must be served from the cache.
+    let entry = all_entries()
+        .into_iter()
+        .find(|e| !e.is_statically_clean())
+        .expect("corpus has buggy entries");
+    let program = entry.program();
+    let cx = AnalysisContext::new(&program);
+    let config = DetectorConfig::new();
+    for (name, body) in program.iter() {
+        UseAfterFree.check_body(&cx, name, body, &config);
+        DoubleFree.check_body(&cx, name, body, &config);
+    }
+    assert!(
+        cx.cache().hits() > 0,
+        "expected cache hits, got hits={} misses={}",
+        cx.cache().hits(),
+        cx.cache().misses()
+    );
+    assert!(cx.cache().misses() > 0, "something must have been computed");
+}
+
+#[test]
+fn repeated_runs_on_one_shared_context_are_consistent() {
+    // The same detector run twice against one memoized context must return
+    // the same diagnostics as against a fresh context.
+    for entry in all_entries().into_iter().take(8) {
+        let program = entry.program();
+        let config = DetectorConfig::new();
+        let shared = AnalysisContext::new(&program);
+        let first: Vec<String> = UseAfterFree
+            .check_program(&program, &config)
+            .iter()
+            .map(|d| d.to_string())
+            .collect();
+        let mut second = Vec::new();
+        for (name, body) in program.iter() {
+            second.extend(
+                UseAfterFree
+                    .check_body(&shared, name, body, &config)
+                    .iter()
+                    .map(|d| d.to_string()),
+            );
+        }
+        second.extend(
+            UseAfterFree
+                .check_global(&shared, &config)
+                .iter()
+                .map(|d| d.to_string()),
+        );
+        assert_eq!(first, second, "entry `{}`", entry.name);
+    }
+}
