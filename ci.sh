@@ -26,4 +26,60 @@ if [ "$SEQ" != "$PAR" ]; then
     exit 1
 fi
 
+echo "== serve smoke check =="
+# Boot the analysis service on an ephemeral port, fire the three
+# serve-smoke fixtures at it, assert a cache hit on the repeat request,
+# and verify it drains and exits cleanly on a `shutdown` request.
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$BIN" serve --port 0 --cache-dir "$SERVE_TMP/cache" --workers 2 \
+    > "$SERVE_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 100); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/serve.log")
+    [ -n "$PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$PORT" ]; then
+    echo "FAIL: serve did not report its listening port" >&2
+    cat "$SERVE_TMP/serve.log" >&2
+    exit 1
+fi
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+smoke() { # smoke <id> <payload> <expected-substring>...
+    local id=$1 payload=$2 reply
+    shift 2
+    printf '%s\n' "$payload" >&3
+    IFS= read -r -t 20 reply <&3 || {
+        echo "FAIL: no reply for request $id" >&2
+        exit 1
+    }
+    local want
+    for want in "$@"; do
+        case "$reply" in
+        *"$want"*) ;;
+        *)
+            echo "FAIL: request $id: expected $want in reply: $reply" >&2
+            exit 1
+            ;;
+        esac
+    done
+}
+smoke clean '{"id":"clean","path":"examples/mir/serve_smoke_clean.mir"}' \
+    '"status":"ok"' '"cached":false' '"findings":0'
+smoke buggy '{"id":"buggy","path":"examples/mir/serve_smoke_buggy.mir"}' \
+    '"status":"ok"' '"findings":1' 'use-after-free'
+smoke malformed '{"id":"malformed","path":"examples/mir/serve_smoke_malformed.mir"}' \
+    '"status":"error"' 'parse error'
+smoke repeat '{"id":"repeat","path":"examples/mir/serve_smoke_clean.mir"}' \
+    '"status":"ok"' '"cached":true'
+smoke stats '{"id":"s","cmd":"stats"}' '"cache_hits":1'
+smoke shutdown '{"id":"bye","cmd":"shutdown"}' '"status":"shutdown"'
+exec 3<&- 3>&-
+if ! wait "$SERVE_PID"; then
+    echo "FAIL: serve exited non-zero after graceful shutdown" >&2
+    exit 1
+fi
+
 echo "CI green."

@@ -63,4 +63,4 @@ pub mod suite;
 pub use classify::{EffectClass, Propagation};
 pub use config::{DetectorConfig, InterprocMode};
 pub use diagnostics::{BugClass, Diagnostic, Severity};
-pub use suite::{DetectorSuite, Report};
+pub use suite::{DetectorSuite, Report, SUITE_VERSION};

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use rstudy_mir::{Body, Program};
+use serde::{Deserialize, Serialize};
 
 use crate::config::DetectorConfig;
 use crate::detectors::{
@@ -20,8 +21,20 @@ use crate::detectors::{
 };
 use crate::diagnostics::{BugClass, Diagnostic};
 
+/// The semantic version of the detector suite.
+///
+/// Bumped whenever a detector's findings can change for an unchanged input
+/// program (new detector, changed precision, changed diagnostic text). The
+/// analysis service includes it in its result-cache key, so stale cached
+/// reports from an older suite are never replayed by a newer one.
+pub const SUITE_VERSION: u32 = 3;
+
 /// The aggregated findings of one suite run.
-#[derive(Debug, Clone, Default)]
+///
+/// Serializes as `{"diagnostics": [...]}` — the canonical machine-readable
+/// report form shared by `check --json` and the analysis service, which
+/// compares byte-for-byte when produced from the same program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Report {
     diagnostics: Vec<Diagnostic>,
 }
@@ -103,6 +116,35 @@ impl DetectorSuite {
             jobs: 0,
             shared_cache: true,
         }
+    }
+
+    /// Every detector name the full suite knows, in canonical run order.
+    pub fn all_detector_names() -> Vec<&'static str> {
+        DetectorSuite::new().detector_names()
+    }
+
+    /// The full suite restricted to the named detectors.
+    ///
+    /// Names may come in any order and may repeat; the resulting suite
+    /// always runs in canonical order, so reports (and service cache keys)
+    /// are deterministic for a given detector *set*. An unknown name is an
+    /// error listing the valid set.
+    pub fn with_only<S: AsRef<str>>(names: &[S]) -> Result<DetectorSuite, String> {
+        let mut suite = DetectorSuite::new();
+        let known: Vec<&'static str> = suite.detectors.iter().map(|d| d.name()).collect();
+        for n in names {
+            if !known.contains(&n.as_ref()) {
+                return Err(format!(
+                    "unknown detector `{}` (valid: {})",
+                    n.as_ref(),
+                    known.join(", ")
+                ));
+            }
+        }
+        suite
+            .detectors
+            .retain(|d| names.iter().any(|n| n.as_ref() == d.name()));
+        Ok(suite)
     }
 
     /// An empty suite to which detectors are added manually.
@@ -409,6 +451,41 @@ mod tests {
             .with_shared_cache(false)
             .check_program(&program);
         assert_eq!(cached.diagnostics(), fresh.diagnostics());
+    }
+
+    #[test]
+    fn with_only_restricts_and_keeps_canonical_order() {
+        let suite = DetectorSuite::with_only(&["double-lock", "use-after-free"]).unwrap();
+        // Request order is reversed relative to the canonical order; the
+        // suite still runs use-after-free first.
+        assert_eq!(suite.detector_names(), ["use-after-free", "double-lock"]);
+        let report = suite.check_program(&two_bug_program());
+        assert_eq!(report.count(BugClass::UseAfterFree), 1);
+        assert_eq!(report.count(BugClass::DoubleLock), 1);
+
+        let only_locks = DetectorSuite::with_only(&["double-lock"])
+            .unwrap()
+            .check_program(&two_bug_program());
+        assert_eq!(only_locks.count(BugClass::UseAfterFree), 0);
+        assert_eq!(only_locks.count(BugClass::DoubleLock), 1);
+    }
+
+    #[test]
+    fn with_only_rejects_unknown_names() {
+        let err = DetectorSuite::with_only(&["no-such-detector"])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("no-such-detector"), "{err}");
+        assert!(err.contains("use-after-free"), "{err}");
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = DetectorSuite::new().check_program(&two_bug_program());
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.starts_with("{\"diagnostics\":["), "{json}");
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.diagnostics(), report.diagnostics());
     }
 
     #[test]

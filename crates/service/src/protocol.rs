@@ -1,0 +1,418 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request per line in, one response per line out, in order. The same
+//! frames travel over TCP connections and over stdin/stdout (`serve
+//! --stdin`), so a pipe and a socket client see identical bytes.
+//!
+//! # Requests
+//!
+//! ```json
+//! {"id": "r1", "program": "fn main() -> int { ... }"}
+//! {"id": "r2", "path": "examples/mir/serve_smoke_clean.mir", "detectors": ["use-after-free"]}
+//! {"cmd": "stats"}
+//! {"cmd": "shutdown"}
+//! ```
+//!
+//! * `cmd` — `"check"` (the default), `"stats"`, or `"shutdown"`.
+//! * `id` — any JSON value; echoed verbatim in the response so pipelined
+//!   clients can correlate.
+//! * `program` / `path` — the MIR source text, or a file to read it from.
+//!   Exactly one must be present on a `check`.
+//! * `detectors` — detector names to run (default: the full suite). The
+//!   run order is always canonical, so the detector *set* alone determines
+//!   the report.
+//! * `jobs` — worker threads for this one analysis (default: the server's
+//!   `--jobs`). Zero is rejected: a worker count of 0 is a usage error
+//!   everywhere in this toolchain.
+//! * `naive` — use the paper's unoptimized interprocedural mode.
+//! * `trace` — attach per-request timing (`parse_ns`, `check_ns`) to the
+//!   response. Timings are measured, hence non-deterministic; they are
+//!   never part of the cached report.
+//! * `delay_ms` — artificial work injected before the analysis. A testing
+//!   aid for exercising timeout, backpressure, and drain paths
+//!   deterministically; harmless in production (default 0).
+//!
+//! # Responses
+//!
+//! Every response carries a `status`: `ok`, `error`, `timeout`,
+//! `overloaded`, `stats`, or `shutdown`. `ok` responses embed the report
+//! under `"report"` — byte-identical to `check --json` output for the same
+//! program — plus `"cached"` saying whether the result came from the
+//! content-hash cache. Degraded statuses (`error`, `timeout`,
+//! `overloaded`) carry a human-readable `"error"` and never terminate the
+//! connection, let alone the server.
+
+use serde::Value;
+use serde_json::to_string;
+
+/// Where a check request's program text comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSource {
+    /// Inline MIR source text.
+    Text(String),
+    /// A path to read MIR source from, resolved on the server.
+    Path(String),
+}
+
+/// A parsed `check` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckRequest {
+    /// The program to analyze.
+    pub source: ProgramSource,
+    /// Detector subset (`None` = full suite).
+    pub detectors: Option<Vec<String>>,
+    /// Per-request suite worker threads (`None` = server default).
+    pub jobs: Option<usize>,
+    /// Run the naive interprocedural mode.
+    pub naive: bool,
+    /// Attach per-request timing to the response.
+    pub trace: bool,
+    /// Artificial pre-analysis delay (testing aid).
+    pub delay_ms: u64,
+}
+
+/// What a request line asks the server to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Analyze a program.
+    Check(CheckRequest),
+    /// Report service counters.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight work, flush, exit.
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Correlation id, echoed in the response.
+    pub id: Option<Value>,
+    /// The requested operation.
+    pub command: Command,
+}
+
+/// A malformed request: the extracted id (when the line parsed far enough
+/// to have one) plus what was wrong.
+#[derive(Debug, Clone)]
+pub struct RequestError {
+    /// Correlation id to echo, if one was recoverable.
+    pub id: Option<Value>,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl RequestError {
+    fn new(id: Option<Value>, message: impl Into<String>) -> RequestError {
+        RequestError {
+            id,
+            message: message.into(),
+        }
+    }
+}
+
+const KNOWN_FIELDS: &[&str] = &[
+    "cmd",
+    "id",
+    "program",
+    "path",
+    "detectors",
+    "jobs",
+    "naive",
+    "trace",
+    "delay_ms",
+];
+
+/// Parses one request line. Never panics; every malformation becomes a
+/// [`RequestError`] the caller turns into an `error` response.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let value: Value = serde_json::from_str(line)
+        .map_err(|e| RequestError::new(None, format!("malformed request: {e}")))?;
+    let Some(entries) = value.as_object() else {
+        return Err(RequestError::new(
+            None,
+            format!(
+                "malformed request: expected a JSON object, got {}",
+                value.kind()
+            ),
+        ));
+    };
+    let id = value.get("id").cloned();
+    for (key, _) in entries {
+        if !KNOWN_FIELDS.contains(&key.as_str()) {
+            return Err(RequestError::new(
+                id,
+                format!("unknown field `{key}` (known: {})", KNOWN_FIELDS.join(", ")),
+            ));
+        }
+    }
+    let cmd = match value.get("cmd") {
+        None => "check",
+        Some(Value::Str(s)) => s.as_str(),
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                format!("`cmd` must be a string, got {}", other.kind()),
+            ))
+        }
+    };
+    match cmd {
+        "shutdown" => Ok(Request {
+            id,
+            command: Command::Shutdown,
+        }),
+        "stats" => Ok(Request {
+            id,
+            command: Command::Stats,
+        }),
+        "check" => parse_check(&value, id),
+        other => Err(RequestError::new(
+            id,
+            format!("unknown cmd `{other}` (known: check, stats, shutdown)"),
+        )),
+    }
+}
+
+fn parse_check(value: &Value, id: Option<Value>) -> Result<Request, RequestError> {
+    let text = opt_string(value, "program", &id)?;
+    let path = opt_string(value, "path", &id)?;
+    let source = match (text, path) {
+        (Some(text), None) => ProgramSource::Text(text),
+        (None, Some(path)) => ProgramSource::Path(path),
+        (Some(_), Some(_)) => {
+            return Err(RequestError::new(
+                id,
+                "`program` and `path` are mutually exclusive",
+            ))
+        }
+        (None, None) => {
+            return Err(RequestError::new(
+                id,
+                "a check request needs `program` (inline MIR) or `path` (file to read)",
+            ))
+        }
+    };
+    let detectors = match value.get("detectors") {
+        None | Some(Value::Null) => None,
+        Some(Value::Seq(items)) => {
+            let mut names = Vec::with_capacity(items.len());
+            for item in items {
+                match item.as_str() {
+                    Some(s) => names.push(s.to_owned()),
+                    None => {
+                        return Err(RequestError::new(
+                            id,
+                            format!("`detectors` entries must be strings, got {}", item.kind()),
+                        ))
+                    }
+                }
+            }
+            Some(names)
+        }
+        Some(other) => {
+            return Err(RequestError::new(
+                id,
+                format!(
+                    "`detectors` must be an array of names, got {}",
+                    other.kind()
+                ),
+            ))
+        }
+    };
+    let jobs = match value.get("jobs") {
+        None | Some(Value::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(0) => {
+                return Err(RequestError::new(
+                    id,
+                    "`jobs`: expected a positive integer, got `0`",
+                ))
+            }
+            Some(n) => Some(n as usize),
+            None => {
+                return Err(RequestError::new(
+                    id,
+                    format!("`jobs`: expected a positive integer, got {}", v.kind()),
+                ))
+            }
+        },
+    };
+    let naive = opt_bool(value, "naive", &id)?;
+    let trace = opt_bool(value, "trace", &id)?;
+    let delay_ms = match value.get("delay_ms") {
+        None | Some(Value::Null) => 0,
+        Some(v) => v.as_u64().ok_or_else(|| {
+            RequestError::new(
+                id.clone(),
+                format!(
+                    "`delay_ms`: expected a non-negative integer, got {}",
+                    v.kind()
+                ),
+            )
+        })?,
+    };
+    Ok(Request {
+        id,
+        command: Command::Check(CheckRequest {
+            source,
+            detectors,
+            jobs,
+            naive,
+            trace,
+            delay_ms,
+        }),
+    })
+}
+
+fn opt_string(
+    value: &Value,
+    field: &str,
+    id: &Option<Value>,
+) -> Result<Option<String>, RequestError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(RequestError::new(
+            id.clone(),
+            format!("`{field}` must be a string, got {}", other.kind()),
+        )),
+    }
+}
+
+fn opt_bool(value: &Value, field: &str, id: &Option<Value>) -> Result<bool, RequestError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(RequestError::new(
+            id.clone(),
+            format!("`{field}` must be a boolean, got {}", other.kind()),
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// Builds one response line (without the trailing newline). Field order is
+/// fixed — `id`, `status`, then status-specific payload — so responses are
+/// deterministic byte streams for deterministic inputs.
+pub struct ResponseBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl ResponseBuilder {
+    /// Starts a response with the given status, echoing `id` when present.
+    pub fn new(id: &Option<Value>, status: &str) -> ResponseBuilder {
+        let mut entries = Vec::with_capacity(4);
+        if let Some(id) = id {
+            entries.push(("id".to_owned(), id.clone()));
+        }
+        entries.push(("status".to_owned(), Value::Str(status.to_owned())));
+        ResponseBuilder { entries }
+    }
+
+    /// Appends one field.
+    pub fn field(mut self, name: &str, value: Value) -> ResponseBuilder {
+        self.entries.push((name.to_owned(), value));
+        self
+    }
+
+    /// Serializes to one compact JSON line.
+    pub fn finish(self) -> String {
+        to_string(&Value::Map(self.entries)).expect("response serialization cannot fail")
+    }
+}
+
+/// An `error` response.
+pub fn error_response(id: &Option<Value>, message: &str) -> String {
+    ResponseBuilder::new(id, "error")
+        .field("error", Value::Str(message.to_owned()))
+        .finish()
+}
+
+/// A degraded-status response (`timeout`, `overloaded`, ...) with a reason.
+pub fn degraded_response(id: &Option<Value>, status: &str, message: &str) -> String {
+    ResponseBuilder::new(id, status)
+        .field("error", Value::Str(message.to_owned()))
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_check() {
+        let r = parse_request(r#"{"program":"fn main() -> int {}"}"#).unwrap();
+        assert!(r.id.is_none());
+        let Command::Check(c) = r.command else {
+            panic!("expected check");
+        };
+        assert_eq!(c.source, ProgramSource::Text("fn main() -> int {}".into()));
+        assert_eq!(c.detectors, None);
+        assert_eq!(c.jobs, None);
+        assert!(!c.naive && !c.trace);
+        assert_eq!(c.delay_ms, 0);
+    }
+
+    #[test]
+    fn parses_full_check() {
+        let r = parse_request(
+            r#"{"id":7,"cmd":"check","path":"a.mir","detectors":["double-lock"],"jobs":2,"naive":true,"trace":true,"delay_ms":5}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Some(Value::Int(7)));
+        let Command::Check(c) = r.command else {
+            panic!("expected check");
+        };
+        assert_eq!(c.source, ProgramSource::Path("a.mir".into()));
+        assert_eq!(
+            c.detectors.as_deref(),
+            Some(&["double-lock".to_owned()][..])
+        );
+        assert_eq!(c.jobs, Some(2));
+        assert!(c.naive && c.trace);
+        assert_eq!(c.delay_ms, 5);
+    }
+
+    #[test]
+    fn parses_control_commands() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap().command,
+            Command::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"stats","id":"s"}"#)
+                .unwrap()
+                .command,
+            Command::Stats
+        );
+    }
+
+    #[test]
+    fn rejects_jobs_zero_with_usage_error() {
+        let err = parse_request(r#"{"id":"z","program":"x","jobs":0}"#).unwrap_err();
+        assert_eq!(err.id, Some(Value::Str("z".into())));
+        assert!(err.message.contains("positive integer"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_and_bad_shapes() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"cmd":"frobnicate"}"#).is_err());
+        assert!(parse_request(r#"{"program":"x","path":"y"}"#).is_err());
+        assert!(parse_request(r#"{}"#).is_err());
+        assert!(parse_request(r#"{"program":"x","detectors":"all"}"#).is_err());
+        assert!(parse_request(r#"{"program":"x","typo":1}"#).is_err());
+    }
+
+    #[test]
+    fn error_responses_echo_the_id_first() {
+        let id = Some(Value::Str("r9".into()));
+        let line = error_response(&id, "boom");
+        assert_eq!(line, r#"{"id":"r9","status":"error","error":"boom"}"#);
+        let anon = error_response(&None, "boom");
+        assert_eq!(anon, r#"{"status":"error","error":"boom"}"#);
+    }
+}

@@ -1,0 +1,143 @@
+//! The bounded job queue between connection handlers and the worker pool.
+//!
+//! Capacity is the backpressure valve: when the queue is full, a submit
+//! fails *immediately* and the connection handler answers `overloaded`
+//! instead of letting latency grow without bound — shedding load early is
+//! the graceful-degradation contract. Shutdown is cooperative: producers
+//! are refused after [`JobQueue::close`], while consumers drain whatever
+//! was already accepted before seeing `None`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the caller should shed the request.
+    Full,
+    /// The queue is closed (server draining); no new work is accepted.
+    Closed,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer multi-consumer bounded FIFO.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue accepting at most `capacity` pending jobs (minimum 1).
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, failing fast when full or closed. On success,
+    /// returns the queue depth *after* the push (for depth telemetry).
+    pub fn push(&self, job: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        let depth = inner.jobs.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the next job, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained — the worker
+    /// exit condition that makes shutdown finish in-flight work first.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: refuses new pushes, wakes every blocked consumer.
+    /// Already-accepted jobs remain poppable (drain semantics).
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Current number of pending jobs.
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_fifo() {
+        let q = JobQueue::new(4);
+        assert_eq!(q.push(1), Ok(1));
+        assert_eq!(q.push(2), Ok(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_immediately() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_refuses_producers_but_drains_consumers() {
+        let q = JobQueue::new(4);
+        q.push(1).unwrap();
+        q.close();
+        assert_eq!(q.push(2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,741 @@
+//! The resident analysis server.
+//!
+//! ```text
+//!   TCP clients ──┐                       ┌── worker ──┐
+//!   (NDJSON)      ├─ connection handlers ─┤  bounded   ├─ DetectorSuite
+//!   stdin pipe ───┘        │              │  JobQueue  │
+//!                          │              └── worker ──┘
+//!                          └── ResultCache (mem LRU + disk) ── hit: no work
+//! ```
+//!
+//! Every connection gets its own handler thread that parses request lines,
+//! answers cache hits inline, and otherwise submits a job to the bounded
+//! queue and waits for the worker pool — up to the request deadline. All
+//! degradation is structured: a full queue answers `overloaded`, an
+//! expired deadline answers `timeout`, malformed input answers `error`,
+//! and none of them disturb other connections or the server itself.
+//! Shutdown (a `shutdown` request, stdin EOF, or SIGINT) drains accepted
+//! jobs, flushes the disk cache, and only then lets [`Server::run`]
+//! return.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use rstudy_core::config::DetectorConfig;
+use rstudy_core::suite::DetectorSuite;
+use rstudy_mir::parse::parse_program;
+use rstudy_mir::validate::validate_program;
+use serde::{Serialize, Value};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::protocol::{
+    degraded_response, error_response, parse_request, CheckRequest, Command, ProgramSource,
+    ResponseBuilder,
+};
+use crate::queue::{JobQueue, PushError};
+
+/// How often blocked loops (accept, connection reads) re-check the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs. `Default` matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing analyses (`0` = all cores).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it answer `overloaded`.
+    pub queue_depth: usize,
+    /// Per-request wall-clock deadline; `None` waits indefinitely.
+    pub timeout_ms: Option<u64>,
+    /// Disk tier directory for the result cache; `None` = memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Memory-tier capacity of the result cache, in reports.
+    pub cache_capacity: usize,
+    /// Default `DetectorSuite` jobs per analysis (`0` = all cores).
+    pub default_jobs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 0,
+            queue_depth: 64,
+            timeout_ms: None,
+            cache_dir: None,
+            cache_capacity: 128,
+            default_jobs: 0,
+        }
+    }
+}
+
+/// Service counters, exported by `stats` responses (and mirrored into
+/// telemetry when it is enabled).
+#[derive(Debug, Default)]
+struct ServeStats {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    overloaded: AtomicU64,
+}
+
+/// One unit of analysis work travelling from a connection handler to the
+/// worker pool. The reply channel carries the finished response line.
+struct Job {
+    id: Option<Value>,
+    program_text: String,
+    /// Canonicalized detector set (validated, canonical order).
+    detectors: Vec<String>,
+    jobs: usize,
+    naive: bool,
+    trace: bool,
+    delay_ms: u64,
+    key: CacheKey,
+    deadline: Option<Instant>,
+    respond: mpsc::Sender<String>,
+}
+
+struct ServerState {
+    config: ServeConfig,
+    queue: JobQueue<Job>,
+    cache: ResultCache,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(config: ServeConfig) -> io::Result<ServerState> {
+        let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone())?;
+        rstudy_telemetry::declare_counter("serve.requests");
+        rstudy_telemetry::declare_counter("serve.cache.hits");
+        rstudy_telemetry::declare_counter("serve.cache.misses");
+        rstudy_telemetry::declare_counter("serve.timeouts");
+        rstudy_telemetry::declare_counter("serve.overloaded");
+        rstudy_telemetry::declare_counter("serve.errors");
+        rstudy_telemetry::declare_histogram("serve.queue_depth");
+        rstudy_telemetry::declare_histogram("serve.request_ns");
+        Ok(ServerState {
+            queue: JobQueue::new(config.queue_depth),
+            cache,
+            config,
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+
+    fn effective_workers(&self) -> usize {
+        match self.config.workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        }
+    }
+}
+
+/// A cloneable control handle onto a running server: tests and signal
+/// plumbing use it to request shutdown and read counters from outside the
+/// serving threads.
+#[derive(Clone)]
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// Requests graceful shutdown: stop accepting, drain, flush, return.
+    pub fn begin_shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.is_shutdown()
+    }
+
+    /// Total cache hits (memory + disk tiers) so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.state.cache.stats.mem_hits.load(Ordering::Relaxed)
+            + self.state.cache.stats.disk_hits.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SIGINT
+// ---------------------------------------------------------------------------
+
+static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT (ctrl-C) handler that requests graceful shutdown of
+/// every server in this process. The handler only stores into an atomic —
+/// async-signal-safe — and the accept loops poll the flag.
+#[cfg(unix)]
+pub fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+/// No-op off Unix; rely on the `shutdown` request instead.
+#[cfg(not(unix))]
+pub fn install_sigint_handler() {}
+
+// ---------------------------------------------------------------------------
+// The server proper
+// ---------------------------------------------------------------------------
+
+/// A bound-but-not-yet-running analysis server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds a loopback listener on `port` (`0` = kernel-assigned
+    /// ephemeral port; read it back with [`Server::local_addr`]).
+    pub fn bind(port: u16, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState::new(config)?),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle that stays valid while `run` blocks.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Serves until shutdown is requested (a `shutdown` request on any
+    /// connection, [`ServerHandle::begin_shutdown`], or SIGINT), then
+    /// drains in-flight jobs, flushes the disk cache, and returns.
+    pub fn run(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let state = &self.state;
+        std::thread::scope(|s| {
+            for _ in 0..state.effective_workers() {
+                s.spawn(move || worker_loop(state));
+            }
+            loop {
+                if SIGINT_RECEIVED.load(Ordering::Relaxed) {
+                    state.begin_shutdown();
+                }
+                if state.is_shutdown() {
+                    break;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        s.spawn(move || handle_connection(stream, state));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            // Redundant when shutdown came through a connection, essential
+            // when it came from a handle or SIGINT.
+            state.begin_shutdown();
+        });
+        self.state.cache.flush();
+        Ok(())
+    }
+}
+
+/// Serves one NDJSON stream synchronously: `serve --stdin` mode. Requests
+/// are answered in order; EOF triggers the same graceful drain as a
+/// `shutdown` request. The worker pool and cache behave exactly as in TCP
+/// mode, so piped and socket clients get identical bytes.
+pub fn serve_stream<R: BufRead, W: Write>(
+    config: ServeConfig,
+    reader: &mut R,
+    writer: &mut W,
+) -> io::Result<()> {
+    let state = Arc::new(ServerState::new(config)?);
+    let state_ref = &state;
+    let result = std::thread::scope(|s| -> io::Result<()> {
+        for _ in 0..state_ref.effective_workers() {
+            s.spawn(move || worker_loop(state_ref));
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let response = handle_line(trimmed, state_ref);
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            if state_ref.is_shutdown() {
+                break;
+            }
+        }
+        state_ref.begin_shutdown();
+        Ok(())
+    });
+    // Close the queue even if the I/O loop failed, so workers exit.
+    state.begin_shutdown();
+    state.cache.flush();
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = read_half.set_read_timeout(Some(POLL_INTERVAL));
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // `line` persists across read timeouts: a timeout mid-line keeps the
+    // partial content and the next read appends to it.
+    let mut line = String::new();
+    loop {
+        if state.is_shutdown() {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = handle_line(trimmed, state);
+                    if write_line(&mut writer, &response).is_err() {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, response: &str) -> io::Result<()> {
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Dispatches one request line to a response line. Infallible by design:
+/// every failure mode becomes a structured response.
+fn handle_line(line: &str, state: &ServerState) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            rstudy_telemetry::counter("serve.errors", 1);
+            return error_response(&e.id, &e.message);
+        }
+    };
+    match request.command {
+        Command::Shutdown => {
+            state.begin_shutdown();
+            ResponseBuilder::new(&request.id, "shutdown").finish()
+        }
+        Command::Stats => stats_response(&request.id, state),
+        Command::Check(check) => handle_check(&request.id, check, state),
+    }
+}
+
+fn stats_response(id: &Option<Value>, state: &ServerState) -> String {
+    let cache = &state.cache.stats;
+    let stats = Value::Map(vec![
+        ("requests".into(), count(&state.stats.requests)),
+        ("ok".into(), count(&state.stats.ok)),
+        ("errors".into(), count(&state.stats.errors)),
+        ("timeouts".into(), count(&state.stats.timeouts)),
+        ("overloaded".into(), count(&state.stats.overloaded)),
+        (
+            "cache_hits".into(),
+            Value::UInt(
+                cache.mem_hits.load(Ordering::Relaxed) + cache.disk_hits.load(Ordering::Relaxed),
+            ),
+        ),
+        ("cache_disk_hits".into(), count(&cache.disk_hits)),
+        ("cache_misses".into(), count(&cache.misses)),
+        (
+            "cache_mem_entries".into(),
+            Value::UInt(state.cache.mem_len() as u64),
+        ),
+        (
+            "queue_depth".into(),
+            Value::UInt(state.queue.depth() as u64),
+        ),
+        (
+            "workers".into(),
+            Value::UInt(state.effective_workers() as u64),
+        ),
+    ]);
+    ResponseBuilder::new(id, "stats")
+        .field("stats", stats)
+        .finish()
+}
+
+fn count(a: &AtomicU64) -> Value {
+    Value::UInt(a.load(Ordering::Relaxed))
+}
+
+fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) -> String {
+    let started = Instant::now();
+    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    rstudy_telemetry::counter("serve.requests", 1);
+    let response = handle_check_inner(id, check, state, started);
+    rstudy_telemetry::record("serve.request_ns", started.elapsed().as_nanos() as u64);
+    response
+}
+
+fn handle_check_inner(
+    id: &Option<Value>,
+    check: CheckRequest,
+    state: &ServerState,
+    started: Instant,
+) -> String {
+    let fail = |msg: String| {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        rstudy_telemetry::counter("serve.errors", 1);
+        error_response(id, &msg)
+    };
+
+    let program_text = match &check.source {
+        ProgramSource::Text(text) => text.clone(),
+        ProgramSource::Path(path) => match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => return fail(format!("{path}: {e}")),
+        },
+    };
+    let detectors = match canonical_detectors(check.detectors.as_deref()) {
+        Ok(d) => d,
+        Err(e) => return fail(e),
+    };
+
+    let key = ResultCache::key(&program_text, &detectors, check.naive);
+    if let Some(report_json) = state.cache.get(key) {
+        if let Ok(report) = serde_json::from_str::<Value>(&report_json) {
+            rstudy_telemetry::counter("serve.cache.hits", 1);
+            state.stats.ok.fetch_add(1, Ordering::Relaxed);
+            return ok_response(
+                id,
+                true,
+                check.trace.then(|| trace_value(started, None)),
+                report,
+            );
+        }
+        // A torn or corrupt cache entry degrades to a recompute.
+    }
+    rstudy_telemetry::counter("serve.cache.misses", 1);
+
+    let deadline = state
+        .config
+        .timeout_ms
+        .map(|ms| started + Duration::from_millis(ms));
+    let (respond, reply) = mpsc::channel();
+    let job = Job {
+        id: id.clone(),
+        program_text,
+        detectors,
+        jobs: check.jobs.unwrap_or(state.config.default_jobs),
+        naive: check.naive,
+        trace: check.trace,
+        delay_ms: check.delay_ms,
+        key,
+        deadline,
+        respond,
+    };
+    match state.queue.push(job) {
+        Ok(depth) => rstudy_telemetry::record("serve.queue_depth", depth as u64),
+        Err(PushError::Full) => {
+            state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            rstudy_telemetry::counter("serve.overloaded", 1);
+            return degraded_response(
+                id,
+                "overloaded",
+                &format!(
+                    "queue full ({} pending analyses); retry later",
+                    state.config.queue_depth
+                ),
+            );
+        }
+        Err(PushError::Closed) => return fail("server is shutting down".to_owned()),
+    }
+
+    match deadline {
+        None => reply
+            .recv()
+            .unwrap_or_else(|_| fail("internal error: worker exited".to_owned())),
+        Some(deadline) => {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match reply.recv_timeout(wait) {
+                Ok(response) => response,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    rstudy_telemetry::counter("serve.timeouts", 1);
+                    timeout_response(id, state)
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    fail("internal error: worker exited".to_owned())
+                }
+            }
+        }
+    }
+}
+
+fn timeout_response(id: &Option<Value>, state: &ServerState) -> String {
+    degraded_response(
+        id,
+        "timeout",
+        &format!(
+            "deadline of {} ms exceeded; the analysis keeps running but its result is discarded",
+            state.config.timeout_ms.unwrap_or(0)
+        ),
+    )
+}
+
+/// Resolves the requested detector names to the canonical (sorted by run
+/// order, deduplicated) set, defaulting to the full suite.
+fn canonical_detectors(requested: Option<&[String]>) -> Result<Vec<String>, String> {
+    let known = DetectorSuite::all_detector_names();
+    match requested {
+        None => Ok(known.iter().map(|s| s.to_string()).collect()),
+        Some(names) => {
+            for n in names {
+                if !known.contains(&n.as_str()) {
+                    return Err(format!(
+                        "unknown detector `{n}` (valid: {})",
+                        known.join(", ")
+                    ));
+                }
+            }
+            Ok(known
+                .iter()
+                .filter(|k| names.iter().any(|n| n == **k))
+                .map(|s| s.to_string())
+                .collect())
+        }
+    }
+}
+
+fn ok_response(id: &Option<Value>, cached: bool, trace: Option<Value>, report: Value) -> String {
+    let findings = report
+        .get("diagnostics")
+        .and_then(|d| d.as_array())
+        .map_or(0, |a| a.len());
+    let mut b = ResponseBuilder::new(id, "ok")
+        .field("cached", Value::Bool(cached))
+        .field("findings", Value::UInt(findings as u64));
+    if let Some(trace) = trace {
+        b = b.field("trace", trace);
+    }
+    b.field("report", report).finish()
+}
+
+/// Per-request timing attached when `trace` is requested. Measured, hence
+/// non-deterministic; kept out of the report (and thus out of the cache).
+fn trace_value(started: Instant, phases: Option<(u64, u64)>) -> Value {
+    let mut entries = Vec::new();
+    if let Some((parse_ns, check_ns)) = phases {
+        entries.push(("parse_ns".to_owned(), Value::UInt(parse_ns)));
+        entries.push(("check_ns".to_owned(), Value::UInt(check_ns)));
+    }
+    entries.push((
+        "total_ns".to_owned(),
+        Value::UInt(started.elapsed().as_nanos() as u64),
+    ));
+    Value::Map(entries)
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+fn worker_loop(state: &ServerState) {
+    while let Some(job) = state.queue.pop() {
+        let _span = rstudy_telemetry::span("serve.worker");
+        let response = run_job(&job, state);
+        // The waiter may have timed out and gone; a dead channel is fine.
+        let _ = job.respond.send(response);
+    }
+}
+
+fn run_job(job: &Job, state: &ServerState) -> String {
+    let started = Instant::now();
+    if job.delay_ms > 0 {
+        std::thread::sleep(Duration::from_millis(job.delay_ms));
+    }
+    // A deadline that expired while the job sat in the queue (or slept)
+    // skips the analysis entirely — the waiter has already answered
+    // `timeout`, so running would only waste a worker.
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        return timeout_response(&job.id, state);
+    }
+
+    let fail = |msg: String| {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        rstudy_telemetry::counter("serve.errors", 1);
+        error_response(&job.id, &msg)
+    };
+
+    let t_parse = Instant::now();
+    let program = match parse_program(&job.program_text) {
+        Ok(p) => p,
+        Err(e) => return fail(format!("parse error: {e}")),
+    };
+    if let Err(errs) = validate_program(&program) {
+        return fail(format!("invalid program: {}", errs[0]));
+    }
+    let parse_ns = t_parse.elapsed().as_nanos() as u64;
+
+    let config = if job.naive {
+        DetectorConfig::naive()
+    } else {
+        DetectorConfig::new()
+    };
+    let suite = match DetectorSuite::with_only(&job.detectors) {
+        Ok(s) => s.with_jobs(job.jobs).with_config(config),
+        Err(e) => return fail(e),
+    };
+    let t_check = Instant::now();
+    let report = match catch_unwind(AssertUnwindSafe(|| suite.check_program(&program))) {
+        Ok(r) => r,
+        Err(_) => return fail("internal error: a detector panicked".to_owned()),
+    };
+    let check_ns = t_check.elapsed().as_nanos() as u64;
+
+    let report_value = report.to_value();
+    let report_json =
+        serde_json::to_string(&report_value).expect("report serialization cannot fail");
+    let _ = state.cache.put(job.key, &report_json);
+
+    state.stats.ok.fetch_add(1, Ordering::Relaxed);
+    ok_response(
+        &job.id,
+        false,
+        job.trace
+            .then(|| trace_value(started, Some((parse_ns, check_ns)))),
+        report_value,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLEAN: &str = "\
+fn main() -> int {
+    let _1 as x: int;
+
+    bb0: {
+        StorageLive(_1);
+        _1 = const 1;
+        _0 = _1;
+        StorageDead(_1);
+        return;
+    }
+}
+";
+
+    fn request(body: &str) -> String {
+        serde_json::to_string(&Value::Map(vec![
+            ("id".to_owned(), Value::Str("t".to_owned())),
+            ("program".to_owned(), Value::Str(body.to_owned())),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_stream_answers_and_drains_on_eof() {
+        let config = ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        };
+        let input = format!("{}\n{}\n", request(CLEAN), request(CLEAN));
+        let mut reader = io::Cursor::new(input.into_bytes());
+        let mut out = Vec::new();
+        serve_stream(config, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains(r#""status":"ok""#), "{}", lines[0]);
+        assert!(lines[0].contains(r#""cached":false"#), "{}", lines[0]);
+        // The second submission of the identical program hits the cache
+        // and embeds a byte-identical report object.
+        assert!(lines[1].contains(r#""cached":true"#), "{}", lines[1]);
+        let report = |line: &str| {
+            let v: Value = serde_json::from_str(line).unwrap();
+            serde_json::to_string(v.get("report").unwrap()).unwrap()
+        };
+        assert_eq!(report(lines[0]), report(lines[1]));
+    }
+
+    #[test]
+    fn serve_stream_survives_malformed_lines() {
+        let input = format!("garbage\n\n{}\n{{\"cmd\":\"stats\"}}\n", request(CLEAN));
+        let mut reader = io::Cursor::new(input.into_bytes());
+        let mut out = Vec::new();
+        serve_stream(ServeConfig::default(), &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains(r#""status":"error""#), "{}", lines[0]);
+        assert!(lines[1].contains(r#""status":"ok""#), "{}", lines[1]);
+        assert!(lines[2].contains(r#""status":"stats""#), "{}", lines[2]);
+        assert!(lines[2].contains(r#""errors":1"#), "{}", lines[2]);
+    }
+
+    #[test]
+    fn canonicalization_is_order_and_dup_insensitive() {
+        let a =
+            canonical_detectors(Some(&["double-lock".into(), "use-after-free".into()])).unwrap();
+        let b = canonical_detectors(Some(&[
+            "use-after-free".into(),
+            "double-lock".into(),
+            "double-lock".into(),
+        ]))
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, ["use-after-free", "double-lock"]);
+        assert!(canonical_detectors(Some(&["bogus".into()])).is_err());
+    }
+}

@@ -12,4 +12,5 @@ pub use rstudy_dataset as dataset;
 pub use rstudy_interp as interp;
 pub use rstudy_mir as mir;
 pub use rstudy_scan as scan;
+pub use rstudy_serve as serve;
 pub use rstudy_telemetry as telemetry;

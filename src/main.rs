@@ -1,12 +1,13 @@
 //! `rust-safety-study` — the command-line front end.
 //!
 //! ```text
-//! rust-safety-study check <file.mir> [--naive]     run the static detectors
+//! rust-safety-study check <file.mir> [--naive] [--json]   run the static detectors
 //! rust-safety-study run <file.mir> [--seed N]      execute on the checked interpreter
 //! rust-safety-study lint <file.mir>                IDE-style lints (implicit unlocks, …)
 //! rust-safety-study scan <path>...                 unsafe-usage scanner over .rs files
 //! rust-safety-study report [--json]                regenerate the study's tables/figures
 //! rust-safety-study corpus [name]                  list corpus entries / print one
+//! rust-safety-study serve [--port N] [--stdin]     long-running analysis service
 //! ```
 
 use std::path::Path;
@@ -59,6 +60,7 @@ fn main() -> ExitCode {
     };
     let code = match cmd.as_str() {
         "check" => cmd_check(&args[1..], jobs),
+        "serve" => cmd_serve(&mut args[1..].to_vec(), jobs),
         "run" => cmd_run(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
@@ -121,17 +123,27 @@ const USAGE: &str = "\
 rust-safety-study — static & dynamic Rust-safety tooling (PLDI 2020 reproduction)
 
 USAGE:
-  rust-safety-study check <file.mir> [--naive] [--trace]
+  rust-safety-study check <file.mir> [--naive] [--trace] [--json]
   rust-safety-study run <file.mir> [--seed N] [--max-steps N] [--trace]
   rust-safety-study lint <file.mir>              critical sections & hazards
   rust-safety-study scan <path>...               scan .rs files for unsafe usages
   rust-safety-study report [--json]              Tables 1-4, Figures 1-2, §4 stats
   rust-safety-study corpus [name]                list / print corpus programs
+  rust-safety-study serve [SERVE FLAGS]          long-running analysis service (NDJSON)
+
+SERVE FLAGS:
+  --port <N>            TCP port on 127.0.0.1 (default 0 = kernel-assigned; printed)
+  --stdin               serve one request per stdin line instead of TCP
+  --cache-dir <path>    persist the result cache on disk across restarts
+  --timeout-ms <N>      per-request deadline; exceeding it answers `timeout`
+  --workers <N>         analysis worker threads (default: all cores)
+  --queue-depth <N>     bounded queue capacity; overflow answers `overloaded` (default 64)
 
 GLOBAL FLAGS:
   --profile             print the telemetry span/counter tree after the command
   --metrics-json <path> write the full telemetry registry as JSON
-  --jobs <N>            worker threads for `check` (default: all cores; 1 = sequential)
+  --jobs <N>            worker threads for `check` / per-request default for `serve`
+                        (default: all cores; 1 = sequential; 0 is rejected)
   --trace               record (and print) per-step / per-detector trace events";
 
 fn load(path: &str) -> Result<Program, String> {
@@ -162,6 +174,17 @@ fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
         .with_config(config)
         .with_jobs(jobs)
         .check_program(&program);
+    if args.iter().any(|a| a == "--json") {
+        // The one-line machine-readable form — the same bytes the analysis
+        // service embeds under `"report"` for the same program.
+        let json = serde_json::to_string(&report).expect("report serialization cannot fail");
+        println!("{json}");
+        return if report.is_clean() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     print_trace_events();
     if report.is_clean() {
         println!("{path}: no findings");
@@ -172,6 +195,86 @@ fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
     }
     println!("{}: {} finding(s)", path, report.len());
     ExitCode::FAILURE
+}
+
+/// Parses and runs the `serve` subcommand. `default_jobs` is the global
+/// `--jobs` value (0 = auto), applied to requests that omit `jobs`.
+fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
+    use rust_safety_study::serve::{install_sigint_handler, serve_stream, ServeConfig, Server};
+
+    fn positive(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
+        match take_value(args, name)? {
+            None => Ok(None),
+            Some(s) => match s.parse::<u64>() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!("{name}: expected a positive integer, got `{s}`")),
+            },
+        }
+    }
+
+    let stdin_mode = take_flag(args, "--stdin");
+    let parsed = (|| {
+        let port = match take_value(args, "--port")? {
+            None => 0u16,
+            Some(s) => s
+                .parse::<u16>()
+                .map_err(|_| format!("--port: expected a port number, got `{s}`"))?,
+        };
+        let timeout_ms = positive(args, "--timeout-ms")?;
+        let workers = positive(args, "--workers")?.unwrap_or(0) as usize;
+        let queue_depth = positive(args, "--queue-depth")?.unwrap_or(64) as usize;
+        let cache_dir = take_value(args, "--cache-dir")?.map(std::path::PathBuf::from);
+        if let Some(stray) = args.first() {
+            return Err(format!("serve: unexpected argument `{stray}`"));
+        }
+        Ok((port, timeout_ms, workers, queue_depth, cache_dir))
+    })();
+    let (port, timeout_ms, workers, queue_depth, cache_dir) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = ServeConfig {
+        workers,
+        queue_depth,
+        timeout_ms,
+        cache_dir,
+        default_jobs,
+        ..ServeConfig::default()
+    };
+
+    let served = if stdin_mode {
+        serve_stream(
+            config,
+            &mut std::io::stdin().lock(),
+            &mut std::io::stdout().lock(),
+        )
+    } else {
+        install_sigint_handler();
+        match Server::bind(port, config) {
+            Ok(server) => match server.local_addr() {
+                Ok(addr) => {
+                    // The startup banner is machine-read (ci.sh greps the
+                    // ephemeral port out of it); keep the format stable.
+                    println!("rstudy-serve: listening on {addr}");
+                    use std::io::Write;
+                    let _ = std::io::stdout().flush();
+                    server.run()
+                }
+                Err(e) => Err(e),
+            },
+            Err(e) => Err(e),
+        }
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Prints the telemetry trace event log (used by `check --trace`).

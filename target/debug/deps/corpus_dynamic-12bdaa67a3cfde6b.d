@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_dynamic-12bdaa67a3cfde6b.d: tests/corpus_dynamic.rs
+
+/root/repo/target/debug/deps/corpus_dynamic-12bdaa67a3cfde6b: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpus_dynamic-7f9539f0bbc67b87.d: tests/corpus_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus_dynamic-7f9539f0bbc67b87.rmeta: tests/corpus_dynamic.rs Cargo.toml
+
+tests/corpus_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_static-b643f52a1b807454.d: tests/corpus_static.rs
+
+/root/repo/target/debug/deps/corpus_static-b643f52a1b807454: tests/corpus_static.rs
+
+tests/corpus_static.rs:

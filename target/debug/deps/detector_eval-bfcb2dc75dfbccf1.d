@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_eval-bfcb2dc75dfbccf1.d: tests/detector_eval.rs
+
+/root/repo/target/debug/deps/detector_eval-bfcb2dc75dfbccf1: tests/detector_eval.rs
+
+tests/detector_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a60d9cdc8d76fd61.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a60d9cdc8d76fd61: tests/failure_injection.rs
+
+tests/failure_injection.rs:

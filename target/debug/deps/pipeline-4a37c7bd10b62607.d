@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-4a37c7bd10b62607.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-4a37c7bd10b62607: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-b2d9846c6b0710db.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-b2d9846c6b0710db.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

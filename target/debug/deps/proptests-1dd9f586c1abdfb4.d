@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1dd9f586c1abdfb4.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1dd9f586c1abdfb4: tests/proptests.rs
+
+tests/proptests.rs:

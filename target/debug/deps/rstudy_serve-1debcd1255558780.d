@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rstudy_serve-1debcd1255558780.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_serve-1debcd1255558780.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

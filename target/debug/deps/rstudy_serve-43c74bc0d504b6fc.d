@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rstudy_serve-43c74bc0d504b6fc.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/librstudy_serve-43c74bc0d504b6fc.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/librstudy_serve-43c74bc0d504b6fc.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:

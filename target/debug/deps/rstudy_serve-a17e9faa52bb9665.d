@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rstudy_serve-a17e9faa52bb9665.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/librstudy_serve-a17e9faa52bb9665.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/librstudy_serve-a17e9faa52bb9665.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_serve-a428c2fdad128228.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/rstudy_serve-a428c2fdad128228: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-220dbfaa210757db.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-220dbfaa210757db: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-4bbd1f502418274b.d: src/lib.rs
+
+/root/repo/target/debug/deps/rust_safety_study-4bbd1f502418274b: src/lib.rs
+
+src/lib.rs:

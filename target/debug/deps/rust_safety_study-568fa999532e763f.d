@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-568fa999532e763f.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-568fa999532e763f: src/main.rs
+
+src/main.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rust_safety_study-7745f44d84610dd2.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-7745f44d84610dd2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-7745f44d84610dd2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rust_safety_study-8a88db99c65719c6.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-8a88db99c65719c6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-8a88db99c65719c6.rmeta: src/lib.rs
+
+src/lib.rs:

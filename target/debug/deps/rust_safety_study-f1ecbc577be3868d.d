@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-f1ecbc577be3868d.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-f1ecbc577be3868d: src/main.rs
+
+src/main.rs:

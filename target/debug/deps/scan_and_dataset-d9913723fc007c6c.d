@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_and_dataset-d9913723fc007c6c.d: tests/scan_and_dataset.rs
+
+/root/repo/target/debug/deps/scan_and_dataset-d9913723fc007c6c: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_exploration-d8b1d1418ca6ae06.d: tests/schedule_exploration.rs
+
+/root/repo/target/debug/deps/schedule_exploration-d8b1d1418ca6ae06: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_parallel-f5624ecf35bf37f0.d: tests/suite_parallel.rs
+
+/root/repo/target/debug/deps/suite_parallel-f5624ecf35bf37f0: tests/suite_parallel.rs
+
+tests/suite_parallel.rs:

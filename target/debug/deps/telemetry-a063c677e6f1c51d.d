@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/telemetry-a063c677e6f1c51d.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-a063c677e6f1c51d: tests/telemetry.rs
+
+tests/telemetry.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/debug/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-4c4636847cadbe86.d: tests/transforms.rs
+
+/root/repo/target/debug/deps/transforms-4c4636847cadbe86: tests/transforms.rs
+
+tests/transforms.rs:

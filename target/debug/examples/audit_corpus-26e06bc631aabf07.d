@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_corpus-26e06bc631aabf07.d: examples/audit_corpus.rs
+
+/root/repo/target/debug/examples/audit_corpus-26e06bc631aabf07: examples/audit_corpus.rs
+
+examples/audit_corpus.rs:

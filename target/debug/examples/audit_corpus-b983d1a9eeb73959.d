@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_corpus-b983d1a9eeb73959.d: examples/audit_corpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_corpus-b983d1a9eeb73959.rmeta: examples/audit_corpus.rs Cargo.toml
+
+examples/audit_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

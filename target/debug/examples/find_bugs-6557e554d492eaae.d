@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/find_bugs-6557e554d492eaae.d: examples/find_bugs.rs
+
+/root/repo/target/debug/examples/find_bugs-6557e554d492eaae: examples/find_bugs.rs
+
+examples/find_bugs.rs:

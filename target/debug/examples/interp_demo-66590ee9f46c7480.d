@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interp_demo-66590ee9f46c7480.d: examples/interp_demo.rs
+
+/root/repo/target/debug/examples/interp_demo-66590ee9f46c7480: examples/interp_demo.rs
+
+examples/interp_demo.rs:

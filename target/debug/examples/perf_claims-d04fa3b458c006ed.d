@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_claims-d04fa3b458c006ed.d: examples/perf_claims.rs
+
+/root/repo/target/debug/examples/perf_claims-d04fa3b458c006ed: examples/perf_claims.rs
+
+examples/perf_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-29185ff1a20fbf8b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-29185ff1a20fbf8b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_unsafe-20be8ae14d16a6d0.d: examples/scan_unsafe.rs
+
+/root/repo/target/debug/examples/scan_unsafe-20be8ae14d16a6d0: examples/scan_unsafe.rs
+
+examples/scan_unsafe.rs:

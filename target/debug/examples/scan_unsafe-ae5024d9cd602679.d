@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scan_unsafe-ae5024d9cd602679.d: examples/scan_unsafe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscan_unsafe-ae5024d9cd602679.rmeta: examples/scan_unsafe.rs Cargo.toml
+
+examples/scan_unsafe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/study_report-bfc4352d696c1875.d: examples/study_report.rs
+
+/root/repo/target/debug/examples/study_report-bfc4352d696c1875: examples/study_report.rs
+
+examples/study_report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rstudy_serve-f01b3805cc49128d.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/librstudy_serve-f01b3805cc49128d.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/librstudy_serve-f01b3805cc49128d.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rust_safety_study-5eff8c5b3113c0f7.d: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-5eff8c5b3113c0f7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-5eff8c5b3113c0f7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-dc2c10beaba8f09b.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-dc2c10beaba8f09b: src/main.rs
+
+src/main.rs:

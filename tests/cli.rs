@@ -221,3 +221,47 @@ fn invalid_jobs_values_are_usage_errors() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("--jobs: missing value"), "{stderr}");
 }
+
+#[test]
+fn check_json_is_deterministic_and_machine_readable() {
+    let run = || {
+        bin()
+            .args(["check", &mir_path("serve_smoke_buggy.mir"), "--json"])
+            .output()
+            .expect("binary runs")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.status.code(), Some(1), "findings keep the failure exit");
+    assert_eq!(a.stdout, b.stdout, "JSON report must be deterministic");
+    let text = String::from_utf8(a.stdout).unwrap();
+    assert!(text.starts_with("{\"diagnostics\":["), "{text}");
+    assert!(text.contains("use-after-free"), "{text}");
+    assert_eq!(text.lines().count(), 1, "one compact line: {text}");
+}
+
+#[test]
+fn check_json_on_a_clean_program_succeeds_with_empty_diagnostics() {
+    let out = bin()
+        .args(["check", &mir_path("serve_smoke_clean.mir"), "--json"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(text.trim(), "{\"diagnostics\":[]}");
+}
+
+#[test]
+fn serve_flag_validation_is_a_usage_error() {
+    // `--jobs 0` is rejected for serve exactly as for check.
+    for args in [
+        &["serve", "--jobs", "0"][..],
+        &["serve", "--port", "notaport"][..],
+        &["serve", "--timeout-ms", "0"][..],
+        &["serve", "--queue-depth", "0"][..],
+        &["serve", "--workers", "0"][..],
+        &["serve", "stray-arg"][..],
+    ] {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
