@@ -74,7 +74,21 @@ smoke malformed '{"id":"malformed","path":"examples/mir/serve_smoke_malformed.mi
     '"status":"error"' 'parse error'
 smoke repeat '{"id":"repeat","path":"examples/mir/serve_smoke_clean.mir"}' \
     '"status":"ok"' '"cached":true'
-smoke stats '{"id":"s","cmd":"stats"}' '"cache_hits":1'
+smoke stats '{"id":"s","cmd":"stats"}' '"cache_hits":1' '"uptime_ms"' '"inflight":0'
+smoke timing '{"id":"t","path":"examples/mir/serve_smoke_clean.mir"}' \
+    '"queue_ns"' '"analysis_ns"' '"trace_id"'
+smoke metrics '{"id":"m","cmd":"metrics"}' '"status":"metrics"' '"p50"' '"hit_ratio"'
+
+echo "== loadgen benchmark baselines =="
+# Replay 50 corpus requests against the already-running server and
+# regenerate the committed BENCH_*.json baselines. loadgen exits non-zero
+# if any request failed, so the `set -e` above is the assertion.
+"$BIN" loadgen --requests 50 --connections 4 --addr "127.0.0.1:$PORT" \
+    --out BENCH_serve.json --suite-out BENCH_suite.json
+grep -q '"schema": "rstudy-bench-serve/v1"' BENCH_serve.json
+grep -q '"errors": 0' BENCH_serve.json
+grep -q '"schema": "rstudy-bench-suite/v1"' BENCH_suite.json
+
 smoke shutdown '{"id":"bye","cmd":"shutdown"}' '"status":"shutdown"'
 exec 3<&- 3>&-
 if ! wait "$SERVE_PID"; then

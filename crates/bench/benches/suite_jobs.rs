@@ -1,0 +1,62 @@
+//! SUITE-JOBS — detector-suite scaling over worker counts, the bench-side
+//! twin of `rstudy loadgen --suite-out` (BENCH_suite.json): full-corpus
+//! suite wall time at `jobs = 1, 2, all-cores`, plus the fixpoint
+//! iteration counts the analyses burned, harvested from the telemetry
+//! `*.iterations` histograms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rstudy_core::suite::DetectorSuite;
+use rstudy_corpus::all_entries;
+
+fn print_fixpoint_once() {
+    rstudy_telemetry::enable();
+    let before = rstudy_telemetry::snapshot();
+    let suite = DetectorSuite::new().with_jobs(1);
+    for e in all_entries() {
+        let _ = suite.check_program(&e.program());
+    }
+    let after = rstudy_telemetry::snapshot();
+
+    println!("\n== suite fixpoint iterations (full corpus, jobs=1) ==");
+    for (name, h) in &after.histograms {
+        if !name.ends_with(".iterations") {
+            continue;
+        }
+        let (prev_count, prev_sum) = before
+            .histograms
+            .get(name)
+            .map_or((0, 0), |p| (p.count, p.sum));
+        let count = h.count.saturating_sub(prev_count);
+        let sum = h.sum.saturating_sub(prev_sum);
+        if count > 0 {
+            println!("{name}: {count} solves, {sum} iterations");
+        }
+    }
+}
+
+fn bench_suite_jobs(c: &mut Criterion) {
+    print_fixpoint_once();
+
+    let programs: Vec<_> = all_entries().iter().map(|e| e.program()).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs_list = vec![1, 2, cores];
+    jobs_list.dedup();
+
+    let mut group = c.benchmark_group("suite_jobs");
+    for jobs in jobs_list {
+        let suite = DetectorSuite::new().with_jobs(jobs);
+        group.bench_function(format!("full_corpus_jobs{jobs}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for p in &programs {
+                    total += suite.check_program(black_box(p)).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suite_jobs);
+criterion_main!(benches);

@@ -273,6 +273,7 @@ impl DetectorSuite {
 
         // Drain the slots in suite order and attribute the measured time to
         // the span-tree position a sequential run would have used.
+        let _merge = rstudy_telemetry::span("suite.merge");
         let mut diagnostics = Vec::new();
         for (di, d) in self.detectors.iter().enumerate() {
             let name = d.name();

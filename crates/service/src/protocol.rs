@@ -10,10 +10,12 @@
 //! {"id": "r1", "program": "fn main() -> int { ... }"}
 //! {"id": "r2", "path": "examples/mir/serve_smoke_clean.mir", "detectors": ["use-after-free"]}
 //! {"cmd": "stats"}
+//! {"cmd": "metrics"}
 //! {"cmd": "shutdown"}
 //! ```
 //!
-//! * `cmd` — `"check"` (the default), `"stats"`, or `"shutdown"`.
+//! * `cmd` — `"check"` (the default), `"stats"`, `"metrics"`, or
+//!   `"shutdown"`.
 //! * `id` — any JSON value; echoed verbatim in the response so pipelined
 //!   clients can correlate.
 //! * `program` / `path` — the MIR source text, or a file to read it from.
@@ -35,12 +37,37 @@
 //! # Responses
 //!
 //! Every response carries a `status`: `ok`, `error`, `timeout`,
-//! `overloaded`, `stats`, or `shutdown`. `ok` responses embed the report
-//! under `"report"` — byte-identical to `check --json` output for the same
-//! program — plus `"cached"` saying whether the result came from the
-//! content-hash cache. Degraded statuses (`error`, `timeout`,
+//! `overloaded`, `stats`, `metrics`, or `shutdown`. `ok` responses embed
+//! the report under `"report"` — byte-identical to `check --json` output
+//! for the same program — plus `"cached"` saying whether the result came
+//! from the content-hash cache. Degraded statuses (`error`, `timeout`,
 //! `overloaded`) carry a human-readable `"error"` and never terminate the
 //! connection, let alone the server.
+//!
+//! # Request observability
+//!
+//! Every `check` is assigned a server-unique `trace_id` (a monotonically
+//! increasing integer), echoed in `ok`, `timeout`, and `overloaded`
+//! responses and threaded through the telemetry trace log, so one request
+//! can be followed from queue admission to response serialization. `ok`
+//! responses additionally carry a `"timing"` object with per-stage
+//! wall-clock fields:
+//!
+//! * `queue_ns` — time the job waited in the bounded queue (0 on a cache
+//!   hit: hits never queue);
+//! * `analysis_ns` — parse + validate + detector-suite time (0 on a cache
+//!   hit);
+//! * `total_ns` — request admission to response construction;
+//! * `cache` — `"hit"` or `"miss"`.
+//!
+//! Timings are measured, hence non-deterministic; like the `trace` field
+//! they live *outside* `"report"`, which stays byte-identical to
+//! `check --json` (and to itself across tracing on/off).
+//!
+//! `stats` reports the service counters plus `uptime_ms`, `queue_depth`,
+//! and `inflight`; `metrics` adds cache hit ratios and
+//! p50/p90/p99 request-latency quantiles estimated from power-of-two
+//! histograms.
 
 use serde::Value;
 use serde_json::to_string;
@@ -78,6 +105,9 @@ pub enum Command {
     Check(CheckRequest),
     /// Report service counters.
     Stats,
+    /// Report service metrics: uptime, queue depth, in-flight count, cache
+    /// hit ratios, and request-latency quantiles.
+    Metrics,
     /// Begin graceful shutdown: drain in-flight work, flush, exit.
     Shutdown,
 }
@@ -164,10 +194,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             id,
             command: Command::Stats,
         }),
+        "metrics" => Ok(Request {
+            id,
+            command: Command::Metrics,
+        }),
         "check" => parse_check(&value, id),
         other => Err(RequestError::new(
             id,
-            format!("unknown cmd `{other}` (known: check, stats, shutdown)"),
+            format!("unknown cmd `{other}` (known: check, stats, metrics, shutdown)"),
         )),
     }
 }
@@ -386,6 +420,12 @@ mod tests {
                 .unwrap()
                 .command,
             Command::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics","id":"m"}"#)
+                .unwrap()
+                .command,
+            Command::Metrics
         );
     }
 

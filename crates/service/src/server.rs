@@ -30,12 +30,12 @@ use rstudy_core::config::DetectorConfig;
 use rstudy_core::suite::DetectorSuite;
 use rstudy_mir::parse::parse_program;
 use rstudy_mir::validate::validate_program;
+use rstudy_telemetry::{HistogramSnapshot, LocalHistogram};
 use serde::{Serialize, Value};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{
-    degraded_response, error_response, parse_request, CheckRequest, Command, ProgramSource,
-    ResponseBuilder,
+    error_response, parse_request, CheckRequest, Command, ProgramSource, ResponseBuilder,
 };
 use crate::queue::{JobQueue, PushError};
 
@@ -88,6 +88,9 @@ struct ServeStats {
 /// worker pool. The reply channel carries the finished response line.
 struct Job {
     id: Option<Value>,
+    /// Server-unique request trace id, echoed in the response and threaded
+    /// through the telemetry trace log.
+    trace_id: u64,
     program_text: String,
     /// Canonicalized detector set (validated, canonical order).
     detectors: Vec<String>,
@@ -96,6 +99,10 @@ struct Job {
     trace: bool,
     delay_ms: u64,
     key: CacheKey,
+    /// When the connection handler admitted the request (starts `total_ns`).
+    accepted_at: Instant,
+    /// When the job entered the bounded queue (starts `queue_ns`).
+    enqueued_at: Instant,
     deadline: Option<Instant>,
     respond: mpsc::Sender<String>,
 }
@@ -106,6 +113,21 @@ struct ServerState {
     cache: ResultCache,
     stats: ServeStats,
     shutdown: AtomicBool,
+    /// When the server state was created; `stats`/`metrics` report the
+    /// elapsed time as `uptime_ms`.
+    started: Instant,
+    /// Check requests currently between admission and response.
+    inflight: AtomicU64,
+    /// Source of per-request trace ids (first request gets 1).
+    next_trace_id: AtomicU64,
+    /// Request latency (admission → response built), nanoseconds. Always
+    /// recorded — the `metrics` command must answer even when global
+    /// telemetry is off.
+    latency_ns: LocalHistogram,
+    /// Time jobs waited in the bounded queue, nanoseconds.
+    queue_ns: LocalHistogram,
+    /// Parse + validate + detector-suite time, nanoseconds.
+    analysis_ns: LocalHistogram,
 }
 
 impl ServerState {
@@ -119,12 +141,20 @@ impl ServerState {
         rstudy_telemetry::declare_counter("serve.errors");
         rstudy_telemetry::declare_histogram("serve.queue_depth");
         rstudy_telemetry::declare_histogram("serve.request_ns");
+        rstudy_telemetry::declare_histogram("serve.queue_ns");
+        rstudy_telemetry::declare_histogram("serve.analysis_ns");
         Ok(ServerState {
             queue: JobQueue::new(config.queue_depth),
             cache,
             config,
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            inflight: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(0),
+            latency_ns: LocalHistogram::new(),
+            queue_ns: LocalHistogram::new(),
+            analysis_ns: LocalHistogram::new(),
         })
     }
 
@@ -376,6 +406,7 @@ fn handle_line(line: &str, state: &ServerState) -> String {
             ResponseBuilder::new(&request.id, "shutdown").finish()
         }
         Command::Stats => stats_response(&request.id, state),
+        Command::Metrics => metrics_response(&request.id, state),
         Command::Check(check) => handle_check(&request.id, check, state),
     }
 }
@@ -404,6 +435,11 @@ fn stats_response(id: &Option<Value>, state: &ServerState) -> String {
             "queue_depth".into(),
             Value::UInt(state.queue.depth() as u64),
         ),
+        ("inflight".into(), count(&state.inflight)),
+        (
+            "uptime_ms".into(),
+            Value::UInt(state.started.elapsed().as_millis() as u64),
+        ),
         (
             "workers".into(),
             Value::UInt(state.effective_workers() as u64),
@@ -414,21 +450,103 @@ fn stats_response(id: &Option<Value>, state: &ServerState) -> String {
         .finish()
 }
 
+/// The `metrics` response: everything `stats` reports, plus cache hit
+/// ratios and p50/p90/p99 latency quantiles estimated from the service's
+/// always-on power-of-two histograms.
+fn metrics_response(id: &Option<Value>, state: &ServerState) -> String {
+    let cache = &state.cache.stats;
+    let hits = cache.mem_hits.load(Ordering::Relaxed) + cache.disk_hits.load(Ordering::Relaxed);
+    let misses = cache.misses.load(Ordering::Relaxed);
+    let lookups = hits + misses;
+    let hit_ratio = if lookups == 0 {
+        0.0
+    } else {
+        hits as f64 / lookups as f64
+    };
+    let metrics = Value::Map(vec![
+        (
+            "uptime_ms".into(),
+            Value::UInt(state.started.elapsed().as_millis() as u64),
+        ),
+        (
+            "queue_depth".into(),
+            Value::UInt(state.queue.depth() as u64),
+        ),
+        ("inflight".into(), count(&state.inflight)),
+        (
+            "workers".into(),
+            Value::UInt(state.effective_workers() as u64),
+        ),
+        ("requests".into(), count(&state.stats.requests)),
+        ("ok".into(), count(&state.stats.ok)),
+        ("errors".into(), count(&state.stats.errors)),
+        ("timeouts".into(), count(&state.stats.timeouts)),
+        ("overloaded".into(), count(&state.stats.overloaded)),
+        (
+            "cache".into(),
+            Value::Map(vec![
+                ("hits".into(), Value::UInt(hits)),
+                ("mem_hits".into(), count(&cache.mem_hits)),
+                ("disk_hits".into(), count(&cache.disk_hits)),
+                ("misses".into(), Value::UInt(misses)),
+                ("hit_ratio".into(), Value::Float(hit_ratio)),
+                (
+                    "mem_entries".into(),
+                    Value::UInt(state.cache.mem_len() as u64),
+                ),
+            ]),
+        ),
+        ("latency_ns".into(), histogram_value(&state.latency_ns)),
+        ("queue_ns".into(), histogram_value(&state.queue_ns)),
+        ("analysis_ns".into(), histogram_value(&state.analysis_ns)),
+    ]);
+    ResponseBuilder::new(id, "metrics")
+        .field("metrics", metrics)
+        .finish()
+}
+
+/// Summarizes one histogram as `{count, min, mean, max, p50, p90, p99}`.
+fn histogram_value(hist: &LocalHistogram) -> Value {
+    histogram_summary(&hist.snapshot())
+}
+
+/// The JSON summary shape shared by `metrics` responses and the loadgen
+/// BENCH files.
+pub(crate) fn histogram_summary(snap: &HistogramSnapshot) -> Value {
+    Value::Map(vec![
+        ("count".into(), Value::UInt(snap.count)),
+        ("min".into(), Value::UInt(snap.min)),
+        ("mean".into(), Value::UInt(snap.mean())),
+        ("max".into(), Value::UInt(snap.max)),
+        ("p50".into(), Value::UInt(snap.p50())),
+        ("p90".into(), Value::UInt(snap.p90())),
+        ("p99".into(), Value::UInt(snap.p99())),
+    ])
+}
+
 fn count(a: &AtomicU64) -> Value {
     Value::UInt(a.load(Ordering::Relaxed))
 }
 
 fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) -> String {
     let started = Instant::now();
+    let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
+    state.inflight.fetch_add(1, Ordering::Relaxed);
     rstudy_telemetry::counter("serve.requests", 1);
-    let response = handle_check_inner(id, check, state, started);
-    rstudy_telemetry::record("serve.request_ns", started.elapsed().as_nanos() as u64);
+    rstudy_telemetry::trace(|| format!("serve: request {trace_id} admitted"));
+    let response = handle_check_inner(id, trace_id, check, state, started);
+    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    state.latency_ns.record(elapsed_ns);
+    state.inflight.fetch_sub(1, Ordering::Relaxed);
+    rstudy_telemetry::record("serve.request_ns", elapsed_ns);
+    rstudy_telemetry::trace(|| format!("serve: request {trace_id} answered in {elapsed_ns} ns"));
     response
 }
 
 fn handle_check_inner(
     id: &Option<Value>,
+    trace_id: u64,
     check: CheckRequest,
     state: &ServerState,
     started: Instant,
@@ -455,10 +573,17 @@ fn handle_check_inner(
     if let Some(report_json) = state.cache.get(key) {
         if let Ok(report) = serde_json::from_str::<Value>(&report_json) {
             rstudy_telemetry::counter("serve.cache.hits", 1);
+            rstudy_telemetry::trace(|| format!("serve: request {trace_id} cache hit"));
             state.stats.ok.fetch_add(1, Ordering::Relaxed);
             return ok_response(
                 id,
-                true,
+                trace_id,
+                Timing {
+                    queue_ns: 0,
+                    analysis_ns: 0,
+                    total_ns: started.elapsed().as_nanos() as u64,
+                    cached: true,
+                },
                 check.trace.then(|| trace_value(started, None)),
                 report,
             );
@@ -466,6 +591,7 @@ fn handle_check_inner(
         // A torn or corrupt cache entry degrades to a recompute.
     }
     rstudy_telemetry::counter("serve.cache.misses", 1);
+    rstudy_telemetry::trace(|| format!("serve: request {trace_id} cache miss"));
 
     let deadline = state
         .config
@@ -474,6 +600,7 @@ fn handle_check_inner(
     let (respond, reply) = mpsc::channel();
     let job = Job {
         id: id.clone(),
+        trace_id,
         program_text,
         detectors,
         jobs: check.jobs.unwrap_or(state.config.default_jobs),
@@ -481,16 +608,25 @@ fn handle_check_inner(
         trace: check.trace,
         delay_ms: check.delay_ms,
         key,
+        accepted_at: started,
+        enqueued_at: Instant::now(),
         deadline,
         respond,
     };
     match state.queue.push(job) {
-        Ok(depth) => rstudy_telemetry::record("serve.queue_depth", depth as u64),
+        Ok(depth) => {
+            rstudy_telemetry::record("serve.queue_depth", depth as u64);
+            rstudy_telemetry::trace(|| {
+                format!("serve: request {trace_id} enqueued at depth {depth}")
+            });
+        }
         Err(PushError::Full) => {
             state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
             rstudy_telemetry::counter("serve.overloaded", 1);
-            return degraded_response(
+            rstudy_telemetry::trace(|| format!("serve: request {trace_id} shed (queue full)"));
+            return degraded_response_traced(
                 id,
+                trace_id,
                 "overloaded",
                 &format!(
                     "queue full ({} pending analyses); retry later",
@@ -512,7 +648,7 @@ fn handle_check_inner(
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                     rstudy_telemetry::counter("serve.timeouts", 1);
-                    timeout_response(id, state)
+                    timeout_response(id, trace_id, state)
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     fail("internal error: worker exited".to_owned())
@@ -522,15 +658,30 @@ fn handle_check_inner(
     }
 }
 
-fn timeout_response(id: &Option<Value>, state: &ServerState) -> String {
-    degraded_response(
+fn timeout_response(id: &Option<Value>, trace_id: u64, state: &ServerState) -> String {
+    degraded_response_traced(
         id,
+        trace_id,
         "timeout",
         &format!(
             "deadline of {} ms exceeded; the analysis keeps running but its result is discarded",
             state.config.timeout_ms.unwrap_or(0)
         ),
     )
+}
+
+/// A degraded response that still carries the request's `trace_id`, so shed
+/// and timed-out requests remain correlatable in logs and traces.
+fn degraded_response_traced(
+    id: &Option<Value>,
+    trace_id: u64,
+    status: &str,
+    message: &str,
+) -> String {
+    ResponseBuilder::new(id, status)
+        .field("trace_id", Value::UInt(trace_id))
+        .field("error", Value::Str(message.to_owned()))
+        .finish()
 }
 
 /// Resolves the requested detector names to the canonical (sorted by run
@@ -557,14 +708,46 @@ fn canonical_detectors(requested: Option<&[String]>) -> Result<Vec<String>, Stri
     }
 }
 
-fn ok_response(id: &Option<Value>, cached: bool, trace: Option<Value>, report: Value) -> String {
+/// Per-stage timings measured for one request. Embedded in every `ok`
+/// response as the `timing` object — outside `report`, so the cached
+/// report bytes stay deterministic.
+struct Timing {
+    queue_ns: u64,
+    analysis_ns: u64,
+    total_ns: u64,
+    cached: bool,
+}
+
+impl Timing {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("queue_ns".to_owned(), Value::UInt(self.queue_ns)),
+            ("analysis_ns".to_owned(), Value::UInt(self.analysis_ns)),
+            ("total_ns".to_owned(), Value::UInt(self.total_ns)),
+            (
+                "cache".to_owned(),
+                Value::Str(if self.cached { "hit" } else { "miss" }.to_owned()),
+            ),
+        ])
+    }
+}
+
+fn ok_response(
+    id: &Option<Value>,
+    trace_id: u64,
+    timing: Timing,
+    trace: Option<Value>,
+    report: Value,
+) -> String {
     let findings = report
         .get("diagnostics")
         .and_then(|d| d.as_array())
         .map_or(0, |a| a.len());
     let mut b = ResponseBuilder::new(id, "ok")
-        .field("cached", Value::Bool(cached))
-        .field("findings", Value::UInt(findings as u64));
+        .field("trace_id", Value::UInt(trace_id))
+        .field("cached", Value::Bool(timing.cached))
+        .field("findings", Value::UInt(findings as u64))
+        .field("timing", timing.to_value());
     if let Some(trace) = trace {
         b = b.field("trace", trace);
     }
@@ -601,6 +784,16 @@ fn worker_loop(state: &ServerState) {
 
 fn run_job(job: &Job, state: &ServerState) -> String {
     let started = Instant::now();
+    let queue_ns = job.enqueued_at.elapsed().as_nanos() as u64;
+    state.queue_ns.record(queue_ns);
+    rstudy_telemetry::record("serve.queue_ns", queue_ns);
+    let _req_span = rstudy_telemetry::span("serve.request");
+    rstudy_telemetry::trace(|| {
+        format!(
+            "serve: request {} dequeued after {queue_ns} ns",
+            job.trace_id
+        )
+    });
     if job.delay_ms > 0 {
         std::thread::sleep(Duration::from_millis(job.delay_ms));
     }
@@ -608,7 +801,7 @@ fn run_job(job: &Job, state: &ServerState) -> String {
     // skips the analysis entirely — the waiter has already answered
     // `timeout`, so running would only waste a worker.
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
-        return timeout_response(&job.id, state);
+        return timeout_response(&job.id, job.trace_id, state);
     }
 
     let fail = |msg: String| {
@@ -618,9 +811,12 @@ fn run_job(job: &Job, state: &ServerState) -> String {
     };
 
     let t_parse = Instant::now();
-    let program = match parse_program(&job.program_text) {
-        Ok(p) => p,
-        Err(e) => return fail(format!("parse error: {e}")),
+    let program = {
+        let _span = rstudy_telemetry::span("serve.parse");
+        match parse_program(&job.program_text) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("parse error: {e}")),
+        }
     };
     if let Err(errs) = validate_program(&program) {
         return fail(format!("invalid program: {}", errs[0]));
@@ -637,11 +833,17 @@ fn run_job(job: &Job, state: &ServerState) -> String {
         Err(e) => return fail(e),
     };
     let t_check = Instant::now();
-    let report = match catch_unwind(AssertUnwindSafe(|| suite.check_program(&program))) {
-        Ok(r) => r,
-        Err(_) => return fail("internal error: a detector panicked".to_owned()),
+    let report = {
+        let _span = rstudy_telemetry::span("serve.check");
+        match catch_unwind(AssertUnwindSafe(|| suite.check_program(&program))) {
+            Ok(r) => r,
+            Err(_) => return fail("internal error: a detector panicked".to_owned()),
+        }
     };
     let check_ns = t_check.elapsed().as_nanos() as u64;
+    let analysis_ns = parse_ns + check_ns;
+    state.analysis_ns.record(analysis_ns);
+    rstudy_telemetry::record("serve.analysis_ns", analysis_ns);
 
     let report_value = report.to_value();
     let report_json =
@@ -651,7 +853,13 @@ fn run_job(job: &Job, state: &ServerState) -> String {
     state.stats.ok.fetch_add(1, Ordering::Relaxed);
     ok_response(
         &job.id,
-        false,
+        job.trace_id,
+        Timing {
+            queue_ns,
+            analysis_ns,
+            total_ns: job.accepted_at.elapsed().as_nanos() as u64,
+            cached: false,
+        },
         job.trace
             .then(|| trace_value(started, Some((parse_ns, check_ns)))),
         report_value,

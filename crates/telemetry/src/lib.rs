@@ -35,7 +35,7 @@
 mod registry;
 mod snapshot;
 
-pub use registry::{SpanGuard, TraceEvent};
+pub use registry::{LocalHistogram, SpanGuard, TraceEvent};
 pub use snapshot::{HistogramSnapshot, Snapshot, SpanNode};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -190,6 +190,16 @@ pub fn render_profile() -> String {
 /// `--metrics-json` payload).
 pub fn to_json() -> String {
     serde_json::to_string_pretty(&snapshot()).expect("metrics serialization cannot fail")
+}
+
+/// Serializes the span-event log gathered while tracing was on as a Chrome
+/// trace-event JSON array (the `--trace-out` payload): one `B`/`E` pair per
+/// span closing, one `i` event per trace message, with microsecond
+/// timestamps and per-thread lanes. The file opens directly in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json() -> String {
+    let (events, _dropped) = registry::span_events();
+    snapshot::chrome_trace(&events)
 }
 
 #[cfg(test)]
@@ -454,6 +464,169 @@ mod tests {
         // Re-declaring never clobbers an accumulated value.
         declare_counter("serve.requests");
         assert_eq!(snapshot().counters["serve.requests"], 3);
+    }
+
+    #[test]
+    fn zero_sample_histogram_quantiles_are_zero() {
+        let h = LocalHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.quantile(0.0), 0);
+        assert_eq!(snap.quantile(1.0), 0);
+        assert_eq!(snap.mean(), 0);
+    }
+
+    #[test]
+    fn one_shot_histogram_quantiles_answer_the_observation() {
+        // A single sample lands in one bucket; min==max clamps the bucket
+        // midpoint to exactly the observed value.
+        for v in [0u64, 1, 7, 900, u64::MAX] {
+            let h = LocalHistogram::new();
+            h.record(v);
+            let snap = h.snapshot();
+            assert_eq!(snap.p50(), v, "p50 of one-shot {v}");
+            assert_eq!(snap.p99(), v, "p99 of one-shot {v}");
+        }
+    }
+
+    #[test]
+    fn saturated_single_bucket_histogram_stays_within_bounds() {
+        // Many samples, all in the `le=1023` bucket (values 512..=1023).
+        let h = LocalHistogram::new();
+        for i in 0..1000u64 {
+            h.record(512 + (i % 512));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets.len(), 1, "expected a single bucket");
+        let mid = snap.p50();
+        assert!((512..=1023).contains(&mid), "p50 {mid} left the bucket");
+        assert_eq!(snap.p50(), snap.p99(), "one bucket -> one estimate");
+        assert!(snap.p99() >= snap.min && snap.p99() <= snap.max);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_across_buckets() {
+        let h = LocalHistogram::new();
+        for _ in 0..89 {
+            h.record(10); // le=15 bucket holds ranks 1..=89
+        }
+        for _ in 0..9 {
+            h.record(1000); // le=1023 bucket holds ranks 90..=98
+        }
+        for _ in 0..2 {
+            h.record(1_000_000); // le=2^20-1 bucket holds ranks 99..=100
+        }
+        let snap = h.snapshot();
+        let (p50, p90, p99) = (snap.p50(), snap.p90(), snap.p99());
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!((8..=15).contains(&p50), "p50 {p50} should sit in 8..=15");
+        assert!(
+            (512..=1023).contains(&p90),
+            "p90 {p90} should sit in 512..=1023"
+        );
+        assert!(p99 >= 524_288, "p99 {p99} should reach the top bucket");
+        // The global-registry path produces the same estimates.
+        let _lock = fresh();
+        for _ in 0..89 {
+            record("quant", 10);
+        }
+        for _ in 0..9 {
+            record("quant", 1000);
+        }
+        for _ in 0..2 {
+            record("quant", 1_000_000);
+        }
+        let g = &snapshot().histograms["quant"];
+        assert_eq!((g.p50(), g.p90(), g.p99()), (p50, p90, p99));
+    }
+
+    #[test]
+    fn local_histogram_counts_across_threads() {
+        let h = LocalHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..100 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 400);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 400);
+        assert_eq!(snap.buckets.iter().map(|b| b.count).sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn chrome_trace_has_balanced_b_e_pairs_and_instants() {
+        let _lock = fresh();
+        set_tracing(true);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            trace(|| String::from("marker"));
+        }
+        set_tracing(false);
+        let json = chrome_trace_json();
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        let events = v.as_array().expect("chrome trace is a JSON array");
+        let ph = |e: &serde::Value| {
+            e.get("ph")
+                .and_then(serde::Value::as_str)
+                .unwrap()
+                .to_owned()
+        };
+        let begins = events.iter().filter(|e| ph(e) == "B").count();
+        let ends = events.iter().filter(|e| ph(e) == "E").count();
+        let instants = events.iter().filter(|e| ph(e) == "i").count();
+        assert_eq!(begins, 2, "{json}");
+        assert_eq!(ends, 2, "{json}");
+        assert_eq!(instants, 1, "{json}");
+        for e in events {
+            assert!(e.get("name").and_then(serde::Value::as_str).is_some());
+            assert!(e.get("ts").and_then(serde::Value::as_u64).is_some());
+            assert!(e.get("tid").and_then(serde::Value::as_u64).is_some());
+            assert!(e.get("pid").and_then(serde::Value::as_u64).is_some());
+        }
+        // Nesting: inner closes before outer.
+        let names: Vec<(String, String)> = events
+            .iter()
+            .filter(|e| ph(e) != "i")
+            .map(|e| {
+                (
+                    ph(e),
+                    e.get("name")
+                        .and_then(serde::Value::as_str)
+                        .unwrap()
+                        .to_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            names,
+            [
+                ("B".to_owned(), "outer".to_owned()),
+                ("B".to_owned(), "inner".to_owned()),
+                ("E".to_owned(), "inner".to_owned()),
+                ("E".to_owned(), "outer".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_opened_while_tracing_off_emit_no_chrome_events() {
+        let _lock = fresh();
+        {
+            let _g = span("untraced");
+        }
+        let json = chrome_trace_json();
+        let v: serde::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.as_array().map(Vec::len), Some(0), "{json}");
     }
 
     #[test]

@@ -6,10 +6,10 @@
 //! a single mutex; hot call sites are expected to accumulate locally and
 //! flush per pass, so the lock is taken at per-pass granularity.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::snapshot::{BucketCount, HistogramSnapshot, Snapshot, SpanNode};
@@ -66,6 +66,78 @@ impl Histogram {
         let bucket = (64 - value.leading_zeros()) as usize;
         self.buckets[bucket] += 1;
     }
+
+    /// Freezes into the serializable snapshot form (non-empty buckets only,
+    /// zero-count min/max normalized to 0 so the sentinel never leaks).
+    fn freeze(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| BucketCount {
+                le: match i {
+                    0 => 0,
+                    1..=63 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                },
+                count: c,
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: if self.count == 0 { 0 } else { self.max },
+            buckets,
+        }
+    }
+}
+
+/// A standalone power-of-two histogram, independent of the global registry
+/// and of the telemetry enable flag. Long-running components (the analysis
+/// service, the load generator) embed one when they must *always* measure —
+/// e.g. request latency feeding the `metrics` command — regardless of
+/// whether `--profile`/`--metrics-json` turned global telemetry on.
+pub struct LocalHistogram {
+    inner: Mutex<Histogram>,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> LocalHistogram {
+        LocalHistogram::new()
+    }
+}
+
+impl LocalHistogram {
+    /// An empty histogram.
+    pub fn new() -> LocalHistogram {
+        LocalHistogram {
+            inner: Mutex::new(Histogram::default()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(value);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).count
+    }
+
+    /// Freezes the current contents into a serializable snapshot (with
+    /// quantile accessors).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .freeze()
+    }
 }
 
 /// One entry of the trace event log.
@@ -77,9 +149,32 @@ pub struct TraceEvent {
     pub message: String,
 }
 
+/// One timestamped entry of the span-event log, gathered while tracing is
+/// on. `phase` follows the Chrome trace-event convention: `B` (span begin),
+/// `E` (span end), `i` (instant event). Timestamps are microseconds since
+/// the process-wide trace epoch (the first traced event), which is exactly
+/// the `ts` scale `chrome://tracing`/Perfetto expect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Span name (for `B`/`E`) or the rendered message (for `i`).
+    pub name: String,
+    /// `'B'`, `'E'`, or `'i'`.
+    pub phase: char,
+    /// Microseconds since the trace epoch.
+    pub ts_us: u64,
+    /// Small dense id of the recording thread.
+    pub tid: u64,
+}
+
 /// Bound on the in-memory trace log; past it, newest events are counted but
 /// not stored so a long interpreter run cannot exhaust memory.
 const MAX_EVENTS: usize = 65_536;
+
+/// Bound on the span-event log: spans open and close, so give B/E pairs
+/// twice the message-log headroom.
+const MAX_SPAN_EVENTS: usize = 2 * MAX_EVENTS;
 
 #[derive(Default)]
 struct Registry {
@@ -88,6 +183,61 @@ struct Registry {
     histograms: BTreeMap<String, Histogram>,
     events: Vec<TraceEvent>,
     events_dropped: u64,
+    span_events: Vec<SpanEvent>,
+    span_events_dropped: u64,
+}
+
+/// The instant the first traced event was recorded; all `ts_us` values are
+/// relative to it. Deliberately never reset: Chrome traces only need a
+/// consistent monotonic origin within one process.
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn trace_ts_us() -> u64 {
+    TRACE_EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Small dense per-thread id for trace events (thread 1 is whichever
+    /// thread traces first).
+    static TRACE_TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn trace_tid() -> u64 {
+    TRACE_TID.with(|tid| {
+        let mut t = tid.get();
+        if t == 0 {
+            t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            tid.set(t);
+        }
+        t
+    })
+}
+
+fn push_span_event(name: &str, phase: char) {
+    let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_us = trace_ts_us();
+    let tid = trace_tid();
+    let mut reg = lock();
+    if reg.span_events.len() >= MAX_SPAN_EVENTS {
+        reg.span_events_dropped += 1;
+        return;
+    }
+    reg.span_events.push(SpanEvent {
+        seq,
+        name: name.to_owned(),
+        phase,
+        ts_us,
+        tid,
+    });
+}
+
+/// The span-event log gathered so far (plus how many events overflowed the
+/// in-memory bound).
+pub(crate) fn span_events() -> (Vec<SpanEvent>, u64) {
+    let reg = lock();
+    (reg.span_events.clone(), reg.span_events_dropped)
 }
 
 static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
@@ -104,6 +254,8 @@ static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
     histograms: BTreeMap::new(),
     events: Vec::new(),
     events_dropped: 0,
+    span_events: Vec::new(),
+    span_events_dropped: 0,
 });
 
 static EVENT_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -121,18 +273,29 @@ fn lock() -> std::sync::MutexGuard<'static, Registry> {
 #[must_use = "a span is timed until the guard drops"]
 pub struct SpanGuard {
     start: Option<Instant>,
+    /// Whether a `B` span event was emitted at open (so the matching `E`
+    /// is emitted at drop even if tracing toggles off in between).
+    traced: bool,
 }
 
 impl SpanGuard {
     pub(crate) fn noop() -> SpanGuard {
-        SpanGuard { start: None }
+        SpanGuard {
+            start: None,
+            traced: false,
+        }
     }
 }
 
 pub(crate) fn open_span(name: &str) -> SpanGuard {
     SPAN_STACK.with(|stack| stack.borrow_mut().push(name.to_owned()));
+    let traced = crate::tracing();
+    if traced {
+        push_span_event(name, 'B');
+    }
     SpanGuard {
         start: Some(Instant::now()),
+        traced,
     }
 }
 
@@ -161,6 +324,11 @@ impl Drop for SpanGuard {
             stack.pop();
             path
         });
+        if self.traced {
+            // Emit the matching `E` even when tracing was toggled off while
+            // the span was open, so B/E pairs always balance.
+            push_span_event(path.last().map_or("?", |s| s.as_str()), 'E');
+        }
         if path.is_empty() {
             // Unbalanced guard (e.g. dropped after a `reset` raced the
             // stack); nothing sensible to record.
@@ -229,7 +397,22 @@ pub(crate) fn record_histogram(name: &str, value: u64) {
 
 pub(crate) fn push_event(message: String) {
     let seq = EVENT_SEQ.fetch_add(1, Ordering::Relaxed);
+    let ts_us = trace_ts_us();
+    let tid = trace_tid();
     let mut reg = lock();
+    // Mirror the message into the span-event log as a Chrome `i` (instant)
+    // event so exported timelines carry the discrete markers too.
+    if reg.span_events.len() >= MAX_SPAN_EVENTS {
+        reg.span_events_dropped += 1;
+    } else {
+        reg.span_events.push(SpanEvent {
+            seq,
+            name: message.clone(),
+            phase: 'i',
+            ts_us,
+            tid,
+        });
+    }
     if reg.events.len() >= MAX_EVENTS {
         reg.events_dropped += 1;
         return;
@@ -244,6 +427,8 @@ pub(crate) fn reset() {
     reg.histograms.clear();
     reg.events.clear();
     reg.events_dropped = 0;
+    reg.span_events.clear();
+    reg.span_events_dropped = 0;
 }
 
 pub(crate) fn snapshot() -> Snapshot {
@@ -254,32 +439,7 @@ pub(crate) fn snapshot() -> Snapshot {
         histograms: reg
             .histograms
             .iter()
-            .map(|(name, h)| {
-                let buckets = h
-                    .buckets
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &c)| c > 0)
-                    .map(|(i, &c)| BucketCount {
-                        le: match i {
-                            0 => 0,
-                            1..=63 => (1u64 << i) - 1,
-                            _ => u64::MAX,
-                        },
-                        count: c,
-                    })
-                    .collect();
-                (
-                    name.clone(),
-                    HistogramSnapshot {
-                        count: h.count,
-                        sum: h.sum,
-                        min: if h.count == 0 { 0 } else { h.min },
-                        max: if h.count == 0 { 0 } else { h.max },
-                        buckets,
-                    },
-                )
-            })
+            .map(|(name, h)| (name.clone(), h.freeze()))
             .collect(),
         events: reg.events.clone(),
         events_dropped: reg.events_dropped,

@@ -68,6 +68,55 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<BucketCount>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the power-of-two
+    /// buckets.
+    ///
+    /// The estimate is the midpoint of the bucket containing the target
+    /// rank, clamped to the observed `[min, max]` — so an empty histogram
+    /// answers 0, a single-observation histogram answers exactly that
+    /// observation, and no estimate can fall outside what was measured.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for b in &self.buckets {
+            seen += b.count;
+            if seen >= target {
+                // Bucket `le = 2^i - 1` spans `[2^(i-1), 2^i - 1]`; the
+                // `le/2 + 1` form avoids overflow at `le == u64::MAX`.
+                let lo = if b.le == 0 { 0 } else { b.le / 2 + 1 };
+                let mid = lo + (b.le - lo) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The estimated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The arithmetic mean (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
 /// A frozen copy of the whole registry.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Snapshot {
@@ -163,6 +212,31 @@ fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
     for child in &node.children {
         render_span(out, child, depth + 1);
     }
+}
+
+/// Renders span events as a Chrome trace-event JSON array — the format
+/// `chrome://tracing` and Perfetto open directly. Durations are `B`/`E`
+/// pairs; instant trace messages become `i` events with thread scope.
+pub(crate) fn chrome_trace(events: &[crate::registry::SpanEvent]) -> String {
+    use serde::Value;
+    let arr: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut m = vec![
+                ("name".to_owned(), Value::Str(e.name.clone())),
+                ("cat".to_owned(), Value::Str("rstudy".to_owned())),
+                ("ph".to_owned(), Value::Str(e.phase.to_string())),
+                ("ts".to_owned(), Value::UInt(e.ts_us)),
+                ("pid".to_owned(), Value::UInt(1)),
+                ("tid".to_owned(), Value::UInt(e.tid)),
+            ];
+            if e.phase == 'i' {
+                m.push(("s".to_owned(), Value::Str("t".to_owned())));
+            }
+            Value::Map(m)
+        })
+        .collect();
+    serde_json::to_string(&Value::Seq(arr)).expect("chrome trace serialization cannot fail")
 }
 
 fn format_ns(ns: u64) -> String {

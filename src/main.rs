@@ -47,11 +47,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let trace_out = match take_value(&mut args, "--trace-out") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let wants_trace = args.iter().any(|a| a == "--trace");
-    if profile || metrics_json.is_some() || wants_trace {
+    if profile || metrics_json.is_some() || wants_trace || trace_out.is_some() {
         rstudy_telemetry::enable();
     }
-    if wants_trace {
+    if wants_trace || trace_out.is_some() {
         rstudy_telemetry::set_tracing(true);
     }
     let Some(cmd) = args.first() else {
@@ -61,6 +68,7 @@ fn main() -> ExitCode {
     let code = match cmd.as_str() {
         "check" => cmd_check(&args[1..], jobs),
         "serve" => cmd_serve(&mut args[1..].to_vec(), jobs),
+        "loadgen" => cmd_loadgen(&mut args[1..].to_vec()),
         "run" => cmd_run(&args[1..]),
         "lint" => cmd_lint(&args[1..]),
         "scan" => cmd_scan(&args[1..]),
@@ -81,6 +89,12 @@ fn main() -> ExitCode {
     if let Some(path) = metrics_json {
         if let Err(e) = std::fs::write(&path, rstudy_telemetry::to_json()) {
             eprintln!("--metrics-json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, rstudy_telemetry::chrome_trace_json()) {
+            eprintln!("--trace-out {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
@@ -130,6 +144,7 @@ USAGE:
   rust-safety-study report [--json]              Tables 1-4, Figures 1-2, §4 stats
   rust-safety-study corpus [name]                list / print corpus programs
   rust-safety-study serve [SERVE FLAGS]          long-running analysis service (NDJSON)
+  rust-safety-study loadgen [LOADGEN FLAGS]      replay corpus programs against a server
 
 SERVE FLAGS:
   --port <N>            TCP port on 127.0.0.1 (default 0 = kernel-assigned; printed)
@@ -139,12 +154,23 @@ SERVE FLAGS:
   --workers <N>         analysis worker threads (default: all cores)
   --queue-depth <N>     bounded queue capacity; overflow answers `overloaded` (default 64)
 
+LOADGEN FLAGS:
+  --requests <N>        total requests to send (default 100)
+  --rate <R>            open-loop target rate in req/s (default 0 = unpaced)
+  --connections <N>     concurrent client connections (default 4)
+  --addr <host:port>    target server (default: boot one in-process)
+  --mix <a,b,...>       corpus program names to cycle through
+  --out <path>          latency/throughput report (default BENCH_serve.json)
+  --suite-out <path>    also run the offline suite benchmark (BENCH_suite.json)
+
 GLOBAL FLAGS:
   --profile             print the telemetry span/counter tree after the command
   --metrics-json <path> write the full telemetry registry as JSON
   --jobs <N>            worker threads for `check` / per-request default for `serve`
                         (default: all cores; 1 = sequential; 0 is rejected)
-  --trace               record (and print) per-step / per-detector trace events";
+  --trace               record (and print) per-step / per-detector trace events
+  --trace-out <path>    write spans/events as Chrome trace-event JSON
+                        (open in chrome://tracing or Perfetto)";
 
 fn load(path: &str) -> Result<Program, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -275,6 +301,94 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Parses and runs the `loadgen` subcommand: replay corpus programs
+/// against a server and write the `BENCH_serve.json` (and optionally
+/// `BENCH_suite.json`) baselines. Exits non-zero if any request failed, so
+/// CI can assert on the exit code alone.
+fn cmd_loadgen(args: &mut Vec<String>) -> ExitCode {
+    use rust_safety_study::serve::loadgen::{bench_suite, run, LoadgenConfig};
+
+    let parsed = (|| {
+        let mut config = LoadgenConfig::default();
+        if let Some(s) = take_value(args, "--requests")? {
+            config.requests = s
+                .parse::<usize>()
+                .ok()
+                .filter(|n| *n >= 1)
+                .ok_or_else(|| format!("--requests: expected a positive integer, got `{s}`"))?;
+        }
+        if let Some(s) = take_value(args, "--rate")? {
+            config.rate = s
+                .parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r >= 0.0)
+                .ok_or_else(|| format!("--rate: expected requests/second, got `{s}`"))?;
+        }
+        if let Some(s) = take_value(args, "--connections")? {
+            config.connections =
+                s.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    format!("--connections: expected a positive integer, got `{s}`")
+                })?;
+        }
+        if let Some(s) = take_value(args, "--addr")? {
+            config.addr = Some(
+                s.parse()
+                    .map_err(|_| format!("--addr: expected host:port, got `{s}`"))?,
+            );
+        }
+        if let Some(s) = take_value(args, "--mix")? {
+            config.mix = s.split(',').map(|m| m.trim().to_owned()).collect();
+        }
+        let out = take_value(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_owned());
+        let suite_out = take_value(args, "--suite-out")?;
+        if let Some(stray) = args.first() {
+            return Err(format!("loadgen: unexpected argument `{stray}`"));
+        }
+        Ok((config, out, suite_out))
+    })();
+    let (config, out, suite_out) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    let json =
+        serde_json::to_string_pretty(&report.to_value()).expect("report serialization cannot fail");
+    if let Err(e) = std::fs::write(&out, json + "\n") {
+        eprintln!("loadgen: {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if let Some(path) = suite_out {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let jobs_list = if cores > 1 { vec![1, cores] } else { vec![1] };
+        let value = bench_suite(&jobs_list, 2);
+        let json = serde_json::to_string_pretty(&value).expect("report serialization cannot fail");
+        if let Err(e) = std::fs::write(&path, json + "\n") {
+            eprintln!("loadgen: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+
+    if report.errors > 0 {
+        eprintln!("loadgen: {} request(s) failed", report.errors);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 /// Prints the telemetry trace event log (used by `check --trace`).

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cli-4405febf480e0376.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-4405febf480e0376.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-4d32f1daa5a54b8c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-4d32f1daa5a54b8c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/debug/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpus_dynamic-0ee4e2789b7603be.d: tests/corpus_dynamic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus_dynamic-0ee4e2789b7603be.rmeta: tests/corpus_dynamic.rs Cargo.toml
+
+tests/corpus_dynamic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_dynamic-d74727a268bc829e.d: tests/corpus_dynamic.rs
+
+/root/repo/target/debug/deps/corpus_dynamic-d74727a268bc829e: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_static-227c2c7d5a4a7054.d: tests/corpus_static.rs
+
+/root/repo/target/debug/deps/corpus_static-227c2c7d5a4a7054: tests/corpus_static.rs
+
+tests/corpus_static.rs:

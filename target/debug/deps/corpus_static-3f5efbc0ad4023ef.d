@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/corpus_static-3f5efbc0ad4023ef.d: tests/corpus_static.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorpus_static-3f5efbc0ad4023ef.rmeta: tests/corpus_static.rs Cargo.toml
+
+tests/corpus_static.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_eval-6d710a5235978096.d: tests/detector_eval.rs
+
+/root/repo/target/debug/deps/detector_eval-6d710a5235978096: tests/detector_eval.rs
+
+tests/detector_eval.rs:

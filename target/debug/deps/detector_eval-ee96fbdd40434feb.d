@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detector_eval-ee96fbdd40434feb.d: tests/detector_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetector_eval-ee96fbdd40434feb.rmeta: tests/detector_eval.rs Cargo.toml
+
+tests/detector_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

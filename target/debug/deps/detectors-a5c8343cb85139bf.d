@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/detectors-a5c8343cb85139bf.d: crates/bench/benches/detectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdetectors-a5c8343cb85139bf.rmeta: crates/bench/benches/detectors.rs Cargo.toml
+
+crates/bench/benches/detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

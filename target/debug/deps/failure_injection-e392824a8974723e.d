@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e392824a8974723e.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e392824a8974723e: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp-f5a83bcf3b888595.d: crates/bench/benches/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp-f5a83bcf3b888595.rmeta: crates/bench/benches/interp.rs Cargo.toml
+
+crates/bench/benches/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

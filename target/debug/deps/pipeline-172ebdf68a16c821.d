@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-172ebdf68a16c821.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-172ebdf68a16c821: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8a7883be022970f9.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8a7883be022970f9: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rstudy_bench-5622038a827e52ed.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/rstudy_bench-5622038a827e52ed: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

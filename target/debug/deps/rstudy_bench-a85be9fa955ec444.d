@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_bench-a85be9fa955ec444.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_bench-a85be9fa955ec444.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_bench-c9b49ad8d71eaec9.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librstudy_bench-c9b49ad8d71eaec9.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

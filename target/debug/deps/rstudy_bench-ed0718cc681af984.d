@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rstudy_bench-ed0718cc681af984.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-ed0718cc681af984.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-ed0718cc681af984.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

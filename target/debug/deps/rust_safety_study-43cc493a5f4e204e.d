@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-43cc493a5f4e204e.d: src/lib.rs
+
+/root/repo/target/debug/deps/rust_safety_study-43cc493a5f4e204e: src/lib.rs
+
+src/lib.rs:

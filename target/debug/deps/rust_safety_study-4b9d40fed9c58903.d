@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-4b9d40fed9c58903.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-4b9d40fed9c58903: src/main.rs
+
+src/main.rs:

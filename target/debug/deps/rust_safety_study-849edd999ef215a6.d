@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-849edd999ef215a6.d: src/main.rs
+
+/root/repo/target/debug/deps/rust_safety_study-849edd999ef215a6: src/main.rs
+
+src/main.rs:

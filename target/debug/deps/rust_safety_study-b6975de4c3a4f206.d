@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rust_safety_study-b6975de4c3a4f206.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librust_safety_study-b6975de4c3a4f206.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

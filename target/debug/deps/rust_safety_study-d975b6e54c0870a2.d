@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rust_safety_study-d975b6e54c0870a2.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-d975b6e54c0870a2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-d975b6e54c0870a2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scan_and_dataset-9267d8fb186f1079.d: tests/scan_and_dataset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_and_dataset-9267d8fb186f1079.rmeta: tests/scan_and_dataset.rs Cargo.toml
+
+tests/scan_and_dataset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_and_dataset-e0fc653da9c6debb.d: tests/scan_and_dataset.rs
+
+/root/repo/target/debug/deps/scan_and_dataset-e0fc653da9c6debb: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_exploration-6671a79397432de4.d: tests/schedule_exploration.rs
+
+/root/repo/target/debug/deps/schedule_exploration-6671a79397432de4: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

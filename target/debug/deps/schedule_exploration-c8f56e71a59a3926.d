@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_exploration-c8f56e71a59a3926.d: tests/schedule_exploration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_exploration-c8f56e71a59a3926.rmeta: tests/schedule_exploration.rs Cargo.toml
+
+tests/schedule_exploration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/service-4111fd202652d5db.d: tests/service.rs
+
+/root/repo/target/debug/deps/service-4111fd202652d5db: tests/service.rs
+
+tests/service.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/debug/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

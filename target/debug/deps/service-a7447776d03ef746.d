@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/service-a7447776d03ef746.d: tests/service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice-a7447776d03ef746.rmeta: tests/service.rs Cargo.toml
+
+tests/service.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

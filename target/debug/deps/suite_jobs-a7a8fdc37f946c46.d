@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_jobs-a7a8fdc37f946c46.d: crates/bench/benches/suite_jobs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_jobs-a7a8fdc37f946c46.rmeta: crates/bench/benches/suite_jobs.rs Cargo.toml
+
+crates/bench/benches/suite_jobs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

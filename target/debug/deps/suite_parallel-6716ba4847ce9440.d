@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_parallel-6716ba4847ce9440.d: tests/suite_parallel.rs
+
+/root/repo/target/debug/deps/suite_parallel-6716ba4847ce9440: tests/suite_parallel.rs
+
+tests/suite_parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_parallel-f97347778b3a08fa.d: tests/suite_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_parallel-f97347778b3a08fa.rmeta: tests/suite_parallel.rs Cargo.toml
+
+tests/suite_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

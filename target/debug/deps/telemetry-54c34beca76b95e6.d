@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/telemetry-54c34beca76b95e6.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-54c34beca76b95e6: tests/telemetry.rs
+
+tests/telemetry.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/debug/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

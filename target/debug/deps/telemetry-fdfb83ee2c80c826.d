@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/telemetry-fdfb83ee2c80c826.d: tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-fdfb83ee2c80c826.rmeta: tests/telemetry.rs Cargo.toml
+
+tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

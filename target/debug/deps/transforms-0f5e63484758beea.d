@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transforms-0f5e63484758beea.d: tests/transforms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransforms-0f5e63484758beea.rmeta: tests/transforms.rs Cargo.toml
+
+tests/transforms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

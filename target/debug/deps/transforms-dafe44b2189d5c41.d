@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-dafe44b2189d5c41.d: tests/transforms.rs
+
+/root/repo/target/debug/deps/transforms-dafe44b2189d5c41: tests/transforms.rs
+
+tests/transforms.rs:

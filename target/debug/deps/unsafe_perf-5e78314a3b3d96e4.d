@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unsafe_perf-5e78314a3b3d96e4.d: crates/bench/benches/unsafe_perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunsafe_perf-5e78314a3b3d96e4.rmeta: crates/bench/benches/unsafe_perf.rs Cargo.toml
+
+crates/bench/benches/unsafe_perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

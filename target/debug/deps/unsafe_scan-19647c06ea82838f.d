@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/unsafe_scan-19647c06ea82838f.d: crates/bench/benches/unsafe_scan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libunsafe_scan-19647c06ea82838f.rmeta: crates/bench/benches/unsafe_scan.rs Cargo.toml
+
+crates/bench/benches/unsafe_scan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/audit_corpus-11c7046b5e1cfc49.d: examples/audit_corpus.rs
+
+/root/repo/target/debug/examples/audit_corpus-11c7046b5e1cfc49: examples/audit_corpus.rs
+
+examples/audit_corpus.rs:

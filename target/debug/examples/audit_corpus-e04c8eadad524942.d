@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/audit_corpus-e04c8eadad524942.d: examples/audit_corpus.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaudit_corpus-e04c8eadad524942.rmeta: examples/audit_corpus.rs Cargo.toml
+
+examples/audit_corpus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

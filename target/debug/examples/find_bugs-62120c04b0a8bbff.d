@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/find_bugs-62120c04b0a8bbff.d: examples/find_bugs.rs
+
+/root/repo/target/debug/examples/find_bugs-62120c04b0a8bbff: examples/find_bugs.rs
+
+examples/find_bugs.rs:

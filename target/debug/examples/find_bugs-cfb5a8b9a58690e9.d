@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/find_bugs-cfb5a8b9a58690e9.d: examples/find_bugs.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfind_bugs-cfb5a8b9a58690e9.rmeta: examples/find_bugs.rs Cargo.toml
+
+examples/find_bugs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interp_demo-960cebb3d14c6035.d: examples/interp_demo.rs
+
+/root/repo/target/debug/examples/interp_demo-960cebb3d14c6035: examples/interp_demo.rs
+
+examples/interp_demo.rs:

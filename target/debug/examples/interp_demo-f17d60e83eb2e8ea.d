@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interp_demo-f17d60e83eb2e8ea.d: examples/interp_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterp_demo-f17d60e83eb2e8ea.rmeta: examples/interp_demo.rs Cargo.toml
+
+examples/interp_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

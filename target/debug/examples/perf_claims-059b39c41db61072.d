@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/perf_claims-059b39c41db61072.d: examples/perf_claims.rs Cargo.toml
+
+/root/repo/target/debug/examples/libperf_claims-059b39c41db61072.rmeta: examples/perf_claims.rs Cargo.toml
+
+examples/perf_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/perf_claims-68c38e62f2513758.d: examples/perf_claims.rs
+
+/root/repo/target/debug/examples/perf_claims-68c38e62f2513758: examples/perf_claims.rs
+
+examples/perf_claims.rs:

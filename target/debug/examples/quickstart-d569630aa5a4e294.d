@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d569630aa5a4e294.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d569630aa5a4e294: examples/quickstart.rs
+
+examples/quickstart.rs:

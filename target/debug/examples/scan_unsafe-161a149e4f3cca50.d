@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scan_unsafe-161a149e4f3cca50.d: examples/scan_unsafe.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscan_unsafe-161a149e4f3cca50.rmeta: examples/scan_unsafe.rs Cargo.toml
+
+examples/scan_unsafe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scan_unsafe-1edc03a7856585ca.d: examples/scan_unsafe.rs
+
+/root/repo/target/debug/examples/scan_unsafe-1edc03a7856585ca: examples/scan_unsafe.rs
+
+examples/scan_unsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/study_report-4759f96bffccaef5.d: examples/study_report.rs
+
+/root/repo/target/debug/examples/study_report-4759f96bffccaef5: examples/study_report.rs
+
+examples/study_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/study_report-ba3732510eb94986.d: examples/study_report.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstudy_report-ba3732510eb94986.rmeta: examples/study_report.rs Cargo.toml
+
+examples/study_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

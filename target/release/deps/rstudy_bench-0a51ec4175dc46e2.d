@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rstudy_bench-0a51ec4175dc46e2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librstudy_bench-0a51ec4175dc46e2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/librstudy_bench-0a51ec4175dc46e2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

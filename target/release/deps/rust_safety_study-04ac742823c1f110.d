@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rust_safety_study-04ac742823c1f110.d: src/main.rs
+
+/root/repo/target/release/deps/rust_safety_study-04ac742823c1f110: src/main.rs
+
+src/main.rs:

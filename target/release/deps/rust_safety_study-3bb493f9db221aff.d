@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rust_safety_study-3bb493f9db221aff.d: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-3bb493f9db221aff.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librust_safety_study-3bb493f9db221aff.rmeta: src/lib.rs
+
+src/lib.rs:

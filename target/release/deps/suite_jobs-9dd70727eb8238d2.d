@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/suite_jobs-9dd70727eb8238d2.d: crates/bench/benches/suite_jobs.rs
+
+/root/repo/target/release/deps/suite_jobs-9dd70727eb8238d2: crates/bench/benches/suite_jobs.rs
+
+crates/bench/benches/suite_jobs.rs:

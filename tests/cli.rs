@@ -251,6 +251,160 @@ fn check_json_on_a_clean_program_succeeds_with_empty_diagnostics() {
 }
 
 #[test]
+fn trace_out_writes_a_chrome_trace_with_balanced_span_pairs() {
+    use serde::Value;
+    let trace_path =
+        std::env::temp_dir().join(format!("rstudy-chrome-trace-{}.json", std::process::id()));
+    let out = bin()
+        .args([
+            "check",
+            &mir_path("serve_smoke_buggy.mir"),
+            "--json",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "findings keep the failure exit");
+    let json = std::fs::read_to_string(&trace_path).expect("trace file written");
+    std::fs::remove_file(&trace_path).ok();
+
+    let events: Value = serde_json::from_str(&json).expect("valid JSON");
+    let events = events.as_array().expect("a Chrome trace is a JSON array");
+    assert!(!events.is_empty(), "{json}");
+    let mut begins = std::collections::BTreeMap::new();
+    let mut ends = std::collections::BTreeMap::new();
+    for e in events {
+        for key in ["name", "ph", "ts", "pid", "tid", "cat"] {
+            assert!(e.get(key).is_some(), "event missing {key}: {e:?}");
+        }
+        let name = e.get("name").and_then(Value::as_str).unwrap().to_owned();
+        match e.get("ph").and_then(Value::as_str).unwrap() {
+            "B" => *begins.entry(name).or_insert(0u64) += 1,
+            "E" => *ends.entry(name).or_insert(0u64) += 1,
+            "i" => {
+                assert_eq!(e.get("s").and_then(Value::as_str), Some("t"), "{e:?}");
+            }
+            other => panic!("unexpected phase {other}: {e:?}"),
+        }
+    }
+    assert!(!begins.is_empty(), "no duration spans recorded: {json}");
+    assert_eq!(begins, ends, "every B needs a matching E per span name");
+    assert!(begins.contains_key("suite"), "{begins:?}");
+}
+
+#[test]
+fn check_json_is_byte_identical_with_tracing_enabled() {
+    let trace_path =
+        std::env::temp_dir().join(format!("rstudy-trace-identity-{}.json", std::process::id()));
+    let plain = bin()
+        .args(["check", &mir_path("serve_smoke_buggy.mir"), "--json"])
+        .output()
+        .expect("binary runs");
+    let traced = bin()
+        .args([
+            "check",
+            &mir_path("serve_smoke_buggy.mir"),
+            "--json",
+            "--trace-out",
+            trace_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    std::fs::remove_file(&trace_path).ok();
+    assert_eq!(plain.status.code(), traced.status.code());
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "tracing must not perturb report bytes"
+    );
+}
+
+#[test]
+fn serve_stdin_flushes_metrics_json_on_graceful_shutdown() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let json_path =
+        std::env::temp_dir().join(format!("rstudy-serve-metrics-{}.json", std::process::id()));
+    let mut child = bin()
+        .args([
+            "serve",
+            "--stdin",
+            "--workers",
+            "1",
+            "--metrics-json",
+            json_path.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve --stdin");
+    let program = std::fs::read_to_string(mir_path("serve_smoke_clean.mir")).unwrap();
+    let request = format!(
+        r#"{{"id":"m1","program":{}}}"#,
+        serde_json::to_string(&serde::Value::Str(program)).unwrap()
+    );
+    let mut stdin = child.stdin.take().unwrap();
+    stdin.write_all(request.as_bytes()).unwrap();
+    stdin.write_all(b"\n").unwrap();
+    drop(stdin); // EOF = graceful drain, then main flushes the metrics
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&json_path).expect("metrics file written");
+    std::fs::remove_file(&json_path).ok();
+    assert!(json.contains("\"serve.requests\": 1"), "{json}");
+    assert!(json.contains("serve.queue_ns"), "{json}");
+    assert!(json.contains("serve.analysis_ns"), "{json}");
+}
+
+#[test]
+fn loadgen_flag_validation_is_a_usage_error() {
+    for args in [
+        &["loadgen", "--requests", "0"][..],
+        &["loadgen", "--rate", "fast"][..],
+        &["loadgen", "--connections", "0"][..],
+        &["loadgen", "--addr", "not-an-addr"][..],
+        &["loadgen", "stray-arg"][..],
+    ] {
+        let out = bin().args(args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn loadgen_writes_bench_serve_json_and_succeeds() {
+    use serde::Value;
+    let out_path =
+        std::env::temp_dir().join(format!("rstudy-bench-serve-{}.json", std::process::id()));
+    let out = bin()
+        .args([
+            "loadgen",
+            "--requests",
+            "6",
+            "--connections",
+            "2",
+            "--mix",
+            "uaf_fig7_drop,uaf_fixed",
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("p50"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_serve.json written");
+    std::fs::remove_file(&out_path).ok();
+    let parsed: Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed.get("requests").and_then(Value::as_u64), Some(6));
+    assert_eq!(parsed.get("errors").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
 fn serve_flag_validation_is_a_usage_error() {
     // `--jobs 0` is rejected for serve exactly as for check.
     for args in [

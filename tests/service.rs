@@ -420,6 +420,180 @@ fn detector_subset_and_trace_options_are_honored() {
 }
 
 #[test]
+fn every_ok_response_carries_trace_id_and_stage_timings() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    let program = clean_program(7700);
+
+    let miss = client.round_trip(&check_request("miss", &program, ""));
+    assert_eq!(status(&miss), "ok", "{miss:?}");
+    let miss_trace_id = miss.get("trace_id").and_then(Value::as_u64).unwrap();
+    let timing = miss.get("timing").expect("timing on every ok response");
+    assert_eq!(
+        timing.get("cache").and_then(Value::as_str),
+        Some("miss"),
+        "{miss:?}"
+    );
+    let total = timing.get("total_ns").and_then(Value::as_u64).unwrap();
+    let queue = timing.get("queue_ns").and_then(Value::as_u64).unwrap();
+    let analysis = timing.get("analysis_ns").and_then(Value::as_u64).unwrap();
+    assert!(total > 0 && analysis > 0, "{miss:?}");
+    assert!(queue <= total && analysis <= total, "{miss:?}");
+
+    // A cache hit skips queue and analysis entirely, and the timing says so.
+    let hit = client.round_trip(&check_request("hit", &program, ""));
+    assert!(cached(&hit), "{hit:?}");
+    let timing = hit.get("timing").unwrap();
+    assert_eq!(timing.get("cache").and_then(Value::as_str), Some("hit"));
+    assert_eq!(timing.get("queue_ns").and_then(Value::as_u64), Some(0));
+    assert_eq!(timing.get("analysis_ns").and_then(Value::as_u64), Some(0));
+    let hit_trace_id = hit.get("trace_id").and_then(Value::as_u64).unwrap();
+    assert!(
+        hit_trace_id > miss_trace_id,
+        "trace ids must be distinct and increasing: {miss_trace_id} then {hit_trace_id}"
+    );
+
+    // The report bytes are unaffected by the timing envelope.
+    let as_json = |v: &Value| serde_json::to_string(v.get("report").unwrap()).unwrap();
+    assert_eq!(as_json(&miss), as_json(&hit));
+    handle.begin_shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stats_reports_uptime_queue_depth_and_inflight_monotonically() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    let first = client.round_trip(r#"{"id":"s1","cmd":"stats"}"#);
+    assert_eq!(status(&first), "stats", "{first:?}");
+    let stats = first.get("stats").unwrap();
+    let uptime1 = stats.get("uptime_ms").and_then(Value::as_u64).unwrap();
+    assert_eq!(stats.get("queue_depth").and_then(Value::as_u64), Some(0));
+    assert_eq!(stats.get("inflight").and_then(Value::as_u64), Some(0));
+
+    let _ = client.round_trip(&check_request("work", &clean_program(7800), ""));
+    thread::sleep(Duration::from_millis(5));
+    let second = client.round_trip(r#"{"id":"s2","cmd":"stats"}"#);
+    let stats = second.get("stats").unwrap();
+    let uptime2 = stats.get("uptime_ms").and_then(Value::as_u64).unwrap();
+    assert!(
+        uptime2 > uptime1,
+        "uptime must be monotone: {uptime1} then {uptime2}"
+    );
+    assert_eq!(
+        stats.get("inflight").and_then(Value::as_u64),
+        Some(0),
+        "no requests in flight when stats is answered: {second:?}"
+    );
+    handle.begin_shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn metrics_command_reports_latency_quantiles_and_cache_ratio() {
+    let (addr, handle, join) = boot(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut client = Client::connect(addr);
+    let program = clean_program(7900);
+    for id in ["m1", "m2", "m3"] {
+        let resp = client.round_trip(&check_request(id, &program, ""));
+        assert_eq!(status(&resp), "ok", "{resp:?}");
+    }
+
+    let resp = client.round_trip(r#"{"id":"m","cmd":"metrics"}"#);
+    assert_eq!(status(&resp), "metrics", "{resp:?}");
+    let metrics = resp.get("metrics").expect("metrics payload");
+    assert_eq!(metrics.get("requests").and_then(Value::as_u64), Some(3));
+    assert_eq!(metrics.get("ok").and_then(Value::as_u64), Some(3));
+    assert!(metrics.get("uptime_ms").and_then(Value::as_u64).is_some());
+    assert_eq!(metrics.get("inflight").and_then(Value::as_u64), Some(0));
+
+    let cache = metrics.get("cache").expect("cache submap");
+    assert_eq!(cache.get("hits").and_then(Value::as_u64), Some(2));
+    assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+    let ratio = cache.get("hit_ratio").and_then(Value::as_f64).unwrap();
+    assert!((ratio - 2.0 / 3.0).abs() < 1e-9, "{resp:?}");
+
+    let latency = metrics.get("latency_ns").expect("latency histogram");
+    assert_eq!(latency.get("count").and_then(Value::as_u64), Some(3));
+    for q in ["p50", "p90", "p99", "mean", "min", "max"] {
+        let v = latency.get(q).and_then(Value::as_u64);
+        assert!(v.is_some(), "latency_ns missing {q}: {resp:?}");
+    }
+    let p50 = latency.get("p50").and_then(Value::as_u64).unwrap();
+    let p99 = latency.get("p99").and_then(Value::as_u64).unwrap();
+    let max = latency.get("max").and_then(Value::as_u64).unwrap();
+    assert!(p50 <= p99 && p99 <= max, "{resp:?}");
+
+    // Only the analysis path (one miss) feeds the stage histograms.
+    let queue = metrics.get("queue_ns").unwrap();
+    assert_eq!(queue.get("count").and_then(Value::as_u64), Some(1));
+    let analysis = metrics.get("analysis_ns").unwrap();
+    assert_eq!(analysis.get("count").and_then(Value::as_u64), Some(1));
+    handle.begin_shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn loadgen_smoke_answers_every_request_and_reports_a_valid_bench() {
+    use rust_safety_study::serve::loadgen::{run, LoadgenConfig};
+    let report = run(&LoadgenConfig {
+        requests: 12,
+        connections: 3,
+        ..LoadgenConfig::default()
+    })
+    .expect("in-process loadgen");
+    assert_eq!(report.requests, 12);
+    assert_eq!(report.ok, 12);
+    assert_eq!(report.errors, 0);
+    assert_eq!(
+        report.latency_ns.count, 12,
+        "every request must be measured exactly once"
+    );
+    assert!(
+        report.cache_hits >= 6,
+        "12 requests over a 6-program mix revisit each program"
+    );
+
+    // The BENCH_serve.json payload round-trips through JSON with the
+    // stable schema keys downstream diffing relies on.
+    let json = serde_json::to_string_pretty(&report.to_value()).unwrap();
+    let parsed: Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(
+        parsed.get("schema").and_then(Value::as_str),
+        Some("rstudy-bench-serve/v1")
+    );
+    for key in [
+        "requests",
+        "ok",
+        "errors",
+        "cache_hits",
+        "statuses",
+        "latency_ns",
+        "queue_ns",
+        "analysis_ns",
+        "duration_ms",
+        "achieved_rps",
+        "mix",
+    ] {
+        assert!(parsed.get(key).is_some(), "BENCH_serve.json missing {key}");
+    }
+    let latency = parsed.get("latency_ns").unwrap();
+    assert_eq!(latency.get("count").and_then(Value::as_u64), Some(12));
+    for q in ["p50", "p90", "p99"] {
+        assert!(latency.get(q).and_then(Value::as_u64).is_some(), "{json}");
+    }
+}
+
+#[test]
 fn stdin_mode_pipes_requests_through_the_binary() {
     use std::process::Stdio;
     let mut child = Command::new(env!("CARGO_BIN_EXE_rust-safety-study"))
