@@ -88,11 +88,68 @@ echo "== loadgen benchmark baselines =="
 grep -q '"schema": "rstudy-bench-serve/v1"' BENCH_serve.json
 grep -q '"errors": 0' BENCH_serve.json
 grep -q '"schema": "rstudy-bench-suite/v1"' BENCH_suite.json
+# Latency sanity ceiling: the event-driven transport's closed-loop p50 is
+# sub-millisecond on an idle machine; 20 ms of headroom absorbs CI noise
+# while still catching a regression to the ~100 ms poll-era baseline.
+P50=$(sed -n '/"latency_ns"/,/}/p' BENCH_serve.json | sed -n 's/.*"p50": \([0-9]*\).*/\1/p')
+if [ -z "$P50" ] || [ "$P50" -ge 20000000 ]; then
+    echo "FAIL: serve latency p50 is ${P50:-unparseable} ns (ceiling 20 ms)" >&2
+    exit 1
+fi
 
 smoke shutdown '{"id":"bye","cmd":"shutdown"}' '"status":"shutdown"'
 exec 3<&- 3>&-
 if ! wait "$SERVE_PID"; then
     echo "FAIL: serve exited non-zero after graceful shutdown" >&2
+    exit 1
+fi
+
+echo "== poll-vs-epoll equivalence smoke =="
+# Both transports must answer the serve-smoke fixtures byte-identically
+# (the measured `timing` object aside). Boot a fresh server per transport
+# so trace ids start from 1 in both.
+transport_answers() { # transport_answers <poll|epoll> <outfile>
+    local transport=$1 outfile=$2 log port reply
+    log="$SERVE_TMP/serve-$transport.log"
+    "$BIN" serve --port 0 --workers 2 --transport "$transport" \
+        > "$log" 2>&1 &
+    local pid=$!
+    port=""
+    for _ in $(seq 100); do
+        port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log")
+        [ -n "$port" ] && break
+        sleep 0.1
+    done
+    if [ -z "$port" ]; then
+        echo "FAIL: serve --transport $transport did not report its port" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    exec 4<>"/dev/tcp/127.0.0.1/$port"
+    : > "$outfile"
+    local fixture
+    for fixture in serve_smoke_clean serve_smoke_buggy serve_smoke_malformed; do
+        printf '{"id":"%s","path":"examples/mir/%s.mir"}\n' "$fixture" "$fixture" >&4
+        IFS= read -r -t 20 reply <&4 || {
+            echo "FAIL: no $transport reply for $fixture" >&2
+            exit 1
+        }
+        # Strip the measured timing object before comparing.
+        printf '%s\n' "$reply" | sed 's/"timing":{[^}]*},//' >> "$outfile"
+    done
+    printf '{"id":"bye","cmd":"shutdown"}\n' >&4
+    IFS= read -r -t 20 reply <&4 || true
+    exec 4<&- 4>&-
+    if ! wait "$pid"; then
+        echo "FAIL: serve --transport $transport exited non-zero" >&2
+        exit 1
+    fi
+}
+transport_answers epoll "$SERVE_TMP/answers-epoll.txt"
+transport_answers poll "$SERVE_TMP/answers-poll.txt"
+if ! cmp -s "$SERVE_TMP/answers-epoll.txt" "$SERVE_TMP/answers-poll.txt"; then
+    echo "FAIL: poll and epoll transports answered differently:" >&2
+    diff "$SERVE_TMP/answers-epoll.txt" "$SERVE_TMP/answers-poll.txt" >&2 || true
     exit 1
 fi
 

@@ -5,11 +5,12 @@
 //! This crate turns the same suite into a *resident* service so analysis
 //! cost amortizes across requests:
 //!
-//! * **Transport** ([`protocol`]) — newline-delimited JSON over a loopback
-//!   TCP listener, or over stdin/stdout for piping. Each request carries
-//!   MIR source (inline or by path) plus options; each response is a
-//!   machine-readable diagnostics report, byte-identical to `check --json`
-//!   for the same program.
+//! * **Transport** ([`protocol`], [`event`]) — newline-delimited JSON
+//!   over a loopback TCP listener (an epoll-driven event loop on Linux, a
+//!   portable polling fallback elsewhere), or over stdin/stdout for
+//!   piping. Each request carries MIR source (inline or by path) plus
+//!   options; each response is a machine-readable diagnostics report,
+//!   byte-identical to `check --json` for the same program.
 //! * **Batching** ([`queue`]) — a bounded job queue feeds a pool of worker
 //!   threads that reuse the existing `DetectorSuite`/`AnalysisContext`
 //!   machinery. A full queue answers `overloaded` immediately instead of
@@ -34,6 +35,8 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(target_os = "linux")]
+pub mod event;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
@@ -43,4 +46,6 @@ pub use cache::{CacheKey, ResultCache};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{CheckRequest, Command, ProgramSource, Request, RequestError};
 pub use queue::{JobQueue, PushError};
-pub use server::{install_sigint_handler, serve_stream, ServeConfig, Server, ServerHandle};
+pub use server::{
+    install_sigint_handler, serve_stream, ServeConfig, Server, ServerHandle, Transport,
+};

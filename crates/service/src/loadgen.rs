@@ -26,7 +26,7 @@ use rstudy_core::suite::DetectorSuite;
 use rstudy_telemetry::{HistogramSnapshot, LocalHistogram};
 use serde::Value;
 
-use crate::server::{histogram_summary, ServeConfig, Server};
+use crate::server::{histogram_summary, ServeConfig, Server, Transport};
 
 /// What to replay and how hard.
 #[derive(Debug, Clone)]
@@ -44,6 +44,12 @@ pub struct LoadgenConfig {
     /// Corpus entry names to cycle through; empty selects
     /// [`LoadgenConfig::default_mix`].
     pub mix: Vec<String>,
+    /// Transport for the in-process server (ignored when `addr` points at
+    /// an external one). With `rate: 0.0` the run is closed-loop — each
+    /// connection fires as soon as its previous response lands — which
+    /// measures the transport's latency *floor* rather than behavior
+    /// under a fixed offered load.
+    pub transport: Transport,
 }
 
 impl Default for LoadgenConfig {
@@ -54,6 +60,7 @@ impl Default for LoadgenConfig {
             connections: 4,
             addr: None,
             mix: Vec::new(),
+            transport: Transport::default(),
         }
     }
 }
@@ -232,7 +239,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let (addr, server_thread, handle) = match config.addr {
         Some(addr) => (addr, None, None),
         None => {
-            let server = Server::bind(0, ServeConfig::default())?;
+            let serve_config = ServeConfig {
+                transport: config.transport,
+                ..ServeConfig::default()
+            };
+            let server = Server::bind(0, serve_config)?;
             let addr = server.local_addr()?;
             let handle = server.handle();
             let thread = std::thread::spawn(move || server.run());
@@ -317,7 +328,13 @@ fn connection_loop(
     let mut bump = |status: &str| *statuses.entry(status.to_owned()).or_insert(0u64) += 1;
 
     let stream = match TcpStream::connect(addr) {
-        Ok(s) => s,
+        Ok(s) => {
+            // The client writes a whole frame at a time and then waits for
+            // the response; Nagle would hold the frame's tail for a
+            // delayed ACK that is never coming early.
+            let _ = s.set_nodelay(true);
+            s
+        }
         Err(_) => {
             // Count the whole share as transport errors rather than
             // silently shrinking the run.
@@ -339,17 +356,20 @@ fn connection_loop(
             }
         }
         let program = &programs[i % programs.len()];
-        let request = serde_json::to_string(&Value::Map(vec![
+        // One contiguous buffer per request (payload + newline) so the
+        // frame leaves in a single write, mirroring the server's
+        // response framing.
+        let mut request = serde_json::to_string(&Value::Map(vec![
             ("id".to_owned(), Value::Str(format!("lg-{i}"))),
             ("program".to_owned(), Value::Str(program.clone())),
         ]))
         .expect("request serialization cannot fail");
+        request.push('\n');
 
         let sent = Instant::now();
         let mut line = String::new();
         let io_result = writer
             .write_all(request.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
             .and_then(|()| reader.read_line(&mut line));
         match io_result {
             Ok(0) | Err(_) => {

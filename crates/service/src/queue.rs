@@ -8,7 +8,7 @@
 //! was already accepted before seeing `None`.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,10 +96,57 @@ impl<T> JobQueue<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Completions
+// ---------------------------------------------------------------------------
+
+/// A wakeup channel for [`CompletionQueue`] consumers. The event-driven
+/// transport implements this on an `eventfd` so a worker finishing a job
+/// wakes the I/O loop out of `epoll_wait`; tests implement it on plain
+/// counters.
+pub trait Notify: Send + Sync {
+    /// Signals the consumer that at least one item is pending.
+    fn notify(&self);
+}
+
+/// The return path from the worker pool to an event loop: workers
+/// [`push`](CompletionQueue::push) finished work and fire the notifier;
+/// the (single) consumer [`drain`](CompletionQueue::drain)s everything
+/// pending after each wakeup. Unbounded on purpose — every item
+/// corresponds to a job the bounded [`JobQueue`] already admitted, so the
+/// backpressure valve sits on the submit side where it can shed load.
+pub struct CompletionQueue<T> {
+    items: Mutex<Vec<T>>,
+    notify: Arc<dyn Notify>,
+}
+
+impl<T> CompletionQueue<T> {
+    /// A queue that fires `notify` after every push.
+    pub fn new(notify: Arc<dyn Notify>) -> CompletionQueue<T> {
+        CompletionQueue {
+            items: Mutex::new(Vec::new()),
+            notify,
+        }
+    }
+
+    /// Appends a finished item and wakes the consumer.
+    pub fn push(&self, item: T) {
+        {
+            let mut items = self.items.lock().unwrap_or_else(|e| e.into_inner());
+            items.push(item);
+        }
+        self.notify.notify();
+    }
+
+    /// Takes everything pushed so far, in push order.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut *self.items.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn push_pop_fifo() {
@@ -139,5 +186,26 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.close();
         assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn completion_queue_notifies_every_push_and_drains_in_order() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        struct Counter(AtomicU32);
+        impl Notify for Counter {
+            fn notify(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let notify = Arc::new(Counter(AtomicU32::new(0)));
+        let q: CompletionQueue<u32> = CompletionQueue::new(Arc::clone(&notify) as Arc<dyn Notify>);
+        assert!(q.drain().is_empty());
+        q.push(1);
+        q.push(2);
+        assert_eq!(notify.0.load(Ordering::Relaxed), 2);
+        assert_eq!(q.drain(), vec![1, 2]);
+        assert!(q.drain().is_empty());
     }
 }

@@ -1,27 +1,40 @@
 //! The resident analysis server.
 //!
 //! ```text
-//!   TCP clients ──┐                       ┌── worker ──┐
-//!   (NDJSON)      ├─ connection handlers ─┤  bounded   ├─ DetectorSuite
-//!   stdin pipe ───┘        │              │  JobQueue  │
-//!                          │              └── worker ──┘
+//!   TCP clients ──┐                         ┌── worker ──┐
+//!   (NDJSON)      ├─ transport (epoll/poll)─┤  bounded   ├─ DetectorSuite
+//!   stdin pipe ───┘        │                │  JobQueue  │
+//!                          │                └── worker ──┘
 //!                          └── ResultCache (mem LRU + disk) ── hit: no work
 //! ```
 //!
-//! Every connection gets its own handler thread that parses request lines,
-//! answers cache hits inline, and otherwise submits a job to the bounded
-//! queue and waits for the worker pool — up to the request deadline. All
-//! degradation is structured: a full queue answers `overloaded`, an
+//! Two transports share one request lifecycle:
+//!
+//! * **epoll** (Linux, the default) — a single I/O thread owns the
+//!   nonblocking listener and every connection, reacting to readability
+//!   instead of sleeping a poll interval. Complete NDJSON lines are parsed
+//!   out of per-connection buffers; cache hits and control commands are
+//!   answered inline; cache misses go to the worker pool, whose
+//!   completions wake the loop through an eventfd
+//!   ([`crate::queue::CompletionQueue`]). There is **no timed sleep
+//!   anywhere on the request path**: idle connections cost zero wakeups
+//!   and accepts are immediate.
+//! * **poll** (portable fallback, `--transport poll`) — a blocking accept
+//!   loop plus one handler thread per connection, both re-checking the
+//!   shutdown flag every [`POLL_INTERVAL`].
+//!
+//! All degradation is structured: a full queue answers `overloaded`, an
 //! expired deadline answers `timeout`, malformed input answers `error`,
 //! and none of them disturb other connections or the server itself.
-//! Shutdown (a `shutdown` request, stdin EOF, or SIGINT) drains accepted
-//! jobs, flushes the disk cache, and only then lets [`Server::run`]
-//! return.
+//! Shutdown (a `shutdown` request, stdin EOF, SIGINT, or
+//! [`ServerHandle::begin_shutdown`]) drains accepted jobs, flushes the
+//! disk cache, and only then lets [`Server::run`] return.
 
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -37,11 +50,52 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::{
     error_response, parse_request, CheckRequest, Command, ProgramSource, ResponseBuilder,
 };
+#[cfg(target_os = "linux")]
+use crate::queue::{CompletionQueue, Notify};
 use crate::queue::{JobQueue, PushError};
 
-/// How often blocked loops (accept, connection reads) re-check the
-/// shutdown flag.
+/// How often the *poll transport's* blocked loops (accept, connection
+/// reads) re-check the shutdown flag. The epoll transport never sleeps on
+/// a cadence; this constant is its accept-backoff unit only.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How long a draining server keeps trying to flush already-built
+/// responses to clients that have stopped reading (mirrors the poll
+/// transport's 10 s write timeout).
+const DRAIN_WRITE_GRACE: Duration = Duration::from_secs(10);
+
+/// The connection-handling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Blocking accept/read loops on a 25 ms poll cadence. Portable; the
+    /// default off Linux.
+    Poll,
+    /// A single epoll-driven I/O thread; event-driven accepts, reads,
+    /// writes, and worker completions. Linux-only; the default there.
+    Epoll,
+}
+
+impl Default for Transport {
+    fn default() -> Transport {
+        if cfg!(target_os = "linux") {
+            Transport::Epoll
+        } else {
+            Transport::Poll
+        }
+    }
+}
+
+impl FromStr for Transport {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Transport, String> {
+        match s {
+            "poll" => Ok(Transport::Poll),
+            "epoll" => Ok(Transport::Epoll),
+            _ => Err(format!("unknown transport `{s}` (valid: poll, epoll)")),
+        }
+    }
+}
 
 /// Server tuning knobs. `Default` matches the CLI defaults.
 #[derive(Debug, Clone)]
@@ -58,6 +112,8 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Default `DetectorSuite` jobs per analysis (`0` = all cores).
     pub default_jobs: usize,
+    /// Connection-handling strategy (epoll on Linux, poll elsewhere).
+    pub transport: Transport,
 }
 
 impl Default for ServeConfig {
@@ -69,6 +125,7 @@ impl Default for ServeConfig {
             cache_dir: None,
             cache_capacity: 128,
             default_jobs: 0,
+            transport: Transport::default(),
         }
     }
 }
@@ -84,8 +141,55 @@ struct ServeStats {
     overloaded: AtomicU64,
 }
 
-/// One unit of analysis work travelling from a connection handler to the
-/// worker pool. The reply channel carries the finished response line.
+/// The return path for a finished job: either the blocking waiter's
+/// channel (poll/stdin transports) or the event loop's completion queue.
+enum Responder {
+    /// A connection-handler thread blocked on the receiving end.
+    Channel(mpsc::Sender<String>),
+    /// The epoll loop's completion mailbox; the push wakes the loop.
+    #[cfg(target_os = "linux")]
+    Completion {
+        queue: Arc<CompletionQueue<Completion>>,
+        token: u64,
+        serial: u64,
+    },
+}
+
+impl Responder {
+    fn deliver(&self, response: String) {
+        match self {
+            // The waiter may have timed out and gone; a dead channel is fine.
+            Responder::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            #[cfg(target_os = "linux")]
+            Responder::Completion {
+                queue,
+                token,
+                serial,
+            } => queue.push(Completion {
+                token: *token,
+                serial: *serial,
+                response,
+            }),
+        }
+    }
+}
+
+/// A finished job travelling from a worker back to the event loop.
+#[cfg(target_os = "linux")]
+pub(crate) struct Completion {
+    /// The connection the response belongs to.
+    token: u64,
+    /// The per-connection request serial — a completion whose serial no
+    /// longer matches (the loop already answered `timeout`) is dropped,
+    /// like a send on a hung-up channel.
+    serial: u64,
+    response: String,
+}
+
+/// One unit of analysis work travelling from a transport to the worker
+/// pool. The responder carries the finished response line back.
 struct Job {
     id: Option<Value>,
     /// Server-unique request trace id, echoed in the response and threaded
@@ -99,12 +203,12 @@ struct Job {
     trace: bool,
     delay_ms: u64,
     key: CacheKey,
-    /// When the connection handler admitted the request (starts `total_ns`).
+    /// When the transport admitted the request (starts `total_ns`).
     accepted_at: Instant,
     /// When the job entered the bounded queue (starts `queue_ns`).
     enqueued_at: Instant,
     deadline: Option<Instant>,
-    respond: mpsc::Sender<String>,
+    respond: Responder,
 }
 
 struct ServerState {
@@ -128,6 +232,11 @@ struct ServerState {
     queue_ns: LocalHistogram,
     /// Parse + validate + detector-suite time, nanoseconds.
     analysis_ns: LocalHistogram,
+    /// The running epoll loop's wakeup eventfd, so an out-of-band
+    /// [`ServerState::begin_shutdown`] (handle, another connection) can
+    /// rouse a loop blocked in `epoll_wait`.
+    #[cfg(target_os = "linux")]
+    waker: std::sync::Mutex<Option<Arc<crate::event::EventFd>>>,
 }
 
 impl ServerState {
@@ -155,6 +264,8 @@ impl ServerState {
             latency_ns: LocalHistogram::new(),
             queue_ns: LocalHistogram::new(),
             analysis_ns: LocalHistogram::new(),
+            #[cfg(target_os = "linux")]
+            waker: std::sync::Mutex::new(None),
         })
     }
 
@@ -165,6 +276,23 @@ impl ServerState {
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
         self.queue.close();
+        #[cfg(target_os = "linux")]
+        {
+            let waker = self.waker.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(w) = waker.as_ref() {
+                w.notify();
+            }
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    fn set_waker(&self, w: Arc<crate::event::EventFd>) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(w);
+    }
+
+    #[cfg(target_os = "linux")]
+    fn clear_waker(&self) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
     fn effective_workers(&self) -> usize {
@@ -207,13 +335,44 @@ impl ServerHandle {
 
 static SIGINT_RECEIVED: AtomicBool = AtomicBool::new(false);
 
+/// The eventfd the SIGINT handler writes to so an epoll loop wakes
+/// immediately instead of on its next (possibly never) readiness event.
+/// `-1` until [`install_sigint_handler`] creates it.
+#[cfg(target_os = "linux")]
+static SIGINT_WAKE_FD: std::sync::atomic::AtomicI32 = std::sync::atomic::AtomicI32::new(-1);
+
+#[cfg(target_os = "linux")]
+fn sigint_wake_fd() -> Option<std::os::unix::io::RawFd> {
+    match SIGINT_WAKE_FD.load(Ordering::Relaxed) {
+        fd if fd >= 0 => Some(fd),
+        _ => None,
+    }
+}
+
 /// Installs a SIGINT (ctrl-C) handler that requests graceful shutdown of
-/// every server in this process. The handler only stores into an atomic —
-/// async-signal-safe — and the accept loops poll the flag.
+/// every server in this process. The handler stores into an atomic and
+/// (on Linux) writes one eventfd counter — both async-signal-safe. The
+/// poll transport's accept loop polls the flag; the epoll transport
+/// registers the eventfd in its interest set and is woken by the write.
 #[cfg(unix)]
 pub fn install_sigint_handler() {
+    #[cfg(target_os = "linux")]
+    {
+        if SIGINT_WAKE_FD.load(Ordering::Relaxed) < 0 {
+            if let Ok(efd) = crate::event::EventFd::new() {
+                SIGINT_WAKE_FD.store(efd.into_raw(), Ordering::Relaxed);
+            }
+        }
+    }
     extern "C" fn on_sigint(_signum: i32) {
         SIGINT_RECEIVED.store(true, Ordering::Relaxed);
+        #[cfg(target_os = "linux")]
+        {
+            let fd = SIGINT_WAKE_FD.load(Ordering::Relaxed);
+            if fd >= 0 {
+                crate::event::notify_raw(fd);
+            }
+        }
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
@@ -265,6 +424,22 @@ impl Server {
     /// connection, [`ServerHandle::begin_shutdown`], or SIGINT), then
     /// drains in-flight jobs, flushes the disk cache, and returns.
     pub fn run(self) -> io::Result<()> {
+        match self.state.config.transport {
+            #[cfg(target_os = "linux")]
+            Transport::Epoll => self.run_epoll(),
+            #[cfg(not(target_os = "linux"))]
+            Transport::Epoll => {
+                eprintln!("serve: the epoll transport is Linux-only; falling back to poll");
+                self.run_poll()
+            }
+            Transport::Poll => self.run_poll(),
+        }
+    }
+
+    /// The portable transport: a nonblocking accept loop sleeping
+    /// [`POLL_INTERVAL`] between attempts, one handler thread per
+    /// connection.
+    fn run_poll(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let state = &self.state;
         std::thread::scope(|s| {
@@ -285,7 +460,19 @@ impl Server {
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
                         std::thread::sleep(POLL_INTERVAL);
                     }
-                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                    // Transient resource pressure (fd exhaustion, a
+                    // connection aborted in the backlog, a signal): back
+                    // off one interval and retry.
+                    Err(e) if accept_error_is_transient(&e) => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    // Anything else (EBADF, EINVAL, ...) will fail forever;
+                    // retrying would spin at 40 Hz without ever accepting.
+                    // Log once and drain instead.
+                    Err(e) => {
+                        eprintln!("serve: accept failed fatally: {e}; shutting down");
+                        state.begin_shutdown();
+                    }
                 }
             }
             // Redundant when shutdown came through a connection, essential
@@ -295,7 +482,614 @@ impl Server {
         self.state.cache.flush();
         Ok(())
     }
+
+    /// The event-driven transport: one I/O thread multiplexing the
+    /// listener, every connection, worker completions, and SIGINT over a
+    /// single `epoll_wait`.
+    #[cfg(target_os = "linux")]
+    fn run_epoll(self) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let state = &self.state;
+        let result = std::thread::scope(|s| {
+            for _ in 0..state.effective_workers() {
+                s.spawn(move || worker_loop(state));
+            }
+            let result = event_loop(&self.listener, state);
+            // The loop drains before returning on the normal path; make
+            // sure workers exit even if it failed.
+            state.begin_shutdown();
+            result
+        });
+        self.state.cache.flush();
+        result
+    }
 }
+
+/// Whether a failed `accept(2)` is worth retrying after a short backoff
+/// (fd exhaustion, an aborted backlog connection, a signal) as opposed to
+/// failing identically forever (closed or invalid listener).
+fn accept_error_is_transient(e: &io::Error) -> bool {
+    if matches!(
+        e.kind(),
+        ErrorKind::Interrupted | ErrorKind::ConnectionAborted | ErrorKind::ConnectionReset
+    ) {
+        return true;
+    }
+    // ENFILE(23) / EMFILE(24) / ENOMEM(12) / ENOBUFS(105): the process or
+    // host is out of descriptors or buffers; pending connections can be
+    // accepted once something is released.
+    matches!(e.raw_os_error(), Some(12) | Some(23) | Some(24) | Some(105))
+}
+
+// ---------------------------------------------------------------------------
+// The epoll event loop
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll_loop {
+    use super::*;
+    use crate::event::{
+        Epoll, EpollEvent, EventFd, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+    };
+    use std::collections::HashMap;
+    use std::os::unix::io::AsRawFd;
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKE: u64 = 1;
+    const TOKEN_SIGINT: u64 = 2;
+    const TOKEN_FIRST_CONN: u64 = 3;
+
+    /// Stop reading ahead once this much unprocessed input is buffered
+    /// and at least one complete line is waiting — backpressure against a
+    /// client that pipelines faster than analyses finish. A single
+    /// oversized line is still read to completion.
+    const READ_AHEAD_CAP: usize = 1 << 20;
+
+    /// A check request the event loop has handed to the worker pool and
+    /// not yet answered.
+    struct PendingCheck {
+        serial: u64,
+        id: Option<Value>,
+        admission: Admission,
+        deadline: Option<Instant>,
+    }
+
+    /// One registered client connection and its buffers.
+    struct Conn {
+        stream: TcpStream,
+        token: u64,
+        /// Bytes read but not yet consumed as complete request lines.
+        inbuf: Vec<u8>,
+        /// Response bytes (payload + newline framing, one contiguous
+        /// buffer per response) not yet accepted by the socket.
+        outbuf: Vec<u8>,
+        out_pos: usize,
+        /// The single check this connection is waiting on. Requests are
+        /// answered strictly in request order, so at most one is in
+        /// flight per connection — identical to the poll transport.
+        inflight: Option<PendingCheck>,
+        next_serial: u64,
+        /// The peer finished sending (clean EOF or half-close).
+        eof: bool,
+        /// The connection failed hard; buffers are abandoned.
+        dead: bool,
+        /// The interest mask currently registered with epoll (0 = none).
+        registered: u32,
+    }
+
+    impl Conn {
+        fn new(stream: TcpStream, token: u64, registered: u32) -> Conn {
+            Conn {
+                stream,
+                token,
+                inbuf: Vec::new(),
+                outbuf: Vec::new(),
+                out_pos: 0,
+                inflight: None,
+                next_serial: 0,
+                eof: false,
+                dead: false,
+                registered,
+            }
+        }
+
+        fn read_ahead_paused(&self) -> bool {
+            self.inbuf.len() > READ_AHEAD_CAP && self.inbuf.contains(&b'\n')
+        }
+
+        /// Drains the socket's receive buffer into `inbuf`.
+        fn fill(&mut self) {
+            if self.dead || self.eof {
+                return;
+            }
+            let mut chunk = [0u8; 16384];
+            loop {
+                if self.read_ahead_paused() {
+                    return;
+                }
+                match (&self.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        self.eof = true;
+                        return;
+                    }
+                    Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        return;
+                    }
+                }
+            }
+        }
+
+        /// Queues `response` plus its newline framing as one contiguous
+        /// buffer, so the whole frame leaves in a single `write(2)` —
+        /// never a payload write followed by a 1-byte `\n` write that
+        /// Nagle + delayed ACK can park for ~40 ms.
+        fn push_response(&mut self, response: &str) {
+            if self.dead {
+                return;
+            }
+            self.outbuf.reserve(response.len() + 1);
+            self.outbuf.extend_from_slice(response.as_bytes());
+            self.outbuf.push(b'\n');
+        }
+
+        /// Writes as much buffered output as the socket accepts.
+        fn flush(&mut self) {
+            if self.dead {
+                self.outbuf.clear();
+                self.out_pos = 0;
+                return;
+            }
+            while self.out_pos < self.outbuf.len() {
+                match (&self.stream).write(&self.outbuf[self.out_pos..]) {
+                    Ok(0) => {
+                        self.dead = true;
+                        break;
+                    }
+                    Ok(n) => self.out_pos += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        break;
+                    }
+                }
+            }
+            if self.out_pos >= self.outbuf.len() {
+                self.outbuf.clear();
+                self.out_pos = 0;
+            }
+        }
+
+        fn has_unwritten_output(&self) -> bool {
+            self.out_pos < self.outbuf.len()
+        }
+
+        /// The interest mask this connection currently needs: readable
+        /// while it may produce the next request, writable while output
+        /// is buffered. A connection waiting on a worker wants neither —
+        /// it costs zero wakeups.
+        fn desired_interest(&self, state: &ServerState) -> u32 {
+            if self.dead {
+                return 0;
+            }
+            let mut want = 0;
+            if !self.eof
+                && self.inflight.is_none()
+                && !state.is_shutdown()
+                && !self.read_ahead_paused()
+            {
+                want |= EPOLLIN | EPOLLRDHUP;
+            }
+            if self.has_unwritten_output() {
+                want |= EPOLLOUT;
+            }
+            want
+        }
+
+        /// Reconciles the registered interest mask with the desired one.
+        fn update_interest(&mut self, epoll: &Epoll, state: &ServerState) {
+            let want = self.desired_interest(state);
+            if want == self.registered {
+                return;
+            }
+            let fd = self.stream.as_raw_fd();
+            let result = if want == 0 {
+                epoll.delete(fd)
+            } else if self.registered == 0 {
+                epoll.add(fd, self.token, want)
+            } else {
+                epoll.modify(fd, self.token, want)
+            };
+            match result {
+                Ok(()) => self.registered = want,
+                Err(_) => self.dead = true,
+            }
+        }
+
+        /// Whether the connection can be dropped: nothing in flight and
+        /// either failed hard or fully answered a finished peer.
+        fn finished(&self) -> bool {
+            if self.inflight.is_some() {
+                return false;
+            }
+            self.dead || (self.eof && !self.has_unwritten_output())
+        }
+    }
+
+    /// The shared, immutable pieces every event-loop helper needs.
+    struct Reactor<'a> {
+        state: &'a ServerState,
+        listener: &'a TcpListener,
+        epoll: Epoll,
+        wake: Arc<EventFd>,
+        completions: Arc<CompletionQueue<Completion>>,
+    }
+
+    /// Accept-side flow control: deregistered during fd-exhaustion
+    /// backoff and for good once draining.
+    struct AcceptGate {
+        registered: bool,
+        resume_at: Option<Instant>,
+    }
+
+    pub(super) fn event_loop(listener: &TcpListener, state: &ServerState) -> io::Result<()> {
+        let epoll = Epoll::new()?;
+        let wake = Arc::new(EventFd::new()?);
+        let completions: Arc<CompletionQueue<Completion>> =
+            Arc::new(CompletionQueue::new(Arc::clone(&wake) as Arc<dyn Notify>));
+        epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+        epoll.add(wake.as_raw_fd(), TOKEN_WAKE, EPOLLIN)?;
+        let mut sigint_registered = false;
+        if let Some(fd) = sigint_wake_fd() {
+            sigint_registered = epoll.add(fd, TOKEN_SIGINT, EPOLLIN).is_ok();
+        }
+        state.set_waker(Arc::clone(&wake));
+        let reactor = Reactor {
+            state,
+            listener,
+            epoll,
+            wake,
+            completions,
+        };
+        let result = event_loop_run(&reactor, sigint_registered);
+        state.clear_waker();
+        result
+    }
+
+    fn event_loop_run(r: &Reactor<'_>, mut sigint_registered: bool) -> io::Result<()> {
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_token = TOKEN_FIRST_CONN;
+        let mut gate = AcceptGate {
+            registered: true,
+            resume_at: None,
+        };
+        let mut events = [EpollEvent::zeroed(); 64];
+        let mut draining = false;
+        let mut drain_deadline: Option<Instant> = None;
+
+        loop {
+            if SIGINT_RECEIVED.load(Ordering::Relaxed) {
+                r.state.begin_shutdown();
+            }
+            if r.state.is_shutdown() && !draining {
+                draining = true;
+                drain_deadline = Some(Instant::now() + DRAIN_WRITE_GRACE);
+                if gate.registered {
+                    let _ = r.epoll.delete(r.listener.as_raw_fd());
+                    gate.registered = false;
+                }
+                gate.resume_at = None;
+                // The SIGINT eventfd is level-triggered and never drained
+                // (the latch serves every future epoll loop in the
+                // process); deregister it so the drain phase blocks
+                // instead of spinning.
+                if sigint_registered {
+                    if let Some(fd) = sigint_wake_fd() {
+                        let _ = r.epoll.delete(fd);
+                    }
+                    sigint_registered = false;
+                }
+            }
+            if draining {
+                // Keep a connection only while a worker still owes it a
+                // response, or while already-built responses are still
+                // flushing (bounded by the drain grace period).
+                let past_grace = drain_deadline.is_some_and(|d| Instant::now() >= d);
+                conns.retain(|_, c| {
+                    c.inflight.is_some() || (!past_grace && !c.dead && c.has_unwritten_output())
+                });
+                if conns.is_empty() {
+                    return Ok(());
+                }
+            }
+
+            let timeout_ms = next_wakeup_ms(&conns, &gate, draining, drain_deadline);
+            let n = r.epoll.wait(&mut events, timeout_ms)?;
+
+            let mut touched: Vec<u64> = Vec::new();
+            for ev in &events[..n] {
+                let EpollEvent { events: mask, data } = *ev;
+                match data {
+                    TOKEN_LISTENER => {
+                        accept_ready(r, &mut conns, &mut next_token, &mut gate);
+                    }
+                    TOKEN_WAKE => r.wake.drain(),
+                    TOKEN_SIGINT => {} // latch; handled at the loop top
+                    token => {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            if mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+                                conn.fill();
+                            }
+                            if mask & EPOLLOUT != 0 {
+                                conn.flush();
+                            }
+                            touched.push(token);
+                        }
+                    }
+                }
+            }
+
+            // Re-arm accepts once an fd-exhaustion backoff expires.
+            if let Some(at) = gate.resume_at {
+                if !draining && Instant::now() >= at {
+                    gate.resume_at = None;
+                    gate.registered = r
+                        .epoll
+                        .add(r.listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)
+                        .is_ok();
+                }
+            }
+
+            // Worker completions: answer the request each one belongs to.
+            // A stale serial means the loop already answered `timeout` for
+            // it — the result is discarded, exactly like the poll
+            // transport's send to a hung-up reply channel.
+            for completion in r.completions.drain() {
+                if let Some(conn) = conns.get_mut(&completion.token) {
+                    let matches = conn
+                        .inflight
+                        .as_ref()
+                        .is_some_and(|p| p.serial == completion.serial);
+                    if matches {
+                        let pending = conn.inflight.take().expect("matched above");
+                        settle_check(r.state, &pending.admission);
+                        conn.push_response(&completion.response);
+                        touched.push(completion.token);
+                    }
+                }
+            }
+
+            // Expired deadlines: answer `timeout` now; the analysis keeps
+            // running but its eventual completion is stale.
+            let now = Instant::now();
+            for (token, conn) in conns.iter_mut() {
+                let expired = conn
+                    .inflight
+                    .as_ref()
+                    .is_some_and(|p| p.deadline.is_some_and(|d| now >= d));
+                if expired {
+                    let pending = conn.inflight.take().expect("expired above");
+                    r.state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    rstudy_telemetry::counter("serve.timeouts", 1);
+                    let response =
+                        timeout_response(&pending.id, pending.admission.trace_id, r.state);
+                    settle_check(r.state, &pending.admission);
+                    conn.push_response(&response);
+                    touched.push(*token);
+                }
+            }
+
+            touched.sort_unstable();
+            touched.dedup();
+            for token in touched {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                process_lines(conn, r);
+                conn.flush();
+                conn.update_interest(&r.epoll, r.state);
+                if conn.finished() {
+                    // Dropping the stream closes the fd, which removes it
+                    // from the epoll set.
+                    conns.remove(&token);
+                }
+            }
+        }
+    }
+
+    /// How long `epoll_wait` may block: forever unless a request deadline,
+    /// an accept backoff, or the drain grace period needs a timer.
+    fn next_wakeup_ms(
+        conns: &HashMap<u64, Conn>,
+        gate: &AcceptGate,
+        draining: bool,
+        drain_deadline: Option<Instant>,
+    ) -> i32 {
+        let mut wake_at: Option<Instant> = gate.resume_at;
+        if draining {
+            wake_at = earliest(wake_at, drain_deadline);
+        }
+        for conn in conns.values() {
+            if let Some(p) = &conn.inflight {
+                wake_at = earliest(wake_at, p.deadline);
+            }
+        }
+        match wake_at {
+            None => -1,
+            Some(at) => {
+                let dur = at.saturating_duration_since(Instant::now());
+                if dur.is_zero() {
+                    0
+                } else {
+                    // Round up so the timer fires at-or-after the deadline
+                    // instead of one truncated millisecond early.
+                    dur.as_millis().saturating_add(1).min(i32::MAX as u128) as i32
+                }
+            }
+        }
+    }
+
+    fn earliest(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+        match (a, b) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+
+    /// Accepts every pending connection. Transient failures back off by
+    /// deregistering the listener for one [`POLL_INTERVAL`] (a
+    /// level-triggered epoll would otherwise report it hot the whole
+    /// time); fatal ones log once and begin a graceful drain.
+    fn accept_ready(
+        r: &Reactor<'_>,
+        conns: &mut HashMap<u64, Conn>,
+        next_token: &mut u64,
+        gate: &mut AcceptGate,
+    ) {
+        if !gate.registered {
+            return;
+        }
+        loop {
+            match r.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    // Responses are coalesced into single writes, but
+                    // disable Nagle too: a response racing a previous
+                    // partial flush must never wait on a delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if r.epoll.add(stream.as_raw_fd(), token, interest).is_ok() {
+                        conns.insert(token, Conn::new(stream, token, interest));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if accept_error_is_transient(&e) => {
+                    let _ = r.epoll.delete(r.listener.as_raw_fd());
+                    gate.registered = false;
+                    gate.resume_at = Some(Instant::now() + POLL_INTERVAL);
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("serve: accept failed fatally: {e}; shutting down");
+                    r.state.begin_shutdown();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses and dispatches every complete buffered line, one check at a
+    /// time (responses are strictly in request order). Also converts a
+    /// final unterminated fragment at EOF into a structured error.
+    fn process_lines(conn: &mut Conn, r: &Reactor<'_>) {
+        let mut consumed = 0usize;
+        while conn.inflight.is_none() && !conn.dead && !r.state.is_shutdown() {
+            let Some(rel) = conn.inbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                break;
+            };
+            let end = consumed + rel;
+            let line = match std::str::from_utf8(&conn.inbuf[consumed..end]) {
+                Ok(s) => s.trim().to_owned(),
+                Err(_) => {
+                    // The poll transport's `read_line` kills the
+                    // connection on invalid UTF-8; match it.
+                    conn.dead = true;
+                    break;
+                }
+            };
+            consumed = end + 1;
+            if line.is_empty() {
+                continue;
+            }
+            dispatch_line(conn, &line, r);
+        }
+        if consumed > 0 {
+            conn.inbuf.drain(..consumed);
+        }
+        // EOF with a trailing fragment that never got its newline: the
+        // protocol promises every failure mode a structured response, so
+        // answer `error` instead of dropping the bytes silently.
+        if conn.eof && conn.inflight.is_none() && !r.state.is_shutdown() {
+            if conn.inbuf.iter().any(|b| !b.is_ascii_whitespace()) {
+                r.state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                rstudy_telemetry::counter("serve.errors", 1);
+                conn.push_response(&error_response(
+                    &None,
+                    "unterminated request: connection closed before the line's newline",
+                ));
+            }
+            conn.inbuf.clear();
+        }
+    }
+
+    /// One request line → either an immediate response or a worker-pool
+    /// submission recorded as the connection's in-flight check.
+    fn dispatch_line(conn: &mut Conn, line: &str, r: &Reactor<'_>) {
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(e) => {
+                r.state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                rstudy_telemetry::counter("serve.errors", 1);
+                conn.push_response(&error_response(&e.id, &e.message));
+                return;
+            }
+        };
+        match request.command {
+            Command::Shutdown => {
+                r.state.begin_shutdown();
+                conn.push_response(&ResponseBuilder::new(&request.id, "shutdown").finish());
+            }
+            Command::Stats => conn.push_response(&stats_response(&request.id, r.state)),
+            Command::Metrics => conn.push_response(&metrics_response(&request.id, r.state)),
+            Command::Check(check) => {
+                let admission = admit_check(r.state);
+                let serial = conn.next_serial;
+                conn.next_serial += 1;
+                let responder = Responder::Completion {
+                    queue: Arc::clone(&r.completions),
+                    token: conn.token,
+                    serial,
+                };
+                match start_check(
+                    &request.id,
+                    admission.trace_id,
+                    check,
+                    r.state,
+                    admission.started,
+                    responder,
+                ) {
+                    CheckStart::Ready(response) => {
+                        settle_check(r.state, &admission);
+                        conn.push_response(&response);
+                    }
+                    CheckStart::Queued { deadline } => {
+                        conn.inflight = Some(PendingCheck {
+                            serial,
+                            id: request.id,
+                            admission,
+                            deadline,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+use epoll_loop::event_loop;
+
+// ---------------------------------------------------------------------------
+// Stream (stdin) transport
+// ---------------------------------------------------------------------------
 
 /// Serves one NDJSON stream synchronously: `serve --stdin` mode. Requests
 /// are answered in order; EOF triggers the same graceful drain as a
@@ -322,9 +1116,9 @@ pub fn serve_stream<R: BufRead, W: Write>(
             if trimmed.is_empty() {
                 continue;
             }
-            let response = handle_line(trimmed, state_ref);
+            let mut response = handle_line(trimmed, state_ref);
+            response.push('\n');
             writer.write_all(response.as_bytes())?;
-            writer.write_all(b"\n")?;
             writer.flush()?;
             if state_ref.is_shutdown() {
                 break;
@@ -340,7 +1134,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
 }
 
 // ---------------------------------------------------------------------------
-// Connection handling
+// Poll-transport connection handling
 // ---------------------------------------------------------------------------
 
 fn handle_connection(stream: TcpStream, state: &ServerState) {
@@ -348,6 +1142,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
         return;
     };
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_nodelay(true);
     let _ = read_half.set_read_timeout(Some(POLL_INTERVAL));
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
@@ -359,12 +1154,28 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             return;
         }
         match reader.read_line(&mut line) {
-            Ok(0) => return,
+            Ok(0) => {
+                // EOF with a buffered fragment (read across an earlier
+                // timeout) that never got its newline: answer a
+                // structured error rather than dropping it silently.
+                if !line.trim().is_empty() {
+                    state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    rstudy_telemetry::counter("serve.errors", 1);
+                    let _ = write_line(
+                        &mut writer,
+                        error_response(
+                            &None,
+                            "unterminated request: connection closed before the line's newline",
+                        ),
+                    );
+                }
+                return;
+            }
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let response = handle_line(trimmed, state);
-                    if write_line(&mut writer, &response).is_err() {
+                    if write_line(&mut writer, response).is_err() {
                         return;
                     }
                 }
@@ -383,13 +1194,21 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
     }
 }
 
-fn write_line(writer: &mut impl Write, response: &str) -> io::Result<()> {
+/// Writes one response frame — payload and newline in a single buffer,
+/// hence a single `write(2)`. Two separate writes would let Nagle hold
+/// the 1-byte newline for the ACK of the payload (~40 ms stalls).
+fn write_line(writer: &mut impl Write, mut response: String) -> io::Result<()> {
+    response.push('\n');
     writer.write_all(response.as_bytes())?;
-    writer.write_all(b"\n")?;
     writer.flush()
 }
 
-/// Dispatches one request line to a response line. Infallible by design:
+// ---------------------------------------------------------------------------
+// Request dispatch (shared by every transport)
+// ---------------------------------------------------------------------------
+
+/// Dispatches one request line to a response line, blocking until the
+/// response is ready (poll and stdin transports). Infallible by design:
 /// every failure mode becomes a structured response.
 fn handle_line(line: &str, state: &ServerState) -> String {
     let request = match parse_request(line) {
@@ -528,33 +1347,118 @@ fn count(a: &AtomicU64) -> Value {
     Value::UInt(a.load(Ordering::Relaxed))
 }
 
-fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) -> String {
+// ---------------------------------------------------------------------------
+// The check lifecycle: admit → start → (wait | completion) → settle
+// ---------------------------------------------------------------------------
+
+/// Bookkeeping minted when a check request is admitted; closed out by
+/// [`settle_check`] exactly once, whichever path answers the request.
+struct Admission {
+    trace_id: u64,
+    started: Instant,
+}
+
+/// Counts the request in and assigns its trace id.
+fn admit_check(state: &ServerState) -> Admission {
     let started = Instant::now();
     let trace_id = state.next_trace_id.fetch_add(1, Ordering::Relaxed) + 1;
     state.stats.requests.fetch_add(1, Ordering::Relaxed);
     state.inflight.fetch_add(1, Ordering::Relaxed);
     rstudy_telemetry::counter("serve.requests", 1);
     rstudy_telemetry::trace(|| format!("serve: request {trace_id} admitted"));
-    let response = handle_check_inner(id, trace_id, check, state, started);
-    let elapsed_ns = started.elapsed().as_nanos() as u64;
+    Admission { trace_id, started }
+}
+
+/// Records the request's latency and retires it from the in-flight count.
+fn settle_check(state: &ServerState, admission: &Admission) {
+    let elapsed_ns = admission.started.elapsed().as_nanos() as u64;
     state.latency_ns.record(elapsed_ns);
     state.inflight.fetch_sub(1, Ordering::Relaxed);
     rstudy_telemetry::record("serve.request_ns", elapsed_ns);
+    let trace_id = admission.trace_id;
     rstudy_telemetry::trace(|| format!("serve: request {trace_id} answered in {elapsed_ns} ns"));
+}
+
+/// What [`start_check`] did with the request.
+enum CheckStart {
+    /// Answered without worker involvement: a validation error, a cache
+    /// hit, shed load, or a draining server.
+    Ready(String),
+    /// Submitted to the worker pool; the [`Responder`] delivers the
+    /// response, and `deadline` bounds the wait.
+    Queued { deadline: Option<Instant> },
+}
+
+/// The blocking check path (poll and stdin transports): admit, start,
+/// wait for the responder's channel, settle.
+fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) -> String {
+    let admission = admit_check(state);
+    let (respond, reply) = mpsc::channel();
+    let response = match start_check(
+        id,
+        admission.trace_id,
+        check,
+        state,
+        admission.started,
+        Responder::Channel(respond),
+    ) {
+        CheckStart::Ready(response) => response,
+        CheckStart::Queued { deadline } => {
+            await_reply(id, admission.trace_id, state, deadline, &reply)
+        }
+    };
+    settle_check(state, &admission);
     response
 }
 
-fn handle_check_inner(
+/// Blocks on the worker's reply channel until the response or the
+/// request deadline, whichever comes first.
+fn await_reply(
+    id: &Option<Value>,
+    trace_id: u64,
+    state: &ServerState,
+    deadline: Option<Instant>,
+    reply: &mpsc::Receiver<String>,
+) -> String {
+    let fail = |msg: &str| {
+        state.stats.errors.fetch_add(1, Ordering::Relaxed);
+        rstudy_telemetry::counter("serve.errors", 1);
+        error_response(id, msg)
+    };
+    match deadline {
+        None => reply
+            .recv()
+            .unwrap_or_else(|_| fail("internal error: worker exited")),
+        Some(deadline) => {
+            let wait = deadline.saturating_duration_since(Instant::now());
+            match reply.recv_timeout(wait) {
+                Ok(response) => response,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    rstudy_telemetry::counter("serve.timeouts", 1);
+                    timeout_response(id, trace_id, state)
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => fail("internal error: worker exited"),
+            }
+        }
+    }
+}
+
+/// Everything before waiting: resolve the program source, canonicalize
+/// detectors, consult the cache, and submit to the bounded queue. Never
+/// blocks, so the epoll loop calls it directly.
+fn start_check(
     id: &Option<Value>,
     trace_id: u64,
     check: CheckRequest,
     state: &ServerState,
     started: Instant,
-) -> String {
+    respond: Responder,
+) -> CheckStart {
     let fail = |msg: String| {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
         rstudy_telemetry::counter("serve.errors", 1);
-        error_response(id, &msg)
+        CheckStart::Ready(error_response(id, &msg))
     };
 
     let program_text = match &check.source {
@@ -575,7 +1479,7 @@ fn handle_check_inner(
             rstudy_telemetry::counter("serve.cache.hits", 1);
             rstudy_telemetry::trace(|| format!("serve: request {trace_id} cache hit"));
             state.stats.ok.fetch_add(1, Ordering::Relaxed);
-            return ok_response(
+            return CheckStart::Ready(ok_response(
                 id,
                 trace_id,
                 Timing {
@@ -586,7 +1490,7 @@ fn handle_check_inner(
                 },
                 check.trace.then(|| trace_value(started, None)),
                 report,
-            );
+            ));
         }
         // A torn or corrupt cache entry degrades to a recompute.
     }
@@ -597,7 +1501,6 @@ fn handle_check_inner(
         .config
         .timeout_ms
         .map(|ms| started + Duration::from_millis(ms));
-    let (respond, reply) = mpsc::channel();
     let job = Job {
         id: id.clone(),
         trace_id,
@@ -619,12 +1522,13 @@ fn handle_check_inner(
             rstudy_telemetry::trace(|| {
                 format!("serve: request {trace_id} enqueued at depth {depth}")
             });
+            CheckStart::Queued { deadline }
         }
         Err(PushError::Full) => {
             state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
             rstudy_telemetry::counter("serve.overloaded", 1);
             rstudy_telemetry::trace(|| format!("serve: request {trace_id} shed (queue full)"));
-            return degraded_response_traced(
+            CheckStart::Ready(degraded_response_traced(
                 id,
                 trace_id,
                 "overloaded",
@@ -632,29 +1536,9 @@ fn handle_check_inner(
                     "queue full ({} pending analyses); retry later",
                     state.config.queue_depth
                 ),
-            );
+            ))
         }
-        Err(PushError::Closed) => return fail("server is shutting down".to_owned()),
-    }
-
-    match deadline {
-        None => reply
-            .recv()
-            .unwrap_or_else(|_| fail("internal error: worker exited".to_owned())),
-        Some(deadline) => {
-            let wait = deadline.saturating_duration_since(Instant::now());
-            match reply.recv_timeout(wait) {
-                Ok(response) => response,
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-                    rstudy_telemetry::counter("serve.timeouts", 1);
-                    timeout_response(id, trace_id, state)
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    fail("internal error: worker exited".to_owned())
-                }
-            }
-        }
+        Err(PushError::Closed) => fail("server is shutting down".to_owned()),
     }
 }
 
@@ -777,8 +1661,7 @@ fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.pop() {
         let _span = rstudy_telemetry::span("serve.worker");
         let response = run_job(&job, state);
-        // The waiter may have timed out and gone; a dead channel is fine.
-        let _ = job.respond.send(response);
+        job.respond.deliver(response);
     }
 }
 
@@ -945,5 +1828,39 @@ fn main() -> int {
         assert_eq!(a, b);
         assert_eq!(a, ["use-after-free", "double-lock"]);
         assert!(canonical_detectors(Some(&["bogus".into()])).is_err());
+    }
+
+    #[test]
+    fn transport_parses_and_defaults_per_platform() {
+        assert_eq!("poll".parse::<Transport>(), Ok(Transport::Poll));
+        assert_eq!("epoll".parse::<Transport>(), Ok(Transport::Epoll));
+        assert!("kqueue".parse::<Transport>().is_err());
+        if cfg!(target_os = "linux") {
+            assert_eq!(Transport::default(), Transport::Epoll);
+        } else {
+            assert_eq!(Transport::default(), Transport::Poll);
+        }
+    }
+
+    #[test]
+    fn accept_errors_are_classified() {
+        use std::io::Error;
+        // Transient: fd exhaustion and aborted backlog connections.
+        assert!(accept_error_is_transient(&Error::from_raw_os_error(24)));
+        assert!(accept_error_is_transient(&Error::from_raw_os_error(23)));
+        assert!(accept_error_is_transient(&Error::new(
+            ErrorKind::ConnectionAborted,
+            "aborted"
+        )));
+        assert!(accept_error_is_transient(&Error::new(
+            ErrorKind::Interrupted,
+            "eintr"
+        )));
+        // Fatal: a closed or invalid listener fd.
+        assert!(!accept_error_is_transient(&Error::from_raw_os_error(9)));
+        assert!(!accept_error_is_transient(&Error::new(
+            ErrorKind::InvalidInput,
+            "einval"
+        )));
     }
 }

@@ -153,6 +153,8 @@ SERVE FLAGS:
   --timeout-ms <N>      per-request deadline; exceeding it answers `timeout`
   --workers <N>         analysis worker threads (default: all cores)
   --queue-depth <N>     bounded queue capacity; overflow answers `overloaded` (default 64)
+  --transport <T>       connection handling: `epoll` (event-driven, Linux default)
+                        or `poll` (portable 25 ms polling fallback)
 
 LOADGEN FLAGS:
   --requests <N>        total requests to send (default 100)
@@ -160,6 +162,7 @@ LOADGEN FLAGS:
   --connections <N>     concurrent client connections (default 4)
   --addr <host:port>    target server (default: boot one in-process)
   --mix <a,b,...>       corpus program names to cycle through
+  --transport <T>       transport for the in-process server: `epoll` or `poll`
   --out <path>          latency/throughput report (default BENCH_serve.json)
   --suite-out <path>    also run the offline suite benchmark (BENCH_suite.json)
 
@@ -226,7 +229,9 @@ fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
 /// Parses and runs the `serve` subcommand. `default_jobs` is the global
 /// `--jobs` value (0 = auto), applied to requests that omit `jobs`.
 fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
-    use rust_safety_study::serve::{install_sigint_handler, serve_stream, ServeConfig, Server};
+    use rust_safety_study::serve::{
+        install_sigint_handler, serve_stream, ServeConfig, Server, Transport,
+    };
 
     fn positive(args: &mut Vec<String>, name: &str) -> Result<Option<u64>, String> {
         match take_value(args, name)? {
@@ -250,12 +255,18 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
         let workers = positive(args, "--workers")?.unwrap_or(0) as usize;
         let queue_depth = positive(args, "--queue-depth")?.unwrap_or(64) as usize;
         let cache_dir = take_value(args, "--cache-dir")?.map(std::path::PathBuf::from);
+        let transport = match take_value(args, "--transport")? {
+            None => Transport::default(),
+            Some(s) => s
+                .parse::<Transport>()
+                .map_err(|e| format!("--transport: {e}"))?,
+        };
         if let Some(stray) = args.first() {
             return Err(format!("serve: unexpected argument `{stray}`"));
         }
-        Ok((port, timeout_ms, workers, queue_depth, cache_dir))
+        Ok((port, timeout_ms, workers, queue_depth, cache_dir, transport))
     })();
-    let (port, timeout_ms, workers, queue_depth, cache_dir) = match parsed {
+    let (port, timeout_ms, workers, queue_depth, cache_dir, transport) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -268,6 +279,7 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
         timeout_ms,
         cache_dir,
         default_jobs,
+        transport,
         ..ServeConfig::default()
     };
 
@@ -340,6 +352,9 @@ fn cmd_loadgen(args: &mut Vec<String>) -> ExitCode {
         }
         if let Some(s) = take_value(args, "--mix")? {
             config.mix = s.split(',').map(|m| m.trim().to_owned()).collect();
+        }
+        if let Some(s) = take_value(args, "--transport")? {
+            config.transport = s.parse().map_err(|e| format!("--transport: {e}"))?;
         }
         let out = take_value(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_owned());
         let suite_out = take_value(args, "--suite-out")?;

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rstudy_serve-2c3b427641bc3362.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+/root/repo/target/debug/deps/rstudy_serve-2c3b427641bc3362.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
 
-/root/repo/target/debug/deps/librstudy_serve-2c3b427641bc3362.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
+/root/repo/target/debug/deps/librstudy_serve-2c3b427641bc3362.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs Cargo.toml
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
+crates/service/src/event.rs:
 crates/service/src/loadgen.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/rstudy_serve-814deb4a873a98e9.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/rstudy_serve-814deb4a873a98e9.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
-/root/repo/target/debug/deps/rstudy_serve-814deb4a873a98e9: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/rstudy_serve-814deb4a873a98e9: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
+crates/service/src/event.rs:
 crates/service/src/loadgen.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/rstudy_serve-f72824d7901709a2.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/rstudy_serve-f72824d7901709a2.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
-/root/repo/target/debug/deps/librstudy_serve-f72824d7901709a2.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/librstudy_serve-f72824d7901709a2.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
-/root/repo/target/debug/deps/librstudy_serve-f72824d7901709a2.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/debug/deps/librstudy_serve-f72824d7901709a2.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
+crates/service/src/event.rs:
 crates/service/src/loadgen.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/transport-5cdf2e20b8366afd.d: tests/transport.rs
+
+/root/repo/target/debug/deps/transport-5cdf2e20b8366afd: tests/transport.rs
+
+tests/transport.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=/root/repo/target/debug/rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/transport-9535a20c1b30d98d.d: tests/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport-9535a20c1b30d98d.rmeta: tests/transport.rs Cargo.toml
+
+tests/transport.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

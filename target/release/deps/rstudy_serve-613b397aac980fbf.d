@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/rstudy_serve-613b397aac980fbf.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/rstudy_serve-613b397aac980fbf.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
-/root/repo/target/release/deps/librstudy_serve-613b397aac980fbf.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/librstudy_serve-613b397aac980fbf.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
-/root/repo/target/release/deps/librstudy_serve-613b397aac980fbf.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+/root/repo/target/release/deps/librstudy_serve-613b397aac980fbf.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
 
 crates/service/src/lib.rs:
 crates/service/src/cache.rs:
+crates/service/src/event.rs:
 crates/service/src/loadgen.rs:
 crates/service/src/protocol.rs:
 crates/service/src/queue.rs:
