@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cli-04e1aaa64f16d231.d: tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-04e1aaa64f16d231.rmeta: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_dynamic-b6c8ac862ec68322.d: tests/corpus_dynamic.rs
+
+/root/repo/target/debug/deps/libcorpus_dynamic-b6c8ac862ec68322.rmeta: tests/corpus_dynamic.rs
+
+tests/corpus_dynamic.rs:

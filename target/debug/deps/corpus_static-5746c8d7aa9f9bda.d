@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/corpus_static-5746c8d7aa9f9bda.d: tests/corpus_static.rs
+
+/root/repo/target/debug/deps/libcorpus_static-5746c8d7aa9f9bda.rmeta: tests/corpus_static.rs
+
+tests/corpus_static.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-64fb65f3b04a9900.d: vendor/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-64fb65f3b04a9900.rmeta: vendor/crossbeam/src/lib.rs
+
+vendor/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/detector_eval-fb2b77519b40884c.d: tests/detector_eval.rs
+
+/root/repo/target/debug/deps/libdetector_eval-fb2b77519b40884c.rmeta: tests/detector_eval.rs
+
+tests/detector_eval.rs:

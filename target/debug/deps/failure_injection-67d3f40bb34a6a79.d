@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-67d3f40bb34a6a79.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-67d3f40bb34a6a79.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-29f7f92d567cd533.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-29f7f92d567cd533.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

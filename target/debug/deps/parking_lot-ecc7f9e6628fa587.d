@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-ecc7f9e6628fa587.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-ecc7f9e6628fa587.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-780f931eabc97c80.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/libpipeline-780f931eabc97c80.rmeta: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-331d95e4b55acf49.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-331d95e4b55acf49.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-4cd1343a3b4d3759.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-4cd1343a3b4d3759.rmeta: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b2a01fd8cfa6579e.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b2a01fd8cfa6579e.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

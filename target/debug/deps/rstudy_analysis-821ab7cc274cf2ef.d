@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/rstudy_analysis-821ab7cc274cf2ef.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+
+/root/repo/target/debug/deps/librstudy_analysis-821ab7cc274cf2ef.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cache.rs crates/analysis/src/callgraph.rs crates/analysis/src/cfg.rs crates/analysis/src/const_prop.rs crates/analysis/src/dataflow.rs crates/analysis/src/dominators.rs crates/analysis/src/heap.rs crates/analysis/src/liveness.rs crates/analysis/src/locks.rs crates/analysis/src/points_to.rs crates/analysis/src/reaching.rs crates/analysis/src/storage.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cache.rs:
+crates/analysis/src/callgraph.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/const_prop.rs:
+crates/analysis/src/dataflow.rs:
+crates/analysis/src/dominators.rs:
+crates/analysis/src/heap.rs:
+crates/analysis/src/liveness.rs:
+crates/analysis/src/locks.rs:
+crates/analysis/src/points_to.rs:
+crates/analysis/src/reaching.rs:
+crates/analysis/src/storage.rs:

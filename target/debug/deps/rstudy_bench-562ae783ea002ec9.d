@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rstudy_bench-562ae783ea002ec9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/librstudy_bench-562ae783ea002ec9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

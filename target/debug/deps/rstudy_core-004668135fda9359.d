@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/rstudy_core-004668135fda9359.d: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/blocking_misuse.rs crates/core/src/detectors/buffer_overflow.rs crates/core/src/detectors/common.rs crates/core/src/detectors/context.rs crates/core/src/detectors/double_free.rs crates/core/src/detectors/double_lock.rs crates/core/src/detectors/interior_mut.rs crates/core/src/detectors/invalid_free.rs crates/core/src/detectors/lock_order.rs crates/core/src/detectors/null_deref.rs crates/core/src/detectors/uninit_read.rs crates/core/src/detectors/use_after_free.rs crates/core/src/diagnostics.rs crates/core/src/lints.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/librstudy_core-004668135fda9359.rmeta: crates/core/src/lib.rs crates/core/src/classify.rs crates/core/src/config.rs crates/core/src/detectors/mod.rs crates/core/src/detectors/blocking_misuse.rs crates/core/src/detectors/buffer_overflow.rs crates/core/src/detectors/common.rs crates/core/src/detectors/context.rs crates/core/src/detectors/double_free.rs crates/core/src/detectors/double_lock.rs crates/core/src/detectors/interior_mut.rs crates/core/src/detectors/invalid_free.rs crates/core/src/detectors/lock_order.rs crates/core/src/detectors/null_deref.rs crates/core/src/detectors/uninit_read.rs crates/core/src/detectors/use_after_free.rs crates/core/src/diagnostics.rs crates/core/src/lints.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/classify.rs:
+crates/core/src/config.rs:
+crates/core/src/detectors/mod.rs:
+crates/core/src/detectors/blocking_misuse.rs:
+crates/core/src/detectors/buffer_overflow.rs:
+crates/core/src/detectors/common.rs:
+crates/core/src/detectors/context.rs:
+crates/core/src/detectors/double_free.rs:
+crates/core/src/detectors/double_lock.rs:
+crates/core/src/detectors/interior_mut.rs:
+crates/core/src/detectors/invalid_free.rs:
+crates/core/src/detectors/lock_order.rs:
+crates/core/src/detectors/null_deref.rs:
+crates/core/src/detectors/uninit_read.rs:
+crates/core/src/detectors/use_after_free.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/lints.rs:
+crates/core/src/suite.rs:

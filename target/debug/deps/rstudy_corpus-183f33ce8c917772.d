@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rstudy_corpus-183f33ce8c917772.d: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+/root/repo/target/debug/deps/librstudy_corpus-183f33ce8c917772.rmeta: crates/corpus/src/lib.rs crates/corpus/src/blocking.rs crates/corpus/src/detector_eval.rs crates/corpus/src/memory.rs crates/corpus/src/mutate.rs crates/corpus/src/nonblocking.rs
+
+crates/corpus/src/lib.rs:
+crates/corpus/src/blocking.rs:
+crates/corpus/src/detector_eval.rs:
+crates/corpus/src/memory.rs:
+crates/corpus/src/mutate.rs:
+crates/corpus/src/nonblocking.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rstudy_dataset-ddaedaa0b19afa81.d: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs
+
+/root/repo/target/debug/deps/librstudy_dataset-ddaedaa0b19afa81.rmeta: crates/dataset/src/lib.rs crates/dataset/src/bugs.rs crates/dataset/src/export.rs crates/dataset/src/figures.rs crates/dataset/src/projects.rs crates/dataset/src/releases.rs crates/dataset/src/tables.rs crates/dataset/src/unsafe_usages.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/bugs.rs:
+crates/dataset/src/export.rs:
+crates/dataset/src/figures.rs:
+crates/dataset/src/projects.rs:
+crates/dataset/src/releases.rs:
+crates/dataset/src/tables.rs:
+crates/dataset/src/unsafe_usages.rs:

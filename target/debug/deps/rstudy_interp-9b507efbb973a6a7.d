@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rstudy_interp-9b507efbb973a6a7.d: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/librstudy_interp-9b507efbb973a6a7.rmeta: crates/interp/src/lib.rs crates/interp/src/explore.rs crates/interp/src/machine.rs crates/interp/src/memory.rs crates/interp/src/outcome.rs crates/interp/src/race.rs crates/interp/src/sync.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/explore.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/memory.rs:
+crates/interp/src/outcome.rs:
+crates/interp/src/race.rs:
+crates/interp/src/sync.rs:
+crates/interp/src/value.rs:

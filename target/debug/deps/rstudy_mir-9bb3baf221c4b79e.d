@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rstudy_mir-9bb3baf221c4b79e.d: crates/mir/src/lib.rs crates/mir/src/build.rs crates/mir/src/intrinsics.rs crates/mir/src/parse.rs crates/mir/src/pretty.rs crates/mir/src/program.rs crates/mir/src/source.rs crates/mir/src/syntax.rs crates/mir/src/transform.rs crates/mir/src/ty.rs crates/mir/src/validate.rs crates/mir/src/visit.rs
+
+/root/repo/target/debug/deps/librstudy_mir-9bb3baf221c4b79e.rmeta: crates/mir/src/lib.rs crates/mir/src/build.rs crates/mir/src/intrinsics.rs crates/mir/src/parse.rs crates/mir/src/pretty.rs crates/mir/src/program.rs crates/mir/src/source.rs crates/mir/src/syntax.rs crates/mir/src/transform.rs crates/mir/src/ty.rs crates/mir/src/validate.rs crates/mir/src/visit.rs
+
+crates/mir/src/lib.rs:
+crates/mir/src/build.rs:
+crates/mir/src/intrinsics.rs:
+crates/mir/src/parse.rs:
+crates/mir/src/pretty.rs:
+crates/mir/src/program.rs:
+crates/mir/src/source.rs:
+crates/mir/src/syntax.rs:
+crates/mir/src/transform.rs:
+crates/mir/src/ty.rs:
+crates/mir/src/validate.rs:
+crates/mir/src/visit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_scan-8942ae3a8c73125a.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/debug/deps/librstudy_scan-8942ae3a8c73125a.rmeta: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:

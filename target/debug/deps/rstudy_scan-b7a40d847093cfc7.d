@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rstudy_scan-b7a40d847093cfc7.d: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+/root/repo/target/debug/deps/librstudy_scan-b7a40d847093cfc7.rmeta: crates/scan/src/lib.rs crates/scan/src/lexer.rs crates/scan/src/samples.rs crates/scan/src/scanner.rs crates/scan/src/stats.rs
+
+crates/scan/src/lib.rs:
+crates/scan/src/lexer.rs:
+crates/scan/src/samples.rs:
+crates/scan/src/scanner.rs:
+crates/scan/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rstudy_serve-aeb439595fe8963b.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/librstudy_serve-aeb439595fe8963b.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/event.rs crates/service/src/loadgen.rs crates/service/src/protocol.rs crates/service/src/queue.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/event.rs:
+crates/service/src/loadgen.rs:
+crates/service/src/protocol.rs:
+crates/service/src/queue.rs:
+crates/service/src/server.rs:

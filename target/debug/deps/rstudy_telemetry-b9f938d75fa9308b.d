@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rstudy_telemetry-b9f938d75fa9308b.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/librstudy_telemetry-b9f938d75fa9308b.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

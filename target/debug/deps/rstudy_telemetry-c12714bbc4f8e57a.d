@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rstudy_telemetry-c12714bbc4f8e57a.d: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+/root/repo/target/debug/deps/librstudy_telemetry-c12714bbc4f8e57a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/registry.rs crates/telemetry/src/snapshot.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/snapshot.rs:

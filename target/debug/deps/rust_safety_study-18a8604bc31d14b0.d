@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-18a8604bc31d14b0.d: src/main.rs
+
+/root/repo/target/debug/deps/librust_safety_study-18a8604bc31d14b0.rmeta: src/main.rs
+
+src/main.rs:

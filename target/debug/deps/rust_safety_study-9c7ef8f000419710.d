@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-9c7ef8f000419710.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-9c7ef8f000419710.rmeta: src/lib.rs
+
+src/lib.rs:

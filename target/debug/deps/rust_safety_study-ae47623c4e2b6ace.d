@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rust_safety_study-ae47623c4e2b6ace.d: src/lib.rs
+
+/root/repo/target/debug/deps/librust_safety_study-ae47623c4e2b6ace.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_and_dataset-f782c780bbdf63be.d: tests/scan_and_dataset.rs
+
+/root/repo/target/debug/deps/libscan_and_dataset-f782c780bbdf63be.rmeta: tests/scan_and_dataset.rs
+
+tests/scan_and_dataset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_exploration-3939f091360b48fe.d: tests/schedule_exploration.rs
+
+/root/repo/target/debug/deps/libschedule_exploration-3939f091360b48fe.rmeta: tests/schedule_exploration.rs
+
+tests/schedule_exploration.rs:

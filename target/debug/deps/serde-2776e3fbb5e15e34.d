@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2776e3fbb5e15e34.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2776e3fbb5e15e34.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/service-0ae0aa8d466c2420.d: tests/service.rs
+
+/root/repo/target/debug/deps/libservice-0ae0aa8d466c2420.rmeta: tests/service.rs
+
+tests/service.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_parallel-2eb2bbf1be293107.d: tests/suite_parallel.rs
+
+/root/repo/target/debug/deps/libsuite_parallel-2eb2bbf1be293107.rmeta: tests/suite_parallel.rs
+
+tests/suite_parallel.rs:

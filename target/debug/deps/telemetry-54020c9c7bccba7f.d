@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/telemetry-54020c9c7bccba7f.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/libtelemetry-54020c9c7bccba7f.rmeta: tests/telemetry.rs
+
+tests/telemetry.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transforms-86778b652591dba3.d: tests/transforms.rs
+
+/root/repo/target/debug/deps/libtransforms-86778b652591dba3.rmeta: tests/transforms.rs
+
+tests/transforms.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/transport-2952d00004e14df0.d: tests/transport.rs
+
+/root/repo/target/debug/deps/libtransport-2952d00004e14df0.rmeta: tests/transport.rs
+
+tests/transport.rs:
+
+# env-dep:CARGO_BIN_EXE_rust-safety-study=placeholder:rust-safety-study
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
