@@ -4,6 +4,13 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== no build artifacts tracked =="
+# target/ is generated; anything from it in the index bloats every clone.
+if git ls-files | grep -q '^target/'; then
+    echo "FAIL: build artifacts under target/ are tracked in git" >&2
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
@@ -101,6 +108,55 @@ smoke shutdown '{"id":"bye","cmd":"shutdown"}' '"status":"shutdown"'
 exec 3<&- 3>&-
 if ! wait "$SERVE_PID"; then
     echo "FAIL: serve exited non-zero after graceful shutdown" >&2
+    exit 1
+fi
+
+echo "== observability smoke check =="
+# Boot a fresh server with the scrape endpoint and access log on, drive it
+# with loadgen's embedded cross-check, then independently verify the
+# Prometheus counter and the access-log line count against the request
+# count.
+OBS_REQUESTS=25
+"$BIN" serve --port 0 --workers 2 --metrics-port 0 \
+    --access-log "$SERVE_TMP/access.ndjson" \
+    > "$SERVE_TMP/serve-obs.log" 2>&1 &
+OBS_PID=$!
+OBS_PORT="" MET_PORT=""
+for _ in $(seq 100); do
+    OBS_PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/serve-obs.log")
+    MET_PORT=$(sed -n 's/.*metrics on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$SERVE_TMP/serve-obs.log")
+    [ -n "$OBS_PORT" ] && [ -n "$MET_PORT" ] && break
+    sleep 0.1
+done
+if [ -z "$OBS_PORT" ] || [ -z "$MET_PORT" ]; then
+    echo "FAIL: serve did not report both listening and metrics ports" >&2
+    cat "$SERVE_TMP/serve-obs.log" >&2
+    exit 1
+fi
+"$BIN" loadgen --requests "$OBS_REQUESTS" --connections 2 \
+    --addr "127.0.0.1:$OBS_PORT" --scrape-addr "127.0.0.1:$MET_PORT" \
+    --out "$SERVE_TMP/BENCH_obs.json"
+grep -q '"matches_requests": true' "$SERVE_TMP/BENCH_obs.json"
+exec 5<>"/dev/tcp/127.0.0.1/$MET_PORT"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&5
+SCRAPE=$(cat <&5)
+exec 5<&- 5>&-
+TOTAL=$(printf '%s\n' "$SCRAPE" | sed -n 's/^rstudy_requests_total \([0-9][0-9]*\).*/\1/p')
+if [ -z "$TOTAL" ] || [ "$TOTAL" -ne "$OBS_REQUESTS" ]; then
+    echo "FAIL: scraped rstudy_requests_total is ${TOTAL:-missing}, want $OBS_REQUESTS" >&2
+    exit 1
+fi
+exec 5<>"/dev/tcp/127.0.0.1/$OBS_PORT"
+printf '{"id":"bye","cmd":"shutdown"}\n' >&5
+IFS= read -r -t 20 _ <&5 || true
+exec 5<&- 5>&-
+if ! wait "$OBS_PID"; then
+    echo "FAIL: observability serve exited non-zero after shutdown" >&2
+    exit 1
+fi
+LOG_LINES=$(wc -l < "$SERVE_TMP/access.ndjson")
+if [ "$LOG_LINES" -ne "$OBS_REQUESTS" ]; then
+    echo "FAIL: access log has $LOG_LINES line(s), want $OBS_REQUESTS" >&2
     exit 1
 fi
 

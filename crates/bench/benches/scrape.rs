@@ -1,0 +1,58 @@
+//! Guards the cost of rendering the Prometheus text exposition: the
+//! scrape handler runs on the serve event loop's thread, so encoding a
+//! fully populated registry must stay well under a millisecond or every
+//! scrape becomes a latency blip for in-flight requests.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Populates the global registry the way a long-serving process would
+/// look: a dozen histograms with a thousand samples each, plus a few
+/// dozen counters.
+fn populate_registry() {
+    rstudy_telemetry::enable();
+    for h in 0..12 {
+        let name = format!("bench.scrape.hist{h}");
+        for i in 0u64..1000 {
+            // Spread samples across many power-of-two buckets.
+            rstudy_telemetry::record(&name, (i % 24) * 97 + (1 << (i % 24)));
+        }
+    }
+    for c in 0..24 {
+        rstudy_telemetry::counter(&format!("bench.scrape.counter{c}"), c + 1);
+    }
+}
+
+fn bench_scrape_encoding(c: &mut Criterion) {
+    populate_registry();
+
+    // One-shot budget check printed alongside the criterion numbers: a
+    // full-registry encode must finish in under a millisecond.
+    let start = Instant::now();
+    let body = rstudy_telemetry::snapshot().to_prometheus("rstudy_");
+    let elapsed = start.elapsed();
+    println!(
+        "\n== scrape: full-registry exposition is {} bytes in {:?} ==",
+        body.len(),
+        elapsed
+    );
+    assert!(
+        elapsed.as_micros() < 1000,
+        "encoding the exposition took {elapsed:?}, over the 1 ms budget"
+    );
+
+    let mut group = c.benchmark_group("scrape");
+    group.bench_function("snapshot_to_prometheus", |b| {
+        b.iter(|| {
+            let snap = rstudy_telemetry::snapshot();
+            black_box(snap.to_prometheus("rstudy_"))
+        })
+    });
+    group.bench_function("snapshot_only", |b| {
+        b.iter(|| black_box(rstudy_telemetry::snapshot()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scrape_encoding);
+criterion_main!(benches);

@@ -84,6 +84,20 @@ impl Report {
     }
 }
 
+/// Wall-clock and findings attribution for one detector within one
+/// [`DetectorSuite::check_program_timed`] run. `wall_ns` sums the
+/// detector's task times across bodies (and its whole-program task), so
+/// under parallel execution it can exceed the run's elapsed time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorTiming {
+    /// The detector's [`Detector::name`].
+    pub name: &'static str,
+    /// Summed task wall time attributed to this detector, nanoseconds.
+    pub wall_ns: u64,
+    /// Findings this detector contributed to the report.
+    pub findings: u64,
+}
+
 /// Runs a configurable set of detectors over whole programs.
 ///
 /// By default all ten detectors run with the precise interprocedural mode.
@@ -206,6 +220,16 @@ impl DetectorSuite {
     /// statement, detector)` — so reports are stable regardless of detector
     /// run order.
     pub fn check_program(&self, program: &Program) -> Report {
+        self.check_program_timed(program).0
+    }
+
+    /// [`check_program`](DetectorSuite::check_program), additionally
+    /// returning per-detector wall time and finding counts in suite run
+    /// order. The timings are measured whether or not global telemetry is
+    /// enabled — the analysis service feeds them into its always-on
+    /// per-detector latency histograms — and the report is identical to
+    /// `check_program`'s.
+    pub fn check_program_timed(&self, program: &Program) -> (Report, Vec<DetectorTiming>) {
         let _suite = rstudy_telemetry::span("suite");
         rstudy_telemetry::declare_histogram("suite.task_ns");
         let telemetry_on = rstudy_telemetry::enabled();
@@ -235,16 +259,17 @@ impl DetectorSuite {
         let run_task = |ti: usize| {
             let di = ti / slots_per_detector;
             let fi = ti % slots_per_detector;
-            let start = telemetry_on.then(Instant::now);
+            // Always timed: the per-detector attribution feeds the
+            // service's always-on latency histograms even when global
+            // telemetry is off (`record` is a no-op then).
+            let start = Instant::now();
             let found = match &shared {
                 Some(cx) => run_one(cx, di, fi),
                 None => run_one(&AnalysisContext::new(program), di, fi),
             };
-            if let Some(start) = start {
-                let ns = start.elapsed().as_nanos() as u64;
-                rstudy_telemetry::record("suite.task_ns", ns);
-                detector_ns[di].fetch_add(ns, Ordering::Relaxed);
-            }
+            let ns = start.elapsed().as_nanos() as u64;
+            rstudy_telemetry::record("suite.task_ns", ns);
+            detector_ns[di].fetch_add(ns, Ordering::Relaxed);
             *results[ti].lock().unwrap_or_else(|e| e.into_inner()) = found;
         };
 
@@ -275,6 +300,7 @@ impl DetectorSuite {
         // the span-tree position a sequential run would have used.
         let _merge = rstudy_telemetry::span("suite.merge");
         let mut diagnostics = Vec::new();
+        let mut timings = Vec::with_capacity(self.detectors.len());
         for (di, d) in self.detectors.iter().enumerate() {
             let name = d.name();
             let before = diagnostics.len();
@@ -285,12 +311,15 @@ impl DetectorSuite {
                 diagnostics.append(slot);
             }
             let n = diagnostics.len() - before;
+            let wall_ns = detector_ns[di].load(Ordering::Relaxed);
+            timings.push(DetectorTiming {
+                name,
+                wall_ns,
+                findings: n as u64,
+            });
             if telemetry_on {
                 let child = format!("detector.{name}");
-                rstudy_telemetry::record_span_at(
-                    &["suite", child.as_str()],
-                    detector_ns[di].load(Ordering::Relaxed),
-                );
+                rstudy_telemetry::record_span_at(&["suite", child.as_str()], wall_ns);
             }
             rstudy_telemetry::counter_with(|| format!("detector.{name}.findings"), n as u64);
             rstudy_telemetry::trace(|| {
@@ -316,7 +345,7 @@ impl DetectorSuite {
                     &b.detector,
                 ))
         });
-        Report { diagnostics }
+        (Report { diagnostics }, timings)
     }
 }
 
@@ -422,6 +451,30 @@ mod tests {
         dl.ret();
 
         Program::from_bodies([uaf.finish(), dl.finish()])
+    }
+
+    #[test]
+    fn timed_run_attributes_findings_and_wall_time_per_detector() {
+        let program = two_bug_program();
+        let (report, timings) = DetectorSuite::new().check_program_timed(&program);
+        let names: Vec<&str> = timings.iter().map(|t| t.name).collect();
+        assert_eq!(names, DetectorSuite::all_detector_names());
+        // Timings are measured regardless of the global telemetry flag.
+        assert!(timings.iter().all(|t| t.wall_ns > 0), "{timings:?}");
+        let total: u64 = timings.iter().map(|t| t.findings).sum();
+        assert_eq!(total as usize, report.len());
+        let groups = report.by_detector();
+        for t in &timings {
+            assert_eq!(
+                groups.get(t.name).map_or(0, Vec::len) as u64,
+                t.findings,
+                "{t:?}"
+            );
+        }
+        assert_eq!(
+            report.diagnostics(),
+            DetectorSuite::new().check_program(&program).diagnostics()
+        );
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //!   a structured `timeout` without wedging workers, malformed requests
 //!   never kill a connection, and shutdown (request, EOF, or SIGINT)
 //!   drains in-flight work and flushes the disk cache before returning.
+//! * **Observability** (`obs`) — a Prometheus scrape endpoint
+//!   (`--metrics-port`, `GET /metrics` + `GET /healthz`), a structured
+//!   JSON access log (`--access-log`) written off the hot path, and an
+//!   always-on flight recorder that promotes slow/timed-out/panicked
+//!   requests into an incident buffer dumpable as Chrome-trace JSON
+//!   (`{"cmd":"incidents"}`, and at shutdown).
 //!
 //! ```no_run
 //! use rstudy_serve::{ServeConfig, Server};
@@ -38,12 +44,13 @@ pub mod cache;
 #[cfg(target_os = "linux")]
 pub mod event;
 pub mod loadgen;
+pub(crate) mod obs;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use cache::{CacheKey, ResultCache};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{LoadgenConfig, LoadgenReport, ScrapeSummary};
 pub use protocol::{CheckRequest, Command, ProgramSource, Request, RequestError};
 pub use queue::{JobQueue, PushError};
 pub use server::{

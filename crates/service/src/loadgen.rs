@@ -17,9 +17,9 @@
 //! waiting for a worker" from "time spent analyzing".
 
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rstudy_core::suite::DetectorSuite;
@@ -50,6 +50,13 @@ pub struct LoadgenConfig {
     /// measures the transport's latency *floor* rather than behavior
     /// under a fixed offered load.
     pub transport: Transport,
+    /// Scrape `GET /metrics` during and after the run and embed a
+    /// [`ScrapeSummary`] cross-check in the report. For an in-process
+    /// server this turns the scrape endpoint on automatically.
+    pub scrape: bool,
+    /// The external server's scrape endpoint (implies `scrape`); ignored
+    /// for in-process runs, which read the bound address directly.
+    pub scrape_addr: Option<SocketAddr>,
 }
 
 impl Default for LoadgenConfig {
@@ -61,6 +68,8 @@ impl Default for LoadgenConfig {
             addr: None,
             mix: Vec::new(),
             transport: Transport::default(),
+            scrape: false,
+            scrape_addr: None,
         }
     }
 }
@@ -114,6 +123,45 @@ pub struct LoadgenReport {
     pub mix: Vec<String>,
     /// Concurrent connections used.
     pub connections: usize,
+    /// The `/metrics` cross-check, when scraping was requested.
+    pub scrape: Option<ScrapeSummary>,
+}
+
+/// What scraping `GET /metrics` during a loadgen run observed — a sanity
+/// cross-check between the server's Prometheus counters and the client's
+/// own request count, embedded in `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ScrapeSummary {
+    /// Successful scrapes (mid-run polls plus the final one).
+    pub scrapes: u64,
+    /// `rstudy_requests_total` from the final scrape.
+    pub requests_total: u64,
+    /// `rstudy_request_latency_ns_count` from the final scrape.
+    pub latency_count: u64,
+    /// `rstudy_requests_total` never decreased across scrapes.
+    pub monotone: bool,
+    /// Both final values equal the requests this run sent. Expected to
+    /// hold only for a fresh in-process server (an external one may carry
+    /// earlier traffic).
+    pub matches_requests: bool,
+}
+
+impl ScrapeSummary {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("scrapes".to_owned(), Value::UInt(self.scrapes)),
+            (
+                "requests_total".to_owned(),
+                Value::UInt(self.requests_total),
+            ),
+            ("latency_count".to_owned(), Value::UInt(self.latency_count)),
+            ("monotone".to_owned(), Value::Bool(self.monotone)),
+            (
+                "matches_requests".to_owned(),
+                Value::Bool(self.matches_requests),
+            ),
+        ])
+    }
 }
 
 impl LoadgenReport {
@@ -125,7 +173,7 @@ impl LoadgenReport {
             .iter()
             .map(|(k, v)| (k.clone(), Value::UInt(*v)))
             .collect();
-        Value::Map(vec![
+        let mut value = Value::Map(vec![
             (
                 "schema".to_owned(),
                 Value::Str("rstudy-bench-serve/v1".to_owned()),
@@ -155,7 +203,14 @@ impl LoadgenReport {
                 "mix".to_owned(),
                 Value::Seq(self.mix.iter().map(|m| Value::Str(m.clone())).collect()),
             ),
-        ])
+        ]);
+        let Value::Map(ref mut entries) = value else {
+            unreachable!("built as a map above");
+        };
+        if let Some(scrape) = &self.scrape {
+            entries.push(("scrape".to_owned(), scrape.to_value()));
+        }
+        value
     }
 
     /// A short human-readable summary table.
@@ -186,6 +241,16 @@ impl LoadgenReport {
                 format_ns(h.p90()),
                 format_ns(h.p99()),
                 format_ns(h.max),
+            ));
+        }
+        if let Some(scrape) = &self.scrape {
+            out.push_str(&format!(
+                "  scrape    {} scrape(s)  requests_total {}  latency count {}  monotone {}  matches {}\n",
+                scrape.scrapes,
+                scrape.requests_total,
+                scrape.latency_count,
+                scrape.monotone,
+                scrape.matches_requests,
             ));
         }
         out
@@ -235,19 +300,31 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     }
     let connections = config.connections.max(1);
 
+    let scrape = config.scrape || config.scrape_addr.is_some();
+
     // Boot an in-process server when the caller did not point us at one.
-    let (addr, server_thread, handle) = match config.addr {
-        Some(addr) => (addr, None, None),
+    let (addr, metrics_addr, server_thread, handle) = match config.addr {
+        Some(addr) => {
+            if scrape && config.scrape_addr.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "--scrape against an external server needs --scrape-addr",
+                ));
+            }
+            (addr, config.scrape_addr, None, None)
+        }
         None => {
             let serve_config = ServeConfig {
                 transport: config.transport,
+                metrics_port: scrape.then_some(0),
                 ..ServeConfig::default()
             };
             let server = Server::bind(0, serve_config)?;
             let addr = server.local_addr()?;
+            let metrics_addr = server.metrics_addr();
             let handle = server.handle();
             let thread = std::thread::spawn(move || server.run());
-            (addr, Some(thread), Some(handle))
+            (addr, metrics_addr, Some(thread), Some(handle))
         }
     };
 
@@ -262,28 +339,70 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let mut statuses: BTreeMap<String, u64> = BTreeMap::new();
     let start = Instant::now();
 
-    let per_status: Vec<BTreeMap<String, u64>> = std::thread::scope(|s| {
-        let mut joins = Vec::with_capacity(connections);
-        for conn in 0..connections {
-            let programs = &programs;
-            let sinks = &sinks;
-            let rate = config.rate;
-            let total = config.requests;
-            joins.push(s.spawn(move || {
-                connection_loop(conn, connections, total, rate, start, programs, sinks, addr)
-            }));
-        }
-        joins
-            .into_iter()
-            .map(|j| j.join().unwrap_or_default())
-            .collect()
-    });
+    let stop_scraping = AtomicBool::new(false);
+    let (per_status, monitor): (Vec<BTreeMap<String, u64>>, Option<ScrapeMonitor>) =
+        std::thread::scope(|s| {
+            let monitor = metrics_addr.map(|maddr| {
+                let stop = &stop_scraping;
+                s.spawn(move || scrape_monitor(maddr, stop))
+            });
+            let mut joins = Vec::with_capacity(connections);
+            for conn in 0..connections {
+                let programs = &programs;
+                let sinks = &sinks;
+                let rate = config.rate;
+                let total = config.requests;
+                joins.push(s.spawn(move || {
+                    connection_loop(conn, connections, total, rate, start, programs, sinks, addr)
+                }));
+            }
+            let per_status = joins
+                .into_iter()
+                .map(|j| j.join().unwrap_or_default())
+                .collect();
+            stop_scraping.store(true, Ordering::Relaxed);
+            let monitor = monitor.and_then(|j| j.join().ok());
+            (per_status, monitor)
+        });
     for map in per_status {
         for (status, n) in map {
             *statuses.entry(status).or_insert(0) += n;
         }
     }
     let duration = start.elapsed();
+
+    let requests = config.requests as u64;
+
+    // The final authoritative scrape happens after every client has its
+    // response (so the server has settled all requests) but before the
+    // server is torn down.
+    let scrape_summary = metrics_addr.map(|maddr| {
+        let monitor = monitor.unwrap_or(ScrapeMonitor {
+            scrapes: 0,
+            monotone: true,
+            last_requests_total: 0,
+        });
+        match scrape_metrics(maddr) {
+            Ok(body) => {
+                let requests_total = prom_u64(&body, "rstudy_requests_total").unwrap_or(0);
+                let latency_count = prom_u64(&body, "rstudy_request_latency_ns_count").unwrap_or(0);
+                ScrapeSummary {
+                    scrapes: monitor.scrapes + 1,
+                    requests_total,
+                    latency_count,
+                    monotone: monitor.monotone && requests_total >= monitor.last_requests_total,
+                    matches_requests: requests_total == requests && latency_count == requests,
+                }
+            }
+            Err(_) => ScrapeSummary {
+                scrapes: monitor.scrapes,
+                requests_total: monitor.last_requests_total,
+                latency_count: 0,
+                monotone: monitor.monotone,
+                matches_requests: false,
+            },
+        }
+    });
 
     if let Some(handle) = handle {
         handle.begin_shutdown();
@@ -292,7 +411,6 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         let _ = thread.join();
     }
 
-    let requests = config.requests as u64;
     Ok(LoadgenReport {
         requests,
         ok: sinks.ok.load(Ordering::Relaxed),
@@ -307,7 +425,69 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         analysis_ns: sinks.analysis_ns.snapshot(),
         mix: mix_names,
         connections,
+        scrape: scrape_summary,
     })
+}
+
+/// Mid-run scrape state carried out of the monitor thread.
+struct ScrapeMonitor {
+    scrapes: u64,
+    monotone: bool,
+    last_requests_total: u64,
+}
+
+/// Polls `GET /metrics` every ~50 ms until told to stop, checking that
+/// `rstudy_requests_total` only ever grows. Scrape failures are skipped
+/// (the endpoint may not be accepting yet right at startup).
+fn scrape_monitor(addr: SocketAddr, stop: &AtomicBool) -> ScrapeMonitor {
+    let mut state = ScrapeMonitor {
+        scrapes: 0,
+        monotone: true,
+        last_requests_total: 0,
+    };
+    while !stop.load(Ordering::Relaxed) {
+        if let Ok(body) = scrape_metrics(addr) {
+            state.scrapes += 1;
+            let total = prom_u64(&body, "rstudy_requests_total").unwrap_or(0);
+            if total < state.last_requests_total {
+                state.monotone = false;
+            }
+            state.last_requests_total = total;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    state
+}
+
+/// One-shot `GET /metrics` against the scrape endpoint; returns the
+/// response body with HTTP headers stripped.
+fn scrape_metrics(addr: SocketAddr) -> io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(b"GET /metrics HTTP/1.0\r\nHost: loadgen\r\n\r\n")?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body)
+        .unwrap_or("");
+    Ok(body.to_owned())
+}
+
+/// Extracts the value of an *unlabeled* series (`name value`) from a
+/// Prometheus text exposition body.
+fn prom_u64(body: &str, name: &str) -> Option<u64> {
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(value) = rest.strip_prefix(' ') {
+                if let Ok(v) = value.trim().parse::<f64>() {
+                    return Some(v as u64);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// One connection's share of the run: requests `i` with

@@ -14,8 +14,8 @@
 //! {"cmd": "shutdown"}
 //! ```
 //!
-//! * `cmd` — `"check"` (the default), `"stats"`, `"metrics"`, or
-//!   `"shutdown"`.
+//! * `cmd` — `"check"` (the default), `"stats"`, `"metrics"`,
+//!   `"incidents"`, or `"shutdown"`.
 //! * `id` — any JSON value; echoed verbatim in the response so pipelined
 //!   clients can correlate.
 //! * `program` / `path` — the MIR source text, or a file to read it from.
@@ -65,9 +65,12 @@
 //! `check --json` (and to itself across tracing on/off).
 //!
 //! `stats` reports the service counters plus `uptime_ms`, `queue_depth`,
-//! and `inflight`; `metrics` adds cache hit ratios and
+//! and `inflight`; `metrics` adds cache hit ratios,
 //! p50/p90/p99 request-latency quantiles estimated from power-of-two
-//! histograms.
+//! histograms, and per-detector latency/finding breakdowns. `incidents`
+//! dumps the flight recorder's incident buffer — the per-stage timelines
+//! of requests that were slow, timed out, or panicked — as a Chrome
+//! trace-event array under `"trace"`.
 
 use serde::Value;
 use serde_json::to_string;
@@ -108,6 +111,8 @@ pub enum Command {
     /// Report service metrics: uptime, queue depth, in-flight count, cache
     /// hit ratios, and request-latency quantiles.
     Metrics,
+    /// Dump the flight recorder's incident buffer as Chrome-trace JSON.
+    Incidents,
     /// Begin graceful shutdown: drain in-flight work, flush, exit.
     Shutdown,
 }
@@ -198,10 +203,14 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
             id,
             command: Command::Metrics,
         }),
+        "incidents" => Ok(Request {
+            id,
+            command: Command::Incidents,
+        }),
         "check" => parse_check(&value, id),
         other => Err(RequestError::new(
             id,
-            format!("unknown cmd `{other}` (known: check, stats, metrics, shutdown)"),
+            format!("unknown cmd `{other}` (known: check, stats, metrics, incidents, shutdown)"),
         )),
     }
 }
@@ -426,6 +435,12 @@ mod tests {
                 .unwrap()
                 .command,
             Command::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"incidents","id":"i"}"#)
+                .unwrap()
+                .command,
+            Command::Incidents
         );
     }
 

@@ -47,6 +47,7 @@ use rstudy_telemetry::{HistogramSnapshot, LocalHistogram};
 use serde::{Serialize, Value};
 
 use crate::cache::{CacheKey, ResultCache};
+use crate::obs::{self, Stage};
 use crate::protocol::{
     error_response, parse_request, CheckRequest, Command, ProgramSource, ResponseBuilder,
 };
@@ -114,6 +115,19 @@ pub struct ServeConfig {
     pub default_jobs: usize,
     /// Connection-handling strategy (epoll on Linux, poll elsewhere).
     pub transport: Transport,
+    /// Loopback port for the Prometheus scrape endpoint (`GET /metrics`,
+    /// `GET /healthz`); `0` = kernel-assigned, `None` = no endpoint.
+    pub metrics_port: Option<u16>,
+    /// Structured access-log file: one JSON line per completed check
+    /// request, appended by a dedicated logger thread. `None` = no log.
+    pub access_log: Option<PathBuf>,
+    /// Keep every Nth access-log line (1 = all). Sampling happens before
+    /// serialization, so an unsampled request costs one atomic increment.
+    pub access_log_sample: u64,
+    /// Flight-recorder promotion threshold: a request slower than this is
+    /// promoted to the incident buffer. `None` promotes only timeouts and
+    /// panics.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +140,10 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             default_jobs: 0,
             transport: Transport::default(),
+            metrics_port: None,
+            access_log: None,
+            access_log_sample: 1,
+            slow_ms: None,
         }
     }
 }
@@ -141,11 +159,57 @@ struct ServeStats {
     overloaded: AtomicU64,
 }
 
+/// Everything the observability plane records about one answered check
+/// request: produced wherever the response is built, consumed exactly
+/// once by [`settle_check`] — which is also what guarantees exactly one
+/// access-log line and one flight-recorder timeline per admitted check.
+struct RequestOutcome {
+    status: &'static str,
+    cache: Option<&'static str>,
+    queue_ns: u64,
+    analysis_ns: u64,
+    detectors: Vec<String>,
+    stages: Vec<Stage>,
+    panicked: bool,
+}
+
+impl RequestOutcome {
+    /// An outcome answered without worker involvement (validation error,
+    /// shed load, timeout): no stages, no cache disposition.
+    fn inline(status: &'static str) -> RequestOutcome {
+        RequestOutcome {
+            status,
+            cache: None,
+            queue_ns: 0,
+            analysis_ns: 0,
+            detectors: Vec::new(),
+            stages: Vec::new(),
+            panicked: false,
+        }
+    }
+
+    fn timeout() -> RequestOutcome {
+        RequestOutcome::inline("timeout")
+    }
+
+    fn cache_hit(detectors: Vec<String>) -> RequestOutcome {
+        RequestOutcome {
+            status: "ok",
+            cache: Some("hit"),
+            queue_ns: 0,
+            analysis_ns: 0,
+            detectors,
+            stages: Vec::new(),
+            panicked: false,
+        }
+    }
+}
+
 /// The return path for a finished job: either the blocking waiter's
 /// channel (poll/stdin transports) or the event loop's completion queue.
 enum Responder {
     /// A connection-handler thread blocked on the receiving end.
-    Channel(mpsc::Sender<String>),
+    Channel(mpsc::Sender<(String, RequestOutcome)>),
     /// The epoll loop's completion mailbox; the push wakes the loop.
     #[cfg(target_os = "linux")]
     Completion {
@@ -156,11 +220,11 @@ enum Responder {
 }
 
 impl Responder {
-    fn deliver(&self, response: String) {
+    fn deliver(&self, response: String, outcome: RequestOutcome) {
         match self {
             // The waiter may have timed out and gone; a dead channel is fine.
             Responder::Channel(tx) => {
-                let _ = tx.send(response);
+                let _ = tx.send((response, outcome));
             }
             #[cfg(target_os = "linux")]
             Responder::Completion {
@@ -171,6 +235,7 @@ impl Responder {
                 token: *token,
                 serial: *serial,
                 response,
+                outcome,
             }),
         }
     }
@@ -186,6 +251,7 @@ pub(crate) struct Completion {
     /// like a send on a hung-up channel.
     serial: u64,
     response: String,
+    outcome: RequestOutcome,
 }
 
 /// One unit of analysis work travelling from a transport to the worker
@@ -232,6 +298,17 @@ struct ServerState {
     queue_ns: LocalHistogram,
     /// Parse + validate + detector-suite time, nanoseconds.
     analysis_ns: LocalHistogram,
+    /// The structured access log, when `--access-log` asked for one.
+    access: Option<obs::AccessLog>,
+    /// The tail-latency flight recorder (always on; promotion threshold
+    /// from `--slow-ms`).
+    flight: obs::FlightRecorder,
+    /// Always-on per-detector latency/finding aggregates, fed by the
+    /// workers' timed suite runs.
+    detectors: obs::DetectorStats,
+    /// Source of connection tokens, shared by every transport (and the
+    /// metrics endpoint) so access-log `conn` fields are unambiguous.
+    next_conn_token: AtomicU64,
     /// The running epoll loop's wakeup eventfd, so an out-of-band
     /// [`ServerState::begin_shutdown`] (handle, another connection) can
     /// rouse a loop blocked in `epoll_wait`.
@@ -239,9 +316,19 @@ struct ServerState {
     waker: std::sync::Mutex<Option<Arc<crate::event::EventFd>>>,
 }
 
+/// Tokens 0..4 are reserved by the epoll loop (listener, waker, SIGINT
+/// latch, metrics listener); connection tokens — for every transport, and
+/// for metrics connections — are minted from a shared counter above them.
+const FIRST_CONN_TOKEN: u64 = 4;
+
 impl ServerState {
     fn new(config: ServeConfig) -> io::Result<ServerState> {
         let cache = ResultCache::new(config.cache_capacity, config.cache_dir.clone())?;
+        let access = match &config.access_log {
+            Some(path) => Some(obs::AccessLog::open(path, config.access_log_sample)?),
+            None => None,
+        };
+        let flight = obs::FlightRecorder::new(config.slow_ms);
         rstudy_telemetry::declare_counter("serve.requests");
         rstudy_telemetry::declare_counter("serve.cache.hits");
         rstudy_telemetry::declare_counter("serve.cache.misses");
@@ -264,9 +351,18 @@ impl ServerState {
             latency_ns: LocalHistogram::new(),
             queue_ns: LocalHistogram::new(),
             analysis_ns: LocalHistogram::new(),
+            access,
+            flight,
+            detectors: obs::DetectorStats::default(),
+            next_conn_token: AtomicU64::new(FIRST_CONN_TOKEN),
             #[cfg(target_os = "linux")]
             waker: std::sync::Mutex::new(None),
         })
+    }
+
+    /// Mints the next connection token (shared across transports).
+    fn mint_conn_token(&self) -> u64 {
+        self.next_conn_token.fetch_add(1, Ordering::Relaxed)
     }
 
     fn is_shutdown(&self) -> bool {
@@ -394,16 +490,24 @@ pub fn install_sigint_handler() {}
 /// A bound-but-not-yet-running analysis server.
 pub struct Server {
     listener: TcpListener,
+    /// The Prometheus scrape endpoint's listener (`--metrics-port`).
+    metrics_listener: Option<TcpListener>,
     state: Arc<ServerState>,
 }
 
 impl Server {
     /// Binds a loopback listener on `port` (`0` = kernel-assigned
-    /// ephemeral port; read it back with [`Server::local_addr`]).
+    /// ephemeral port; read it back with [`Server::local_addr`]), plus the
+    /// metrics listener when the config asks for one.
     pub fn bind(port: u16, config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let metrics_listener = match config.metrics_port {
+            Some(p) => Some(TcpListener::bind(("127.0.0.1", p))?),
+            None => None,
+        };
         Ok(Server {
             listener,
+            metrics_listener,
             state: Arc::new(ServerState::new(config)?),
         })
     }
@@ -411,6 +515,13 @@ impl Server {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The scrape endpoint's bound address, when one was configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// A control handle that stays valid while `run` blocks.
@@ -442,9 +553,13 @@ impl Server {
     fn run_poll(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let state = &self.state;
+        let metrics = self.metrics_listener.as_ref();
         std::thread::scope(|s| {
             for _ in 0..state.effective_workers() {
                 s.spawn(move || worker_loop(state));
+            }
+            if let Some(listener) = metrics {
+                s.spawn(move || metrics_accept_loop(listener, state));
             }
             loop {
                 if SIGINT_RECEIVED.load(Ordering::Relaxed) {
@@ -479,7 +594,7 @@ impl Server {
             // when it came from a handle or SIGINT.
             state.begin_shutdown();
         });
-        self.state.cache.flush();
+        finish_run(&self.state);
         Ok(())
     }
 
@@ -489,19 +604,42 @@ impl Server {
     #[cfg(target_os = "linux")]
     fn run_epoll(self) -> io::Result<()> {
         self.listener.set_nonblocking(true)?;
+        if let Some(m) = self.metrics_listener.as_ref() {
+            m.set_nonblocking(true)?;
+        }
         let state = &self.state;
         let result = std::thread::scope(|s| {
             for _ in 0..state.effective_workers() {
                 s.spawn(move || worker_loop(state));
             }
-            let result = event_loop(&self.listener, state);
+            let result = event_loop(&self.listener, self.metrics_listener.as_ref(), state);
             // The loop drains before returning on the normal path; make
             // sure workers exit even if it failed.
             state.begin_shutdown();
             result
         });
-        self.state.cache.flush();
+        finish_run(&self.state);
         result
+    }
+}
+
+/// End-of-run teardown shared by every transport: flush the disk cache,
+/// flush and close the access log, and dump any recorded incidents as
+/// Chrome-trace JSON to stderr.
+fn finish_run(state: &ServerState) {
+    state.cache.flush();
+    if let Some(log) = &state.access {
+        log.shutdown();
+    }
+    let count = state.flight.incident_count();
+    if count > 0 {
+        let trace = serde_json::to_string(&state.flight.chrome_trace())
+            .expect("incident trace serialization cannot fail");
+        eprintln!(
+            "serve: flight recorder holds {count} incident(s) ({} promoted in total); chrome trace follows",
+            state.flight.promoted()
+        );
+        eprintln!("{trace}");
     }
 }
 
@@ -537,7 +675,15 @@ mod epoll_loop {
     const TOKEN_LISTENER: u64 = 0;
     const TOKEN_WAKE: u64 = 1;
     const TOKEN_SIGINT: u64 = 2;
-    const TOKEN_FIRST_CONN: u64 = 3;
+    const TOKEN_METRICS_LISTENER: u64 = 3;
+
+    /// How long an idle scrape connection may sit before the loop drops
+    /// it: scrape clients send one GET and read one response, so anything
+    /// slower is stuck or hostile.
+    const METRICS_CONN_TTL: Duration = Duration::from_secs(5);
+
+    /// Hard cap on a scrape request head; past it the connection is cut.
+    const METRICS_HEAD_CAP: usize = 64 * 1024;
 
     /// Stop reading ahead once this much unprocessed input is buffered
     /// and at least one complete line is waiting — backpressure against a
@@ -720,10 +866,135 @@ mod epoll_loop {
         }
     }
 
+    /// One HTTP scrape connection multiplexed onto the event loop.
+    /// Strictly one request per connection (`Connection: close`), bounded
+    /// in both buffer size and lifetime.
+    struct MetricsConn {
+        stream: TcpStream,
+        token: u64,
+        inbuf: Vec<u8>,
+        outbuf: Vec<u8>,
+        out_pos: usize,
+        responded: bool,
+        dead: bool,
+        registered: u32,
+        expires: Instant,
+    }
+
+    impl MetricsConn {
+        fn new(stream: TcpStream, token: u64, registered: u32) -> MetricsConn {
+            MetricsConn {
+                stream,
+                token,
+                inbuf: Vec::new(),
+                outbuf: Vec::new(),
+                out_pos: 0,
+                responded: false,
+                dead: false,
+                registered,
+                expires: Instant::now() + METRICS_CONN_TTL,
+            }
+        }
+
+        /// Drains the socket into `inbuf` until would-block or EOF; EOF
+        /// before a complete head still triggers a (400) response, so it
+        /// is not tracked separately.
+        fn fill(&mut self) -> bool {
+            let mut saw_eof = false;
+            let mut chunk = [0u8; 1024];
+            loop {
+                if self.dead || self.inbuf.len() > METRICS_HEAD_CAP {
+                    self.dead = true;
+                    return saw_eof;
+                }
+                match (&self.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        return saw_eof;
+                    }
+                    Ok(n) => self.inbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return saw_eof,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        return saw_eof;
+                    }
+                }
+            }
+        }
+
+        fn flush(&mut self) {
+            if self.dead {
+                self.outbuf.clear();
+                self.out_pos = 0;
+                return;
+            }
+            while self.out_pos < self.outbuf.len() {
+                match (&self.stream).write(&self.outbuf[self.out_pos..]) {
+                    Ok(0) => {
+                        self.dead = true;
+                        return;
+                    }
+                    Ok(n) => self.out_pos += n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.dead = true;
+                        return;
+                    }
+                }
+            }
+        }
+
+        fn has_unwritten_output(&self) -> bool {
+            self.out_pos < self.outbuf.len()
+        }
+
+        /// Readable until the response is built, writable while it has
+        /// unsent bytes.
+        fn desired_interest(&self) -> u32 {
+            if self.dead {
+                return 0;
+            }
+            let mut want = 0;
+            if !self.responded {
+                want |= EPOLLIN | EPOLLRDHUP;
+            }
+            if self.has_unwritten_output() {
+                want |= EPOLLOUT;
+            }
+            want
+        }
+
+        fn update_interest(&mut self, epoll: &Epoll) {
+            let want = self.desired_interest();
+            if want == self.registered {
+                return;
+            }
+            let fd = self.stream.as_raw_fd();
+            let result = if want == 0 {
+                epoll.delete(fd)
+            } else if self.registered == 0 {
+                epoll.add(fd, self.token, want)
+            } else {
+                epoll.modify(fd, self.token, want)
+            };
+            match result {
+                Ok(()) => self.registered = want,
+                Err(_) => self.dead = true,
+            }
+        }
+
+        fn finished(&self) -> bool {
+            self.dead || (self.responded && !self.has_unwritten_output())
+        }
+    }
+
     /// The shared, immutable pieces every event-loop helper needs.
     struct Reactor<'a> {
         state: &'a ServerState,
         listener: &'a TcpListener,
+        metrics: Option<&'a TcpListener>,
         epoll: Epoll,
         wake: Arc<EventFd>,
         completions: Arc<CompletionQueue<Completion>>,
@@ -736,13 +1007,22 @@ mod epoll_loop {
         resume_at: Option<Instant>,
     }
 
-    pub(super) fn event_loop(listener: &TcpListener, state: &ServerState) -> io::Result<()> {
+    pub(super) fn event_loop(
+        listener: &TcpListener,
+        metrics: Option<&TcpListener>,
+        state: &ServerState,
+    ) -> io::Result<()> {
         let epoll = Epoll::new()?;
         let wake = Arc::new(EventFd::new()?);
         let completions: Arc<CompletionQueue<Completion>> =
             Arc::new(CompletionQueue::new(Arc::clone(&wake) as Arc<dyn Notify>));
         epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
         epoll.add(wake.as_raw_fd(), TOKEN_WAKE, EPOLLIN)?;
+        if let Some(m) = metrics {
+            // Stays registered during drain: /healthz keeps answering
+            // (503) while in-flight analyses finish.
+            epoll.add(m.as_raw_fd(), TOKEN_METRICS_LISTENER, EPOLLIN)?;
+        }
         let mut sigint_registered = false;
         if let Some(fd) = sigint_wake_fd() {
             sigint_registered = epoll.add(fd, TOKEN_SIGINT, EPOLLIN).is_ok();
@@ -751,6 +1031,7 @@ mod epoll_loop {
         let reactor = Reactor {
             state,
             listener,
+            metrics,
             epoll,
             wake,
             completions,
@@ -762,7 +1043,7 @@ mod epoll_loop {
 
     fn event_loop_run(r: &Reactor<'_>, mut sigint_registered: bool) -> io::Result<()> {
         let mut conns: HashMap<u64, Conn> = HashMap::new();
-        let mut next_token = TOKEN_FIRST_CONN;
+        let mut mconns: HashMap<u64, MetricsConn> = HashMap::new();
         let mut gate = AcceptGate {
             registered: true,
             resume_at: None,
@@ -807,15 +1088,19 @@ mod epoll_loop {
                 }
             }
 
-            let timeout_ms = next_wakeup_ms(&conns, &gate, draining, drain_deadline);
+            let timeout_ms = next_wakeup_ms(&conns, &mconns, &gate, draining, drain_deadline);
             let n = r.epoll.wait(&mut events, timeout_ms)?;
 
             let mut touched: Vec<u64> = Vec::new();
+            let mut mtouched: Vec<u64> = Vec::new();
             for ev in &events[..n] {
                 let EpollEvent { events: mask, data } = *ev;
                 match data {
                     TOKEN_LISTENER => {
-                        accept_ready(r, &mut conns, &mut next_token, &mut gate);
+                        accept_ready(r, &mut conns, &mut gate);
+                    }
+                    TOKEN_METRICS_LISTENER => {
+                        accept_metrics(r, &mut mconns);
                     }
                     TOKEN_WAKE => r.wake.drain(),
                     TOKEN_SIGINT => {} // latch; handled at the loop top
@@ -828,6 +1113,28 @@ mod epoll_loop {
                                 conn.flush();
                             }
                             touched.push(token);
+                        } else if let Some(m) = mconns.get_mut(&token) {
+                            let mut eof = false;
+                            if mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0 {
+                                eof = m.fill();
+                            }
+                            if mask & EPOLLOUT != 0 {
+                                m.flush();
+                            }
+                            // One GET per connection: respond as soon as
+                            // the head is complete (or the peer stopped
+                            // sending one).
+                            if !m.responded && !m.dead && (obs::http_head_complete(&m.inbuf) || eof)
+                            {
+                                let head = obs::http_head_line(&m.inbuf);
+                                let healthy = !r.state.is_shutdown();
+                                m.outbuf = obs::http_response(&head, healthy, || {
+                                    prometheus_exposition(r.state)
+                                });
+                                m.out_pos = 0;
+                                m.responded = true;
+                            }
+                            mtouched.push(token);
                         }
                     }
                 }
@@ -856,7 +1163,12 @@ mod epoll_loop {
                         .is_some_and(|p| p.serial == completion.serial);
                     if matches {
                         let pending = conn.inflight.take().expect("matched above");
-                        settle_check(r.state, &pending.admission);
+                        settle_check(
+                            r.state,
+                            &pending.admission,
+                            completion.token,
+                            completion.outcome,
+                        );
                         conn.push_response(&completion.response);
                         touched.push(completion.token);
                     }
@@ -877,7 +1189,12 @@ mod epoll_loop {
                     rstudy_telemetry::counter("serve.timeouts", 1);
                     let response =
                         timeout_response(&pending.id, pending.admission.trace_id, r.state);
-                    settle_check(r.state, &pending.admission);
+                    settle_check(
+                        r.state,
+                        &pending.admission,
+                        *token,
+                        RequestOutcome::timeout(),
+                    );
                     conn.push_response(&response);
                     touched.push(*token);
                 }
@@ -898,13 +1215,30 @@ mod epoll_loop {
                     conns.remove(&token);
                 }
             }
+
+            for token in mtouched {
+                let Some(m) = mconns.get_mut(&token) else {
+                    continue;
+                };
+                m.flush();
+                m.update_interest(&r.epoll);
+                if m.finished() {
+                    mconns.remove(&token);
+                }
+            }
+            // Scrape connections that never completed a request within
+            // their TTL are cut (dropping closes the fd).
+            let now = Instant::now();
+            mconns.retain(|_, m| now < m.expires);
         }
     }
 
     /// How long `epoll_wait` may block: forever unless a request deadline,
-    /// an accept backoff, or the drain grace period needs a timer.
+    /// an accept backoff, a scrape-connection TTL, or the drain grace
+    /// period needs a timer.
     fn next_wakeup_ms(
         conns: &HashMap<u64, Conn>,
+        mconns: &HashMap<u64, MetricsConn>,
         gate: &AcceptGate,
         draining: bool,
         drain_deadline: Option<Instant>,
@@ -917,6 +1251,9 @@ mod epoll_loop {
             if let Some(p) = &conn.inflight {
                 wake_at = earliest(wake_at, p.deadline);
             }
+        }
+        for m in mconns.values() {
+            wake_at = earliest(wake_at, Some(m.expires));
         }
         match wake_at {
             None => -1,
@@ -945,12 +1282,7 @@ mod epoll_loop {
     /// deregistering the listener for one [`POLL_INTERVAL`] (a
     /// level-triggered epoll would otherwise report it hot the whole
     /// time); fatal ones log once and begin a graceful drain.
-    fn accept_ready(
-        r: &Reactor<'_>,
-        conns: &mut HashMap<u64, Conn>,
-        next_token: &mut u64,
-        gate: &mut AcceptGate,
-    ) {
+    fn accept_ready(r: &Reactor<'_>, conns: &mut HashMap<u64, Conn>, gate: &mut AcceptGate) {
         if !gate.registered {
             return;
         }
@@ -962,8 +1294,7 @@ mod epoll_loop {
                     // disable Nagle too: a response racing a previous
                     // partial flush must never wait on a delayed ACK.
                     let _ = stream.set_nodelay(true);
-                    let token = *next_token;
-                    *next_token += 1;
+                    let token = r.state.mint_conn_token();
                     let interest = EPOLLIN | EPOLLRDHUP;
                     if r.epoll.add(stream.as_raw_fd(), token, interest).is_ok() {
                         conns.insert(token, Conn::new(stream, token, interest));
@@ -980,6 +1311,36 @@ mod epoll_loop {
                 Err(e) => {
                     eprintln!("serve: accept failed fatally: {e}; shutting down");
                     r.state.begin_shutdown();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Accepts every pending scrape connection. A failing metrics
+    /// listener never takes the service down: fatal accept errors just
+    /// deregister the endpoint.
+    fn accept_metrics(r: &Reactor<'_>, mconns: &mut HashMap<u64, MetricsConn>) {
+        let Some(listener) = r.metrics else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let token = r.state.mint_conn_token();
+                    let interest = EPOLLIN | EPOLLRDHUP;
+                    if r.epoll.add(stream.as_raw_fd(), token, interest).is_ok() {
+                        mconns.insert(token, MetricsConn::new(stream, token, interest));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) if accept_error_is_transient(&e) => return,
+                Err(e) => {
+                    eprintln!("serve: metrics accept failed fatally: {e}; disabling the endpoint");
+                    let _ = r.epoll.delete(listener.as_raw_fd());
                     return;
                 }
             }
@@ -1049,6 +1410,7 @@ mod epoll_loop {
             }
             Command::Stats => conn.push_response(&stats_response(&request.id, r.state)),
             Command::Metrics => conn.push_response(&metrics_response(&request.id, r.state)),
+            Command::Incidents => conn.push_response(&incidents_response(&request.id, r.state)),
             Command::Check(check) => {
                 let admission = admit_check(r.state);
                 let serial = conn.next_serial;
@@ -1066,8 +1428,8 @@ mod epoll_loop {
                     admission.started,
                     responder,
                 ) {
-                    CheckStart::Ready(response) => {
-                        settle_check(r.state, &admission);
+                    CheckStart::Ready(response, outcome) => {
+                        settle_check(r.state, &admission, conn.token, outcome);
                         conn.push_response(&response);
                     }
                     CheckStart::Queued { deadline } => {
@@ -1101,11 +1463,28 @@ pub fn serve_stream<R: BufRead, W: Write>(
     writer: &mut W,
 ) -> io::Result<()> {
     let state = Arc::new(ServerState::new(config)?);
+    // The stdin transport has no `Server::bind`, so the scrape endpoint
+    // (when configured) is bound here; stdout carries NDJSON, so the
+    // bound address is announced on stderr.
+    let metrics_listener = match state.config.metrics_port {
+        Some(p) => {
+            let listener = TcpListener::bind(("127.0.0.1", p))?;
+            if let Ok(addr) = listener.local_addr() {
+                eprintln!("rstudy-serve: metrics on {addr}");
+            }
+            Some(listener)
+        }
+        None => None,
+    };
     let state_ref = &state;
     let result = std::thread::scope(|s| -> io::Result<()> {
         for _ in 0..state_ref.effective_workers() {
             s.spawn(move || worker_loop(state_ref));
         }
+        if let Some(listener) = metrics_listener.as_ref() {
+            s.spawn(move || metrics_accept_loop(listener, state_ref));
+        }
+        let conn = state_ref.mint_conn_token();
         let mut line = String::new();
         loop {
             line.clear();
@@ -1116,7 +1495,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
             if trimmed.is_empty() {
                 continue;
             }
-            let mut response = handle_line(trimmed, state_ref);
+            let mut response = handle_line(trimmed, state_ref, conn);
             response.push('\n');
             writer.write_all(response.as_bytes())?;
             writer.flush()?;
@@ -1129,7 +1508,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
     });
     // Close the queue even if the I/O loop failed, so workers exit.
     state.begin_shutdown();
-    state.cache.flush();
+    finish_run(&state);
     result
 }
 
@@ -1138,6 +1517,7 @@ pub fn serve_stream<R: BufRead, W: Write>(
 // ---------------------------------------------------------------------------
 
 fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let conn = state.mint_conn_token();
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -1174,7 +1554,7 @@ fn handle_connection(stream: TcpStream, state: &ServerState) {
             Ok(_) => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
-                    let response = handle_line(trimmed, state);
+                    let response = handle_line(trimmed, state, conn);
                     if write_line(&mut writer, response).is_err() {
                         return;
                     }
@@ -1204,13 +1584,56 @@ fn write_line(writer: &mut impl Write, mut response: String) -> io::Result<()> {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics endpoint (portable fallback; the epoll transport multiplexes
+// the same listener onto its event loop instead)
+// ---------------------------------------------------------------------------
+
+/// Accepts and answers scrape connections on a [`POLL_INTERVAL`] cadence
+/// until shutdown. Requests are tiny and responses are one buffer, so a
+/// single blocking thread is plenty for a scrape-rate workload.
+fn metrics_accept_loop(listener: &TcpListener, state: &ServerState) {
+    let _ = listener.set_nonblocking(true);
+    while !state.is_shutdown() {
+        match listener.accept() {
+            Ok((stream, _peer)) => serve_metrics_conn(stream, state),
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads one HTTP request head (bounded wait, bounded size) and writes
+/// the one-shot response. `Connection: close` semantics: the stream drops
+/// at the end either way.
+fn serve_metrics_conn(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    while !obs::http_head_complete(&buf) && buf.len() < 64 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    let head = obs::http_head_line(&buf);
+    let response = obs::http_response(&head, !state.is_shutdown(), || prometheus_exposition(state));
+    let _ = stream.write_all(&response);
+}
+
+// ---------------------------------------------------------------------------
 // Request dispatch (shared by every transport)
 // ---------------------------------------------------------------------------
 
 /// Dispatches one request line to a response line, blocking until the
 /// response is ready (poll and stdin transports). Infallible by design:
-/// every failure mode becomes a structured response.
-fn handle_line(line: &str, state: &ServerState) -> String {
+/// every failure mode becomes a structured response. `conn` is the
+/// connection token recorded in access-log lines.
+fn handle_line(line: &str, state: &ServerState, conn: u64) -> String {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
@@ -1226,7 +1649,8 @@ fn handle_line(line: &str, state: &ServerState) -> String {
         }
         Command::Stats => stats_response(&request.id, state),
         Command::Metrics => metrics_response(&request.id, state),
-        Command::Check(check) => handle_check(&request.id, check, state),
+        Command::Incidents => incidents_response(&request.id, state),
+        Command::Check(check) => handle_check(&request.id, check, state, conn),
     }
 }
 
@@ -1318,10 +1742,164 @@ fn metrics_response(id: &Option<Value>, state: &ServerState) -> String {
         ("latency_ns".into(), histogram_value(&state.latency_ns)),
         ("queue_ns".into(), histogram_value(&state.queue_ns)),
         ("analysis_ns".into(), histogram_value(&state.analysis_ns)),
+        (
+            "detectors".into(),
+            Value::Map(
+                state
+                    .detectors
+                    .snapshot()
+                    .into_iter()
+                    .map(|d| {
+                        (
+                            d.name,
+                            Value::Map(vec![
+                                ("runs".into(), Value::UInt(d.runs)),
+                                ("findings".into(), Value::UInt(d.findings)),
+                                ("latency_ns".into(), histogram_summary(&d.latency_ns)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ]);
     ResponseBuilder::new(id, "metrics")
         .field("metrics", metrics)
         .finish()
+}
+
+/// The `incidents` response: how many timelines the flight recorder holds
+/// and has promoted, plus the incident buffer as a Chrome trace-event
+/// array (load it in `chrome://tracing` / Perfetto).
+fn incidents_response(id: &Option<Value>, state: &ServerState) -> String {
+    ResponseBuilder::new(id, "incidents")
+        .field("count", Value::UInt(state.flight.incident_count() as u64))
+        .field("promoted", Value::UInt(state.flight.promoted()))
+        .field("ring", Value::UInt(state.flight.ring_len() as u64))
+        .field("trace", state.flight.chrome_trace())
+        .finish()
+}
+
+/// The Prometheus text exposition served by `GET /metrics`: service
+/// counters and gauges, the always-on latency histograms, per-detector
+/// families, and — when global telemetry is enabled — every registry
+/// counter and histogram under the same `rstudy_` prefix.
+fn prometheus_exposition(state: &ServerState) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(4096);
+    let counter = |out: &mut String, name: &str, v: u64| {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    let gauge = |out: &mut String, name: &str, v: u64| {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    };
+    let histogram = |out: &mut String, name: &str, h: &LocalHistogram| {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        rstudy_telemetry::write_histogram_series(out, name, "", &h.snapshot());
+    };
+
+    counter(
+        &mut out,
+        "rstudy_requests_total",
+        state.stats.requests.load(Ordering::Relaxed),
+    );
+    let _ = writeln!(out, "# TYPE rstudy_responses_total counter");
+    for (status, v) in [
+        ("ok", &state.stats.ok),
+        ("error", &state.stats.errors),
+        ("timeout", &state.stats.timeouts),
+        ("overloaded", &state.stats.overloaded),
+    ] {
+        let _ = writeln!(
+            out,
+            "rstudy_responses_total{{status=\"{status}\"}} {}",
+            v.load(Ordering::Relaxed)
+        );
+    }
+    let cache = &state.cache.stats;
+    let _ = writeln!(out, "# TYPE rstudy_cache_hits_total counter");
+    for (tier, v) in [("mem", &cache.mem_hits), ("disk", &cache.disk_hits)] {
+        let _ = writeln!(
+            out,
+            "rstudy_cache_hits_total{{tier=\"{tier}\"}} {}",
+            v.load(Ordering::Relaxed)
+        );
+    }
+    counter(
+        &mut out,
+        "rstudy_cache_misses_total",
+        cache.misses.load(Ordering::Relaxed),
+    );
+    counter(&mut out, "rstudy_incidents_total", state.flight.promoted());
+    counter(
+        &mut out,
+        "rstudy_access_log_dropped_total",
+        state.access.as_ref().map_or(0, |l| l.dropped()),
+    );
+
+    gauge(&mut out, "rstudy_queue_depth", state.queue.depth() as u64);
+    gauge(
+        &mut out,
+        "rstudy_inflight",
+        state.inflight.load(Ordering::Relaxed),
+    );
+    gauge(
+        &mut out,
+        "rstudy_cache_mem_entries",
+        state.cache.mem_len() as u64,
+    );
+    gauge(&mut out, "rstudy_workers", state.effective_workers() as u64);
+    gauge(
+        &mut out,
+        "rstudy_flight_ring_entries",
+        state.flight.ring_len() as u64,
+    );
+    let _ = writeln!(out, "# TYPE rstudy_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "rstudy_uptime_seconds {}",
+        state.started.elapsed().as_millis() as f64 / 1000.0
+    );
+
+    histogram(&mut out, "rstudy_request_latency_ns", &state.latency_ns);
+    histogram(&mut out, "rstudy_queue_wait_ns", &state.queue_ns);
+    histogram(&mut out, "rstudy_analysis_ns", &state.analysis_ns);
+
+    let detectors = state.detectors.snapshot();
+    if !detectors.is_empty() {
+        let _ = writeln!(out, "# TYPE rstudy_detector_runs_total counter");
+        for d in &detectors {
+            let _ = writeln!(
+                out,
+                "rstudy_detector_runs_total{{detector=\"{}\"}} {}",
+                d.name, d.runs
+            );
+        }
+        let _ = writeln!(out, "# TYPE rstudy_detector_findings_total counter");
+        for d in &detectors {
+            let _ = writeln!(
+                out,
+                "rstudy_detector_findings_total{{detector=\"{}\"}} {}",
+                d.name, d.findings
+            );
+        }
+        let _ = writeln!(out, "# TYPE rstudy_detector_latency_ns histogram");
+        for d in &detectors {
+            rstudy_telemetry::write_histogram_series(
+                &mut out,
+                "rstudy_detector_latency_ns",
+                &format!("detector=\"{}\"", d.name),
+                &d.latency_ns,
+            );
+        }
+    }
+
+    if rstudy_telemetry::enabled() {
+        out.push_str(&rstudy_telemetry::snapshot().to_prometheus("rstudy_"));
+    }
+    out
 }
 
 /// Summarizes one histogram as `{count, min, mean, max, p50, p90, p99}`.
@@ -1369,13 +1947,37 @@ fn admit_check(state: &ServerState) -> Admission {
     Admission { trace_id, started }
 }
 
-/// Records the request's latency and retires it from the in-flight count.
-fn settle_check(state: &ServerState, admission: &Admission) {
+/// Records the request's latency, retires it from the in-flight count,
+/// and — being the exactly-once point on every answer path — feeds the
+/// flight recorder and writes the access-log line.
+fn settle_check(state: &ServerState, admission: &Admission, conn: u64, outcome: RequestOutcome) {
     let elapsed_ns = admission.started.elapsed().as_nanos() as u64;
     state.latency_ns.record(elapsed_ns);
     state.inflight.fetch_sub(1, Ordering::Relaxed);
     rstudy_telemetry::record("serve.request_ns", elapsed_ns);
     let trace_id = admission.trace_id;
+    state.flight.record(
+        trace_id,
+        outcome.status,
+        outcome.panicked,
+        elapsed_ns,
+        outcome.stages,
+    );
+    if let Some(log) = &state.access {
+        log.record(|| {
+            obs::access_line(
+                conn,
+                trace_id,
+                "check",
+                outcome.status,
+                outcome.cache,
+                outcome.queue_ns,
+                outcome.analysis_ns,
+                elapsed_ns,
+                &outcome.detectors,
+            )
+        });
+    }
     rstudy_telemetry::trace(|| format!("serve: request {trace_id} answered in {elapsed_ns} ns"));
 }
 
@@ -1383,7 +1985,7 @@ fn settle_check(state: &ServerState, admission: &Admission) {
 enum CheckStart {
     /// Answered without worker involvement: a validation error, a cache
     /// hit, shed load, or a draining server.
-    Ready(String),
+    Ready(String, RequestOutcome),
     /// Submitted to the worker pool; the [`Responder`] delivers the
     /// response, and `deadline` bounds the wait.
     Queued { deadline: Option<Instant> },
@@ -1391,10 +1993,10 @@ enum CheckStart {
 
 /// The blocking check path (poll and stdin transports): admit, start,
 /// wait for the responder's channel, settle.
-fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) -> String {
+fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState, conn: u64) -> String {
     let admission = admit_check(state);
     let (respond, reply) = mpsc::channel();
-    let response = match start_check(
+    let (response, outcome) = match start_check(
         id,
         admission.trace_id,
         check,
@@ -1402,12 +2004,12 @@ fn handle_check(id: &Option<Value>, check: CheckRequest, state: &ServerState) ->
         admission.started,
         Responder::Channel(respond),
     ) {
-        CheckStart::Ready(response) => response,
+        CheckStart::Ready(response, outcome) => (response, outcome),
         CheckStart::Queued { deadline } => {
             await_reply(id, admission.trace_id, state, deadline, &reply)
         }
     };
-    settle_check(state, &admission);
+    settle_check(state, &admission, conn, outcome);
     response
 }
 
@@ -1418,12 +2020,12 @@ fn await_reply(
     trace_id: u64,
     state: &ServerState,
     deadline: Option<Instant>,
-    reply: &mpsc::Receiver<String>,
-) -> String {
+    reply: &mpsc::Receiver<(String, RequestOutcome)>,
+) -> (String, RequestOutcome) {
     let fail = |msg: &str| {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
         rstudy_telemetry::counter("serve.errors", 1);
-        error_response(id, msg)
+        (error_response(id, msg), RequestOutcome::inline("error"))
     };
     match deadline {
         None => reply
@@ -1432,11 +2034,14 @@ fn await_reply(
         Some(deadline) => {
             let wait = deadline.saturating_duration_since(Instant::now());
             match reply.recv_timeout(wait) {
-                Ok(response) => response,
+                Ok(answer) => answer,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     state.stats.timeouts.fetch_add(1, Ordering::Relaxed);
                     rstudy_telemetry::counter("serve.timeouts", 1);
-                    timeout_response(id, trace_id, state)
+                    (
+                        timeout_response(id, trace_id, state),
+                        RequestOutcome::timeout(),
+                    )
                 }
                 Err(mpsc::RecvTimeoutError::Disconnected) => fail("internal error: worker exited"),
             }
@@ -1458,7 +2063,7 @@ fn start_check(
     let fail = |msg: String| {
         state.stats.errors.fetch_add(1, Ordering::Relaxed);
         rstudy_telemetry::counter("serve.errors", 1);
-        CheckStart::Ready(error_response(id, &msg))
+        CheckStart::Ready(error_response(id, &msg), RequestOutcome::inline("error"))
     };
 
     let program_text = match &check.source {
@@ -1479,18 +2084,21 @@ fn start_check(
             rstudy_telemetry::counter("serve.cache.hits", 1);
             rstudy_telemetry::trace(|| format!("serve: request {trace_id} cache hit"));
             state.stats.ok.fetch_add(1, Ordering::Relaxed);
-            return CheckStart::Ready(ok_response(
-                id,
-                trace_id,
-                Timing {
-                    queue_ns: 0,
-                    analysis_ns: 0,
-                    total_ns: started.elapsed().as_nanos() as u64,
-                    cached: true,
-                },
-                check.trace.then(|| trace_value(started, None)),
-                report,
-            ));
+            return CheckStart::Ready(
+                ok_response(
+                    id,
+                    trace_id,
+                    Timing {
+                        queue_ns: 0,
+                        analysis_ns: 0,
+                        total_ns: started.elapsed().as_nanos() as u64,
+                        cached: true,
+                    },
+                    check.trace.then(|| trace_value(started, None)),
+                    report,
+                ),
+                RequestOutcome::cache_hit(detectors),
+            );
         }
         // A torn or corrupt cache entry degrades to a recompute.
     }
@@ -1528,15 +2136,18 @@ fn start_check(
             state.stats.overloaded.fetch_add(1, Ordering::Relaxed);
             rstudy_telemetry::counter("serve.overloaded", 1);
             rstudy_telemetry::trace(|| format!("serve: request {trace_id} shed (queue full)"));
-            CheckStart::Ready(degraded_response_traced(
-                id,
-                trace_id,
-                "overloaded",
-                &format!(
-                    "queue full ({} pending analyses); retry later",
-                    state.config.queue_depth
+            CheckStart::Ready(
+                degraded_response_traced(
+                    id,
+                    trace_id,
+                    "overloaded",
+                    &format!(
+                        "queue full ({} pending analyses); retry later",
+                        state.config.queue_depth
+                    ),
                 ),
-            ))
+                RequestOutcome::inline("overloaded"),
+            )
         }
         Err(PushError::Closed) => fail("server is shutting down".to_owned()),
     }
@@ -1660,16 +2271,35 @@ fn trace_value(started: Instant, phases: Option<(u64, u64)>) -> Value {
 fn worker_loop(state: &ServerState) {
     while let Some(job) = state.queue.pop() {
         let _span = rstudy_telemetry::span("serve.worker");
-        let response = run_job(&job, state);
-        job.respond.deliver(response);
+        let (response, outcome) = run_job(&job, state);
+        job.respond.deliver(response, outcome);
     }
 }
 
-fn run_job(job: &Job, state: &ServerState) -> String {
+fn run_job(job: &Job, state: &ServerState) -> (String, RequestOutcome) {
+    // Flight-recorder stage offsets are nanoseconds from admission, so
+    // queue wait, artificial delay, parse, and analysis line up on one
+    // timeline.
+    let off = |t: Instant| t.saturating_duration_since(job.accepted_at).as_nanos() as u64;
     let started = Instant::now();
     let queue_ns = job.enqueued_at.elapsed().as_nanos() as u64;
     state.queue_ns.record(queue_ns);
     rstudy_telemetry::record("serve.queue_ns", queue_ns);
+    let mut stages = vec![Stage {
+        name: "queue",
+        start_ns: off(job.enqueued_at),
+        end_ns: off(started),
+    }];
+    let outcome =
+        |status: &'static str, cache, analysis_ns, panicked, stages: Vec<Stage>| RequestOutcome {
+            status,
+            cache,
+            queue_ns,
+            analysis_ns,
+            detectors: job.detectors.clone(),
+            stages,
+            panicked,
+        };
     let _req_span = rstudy_telemetry::span("serve.request");
     rstudy_telemetry::trace(|| {
         format!(
@@ -1678,13 +2308,22 @@ fn run_job(job: &Job, state: &ServerState) -> String {
         )
     });
     if job.delay_ms > 0 {
+        let t_delay = Instant::now();
         std::thread::sleep(Duration::from_millis(job.delay_ms));
+        stages.push(Stage {
+            name: "delay",
+            start_ns: off(t_delay),
+            end_ns: off(Instant::now()),
+        });
     }
     // A deadline that expired while the job sat in the queue (or slept)
     // skips the analysis entirely — the waiter has already answered
     // `timeout`, so running would only waste a worker.
     if job.deadline.is_some_and(|d| Instant::now() >= d) {
-        return timeout_response(&job.id, job.trace_id, state);
+        return (
+            timeout_response(&job.id, job.trace_id, state),
+            outcome("timeout", None, 0, false, stages),
+        );
     }
 
     let fail = |msg: String| {
@@ -1698,13 +2337,26 @@ fn run_job(job: &Job, state: &ServerState) -> String {
         let _span = rstudy_telemetry::span("serve.parse");
         match parse_program(&job.program_text) {
             Ok(p) => p,
-            Err(e) => return fail(format!("parse error: {e}")),
+            Err(e) => {
+                return (
+                    fail(format!("parse error: {e}")),
+                    outcome("error", None, 0, false, stages),
+                )
+            }
         }
     };
     if let Err(errs) = validate_program(&program) {
-        return fail(format!("invalid program: {}", errs[0]));
+        return (
+            fail(format!("invalid program: {}", errs[0])),
+            outcome("error", None, 0, false, stages),
+        );
     }
     let parse_ns = t_parse.elapsed().as_nanos() as u64;
+    stages.push(Stage {
+        name: "parse",
+        start_ns: off(t_parse),
+        end_ns: off(Instant::now()),
+    });
 
     let config = if job.naive {
         DetectorConfig::naive()
@@ -1713,20 +2365,38 @@ fn run_job(job: &Job, state: &ServerState) -> String {
     };
     let suite = match DetectorSuite::with_only(&job.detectors) {
         Ok(s) => s.with_jobs(job.jobs).with_config(config),
-        Err(e) => return fail(e),
+        Err(e) => return (fail(e), outcome("error", None, 0, false, stages)),
     };
     let t_check = Instant::now();
-    let report = {
+    let (report, timings) = {
         let _span = rstudy_telemetry::span("serve.check");
-        match catch_unwind(AssertUnwindSafe(|| suite.check_program(&program))) {
+        match catch_unwind(AssertUnwindSafe(|| suite.check_program_timed(&program))) {
             Ok(r) => r,
-            Err(_) => return fail("internal error: a detector panicked".to_owned()),
+            Err(_) => {
+                stages.push(Stage {
+                    name: "check",
+                    start_ns: off(t_check),
+                    end_ns: off(Instant::now()),
+                });
+                return (
+                    fail("internal error: a detector panicked".to_owned()),
+                    outcome("error", None, parse_ns, true, stages),
+                );
+            }
         }
     };
     let check_ns = t_check.elapsed().as_nanos() as u64;
+    stages.push(Stage {
+        name: "check",
+        start_ns: off(t_check),
+        end_ns: off(Instant::now()),
+    });
     let analysis_ns = parse_ns + check_ns;
     state.analysis_ns.record(analysis_ns);
     rstudy_telemetry::record("serve.analysis_ns", analysis_ns);
+    for t in &timings {
+        state.detectors.record(t.name, t.wall_ns, t.findings);
+    }
 
     let report_value = report.to_value();
     let report_json =
@@ -1734,18 +2404,21 @@ fn run_job(job: &Job, state: &ServerState) -> String {
     let _ = state.cache.put(job.key, &report_json);
 
     state.stats.ok.fetch_add(1, Ordering::Relaxed);
-    ok_response(
-        &job.id,
-        job.trace_id,
-        Timing {
-            queue_ns,
-            analysis_ns,
-            total_ns: job.accepted_at.elapsed().as_nanos() as u64,
-            cached: false,
-        },
-        job.trace
-            .then(|| trace_value(started, Some((parse_ns, check_ns)))),
-        report_value,
+    (
+        ok_response(
+            &job.id,
+            job.trace_id,
+            Timing {
+                queue_ns,
+                analysis_ns,
+                total_ns: job.accepted_at.elapsed().as_nanos() as u64,
+                cached: false,
+            },
+            job.trace
+                .then(|| trace_value(started, Some((parse_ns, check_ns)))),
+            report_value,
+        ),
+        outcome("ok", Some("miss"), analysis_ns, false, stages),
     )
 }
 

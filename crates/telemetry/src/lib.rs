@@ -36,7 +36,9 @@ mod registry;
 mod snapshot;
 
 pub use registry::{LocalHistogram, SpanGuard, TraceEvent};
-pub use snapshot::{HistogramSnapshot, Snapshot, SpanNode};
+pub use snapshot::{
+    prometheus_name, write_histogram_series, HistogramSnapshot, Snapshot, SpanNode,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -200,6 +200,88 @@ impl Snapshot {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (format version 0.0.4)
+// ---------------------------------------------------------------------------
+
+/// Converts a dotted registry metric name (`serve.request_ns`) into a
+/// Prometheus-legal one under `prefix` (`rstudy_serve_request_ns`): every
+/// character outside `[a-zA-Z0-9_:]` becomes `_`.
+pub fn prometheus_name(prefix: &str, raw: &str) -> String {
+    let mut out = String::with_capacity(prefix.len() + raw.len());
+    out.push_str(prefix);
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Appends one histogram's `_bucket`/`_sum`/`_count` series to `out`.
+///
+/// The registry's power-of-two buckets are sparse per-bucket counts; the
+/// exposition format wants cumulative counts per `le` upper bound, closed
+/// by a `+Inf` bucket equal to `_count`. `labels` is either empty or a
+/// comma-joined `key="value"` list without braces (the `le` label is
+/// appended after it). Emits no `# TYPE` header — the caller owns that,
+/// since a family with several label sets must declare its type once.
+pub fn write_histogram_series(out: &mut String, name: &str, labels: &str, h: &HistogramSnapshot) {
+    let with = |extra: String| {
+        if labels.is_empty() {
+            format!("{{{extra}}}")
+        } else {
+            format!("{{{labels},{extra}}}")
+        }
+    };
+    let plain = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let mut cumulative = 0u64;
+    for b in &h.buckets {
+        cumulative += b.count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            with(format!("le=\"{}\"", b.le))
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        with("le=\"+Inf\"".into()),
+        h.count
+    );
+    let _ = writeln!(out, "{name}_sum{plain} {}", h.sum);
+    let _ = writeln!(out, "{name}_count{plain} {}", h.count);
+}
+
+impl Snapshot {
+    /// Renders counters and histograms in the Prometheus text exposition
+    /// format, every metric name sanitized under `prefix`. Counters gain
+    /// the conventional `_total` suffix; histograms become cumulative
+    /// `_bucket`/`_sum`/`_count` series. Spans and trace events have no
+    /// exposition-format equivalent and are omitted.
+    pub fn to_prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let metric = format!("{}_total", prometheus_name(prefix, name));
+            let _ = writeln!(out, "# TYPE {metric} counter");
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let metric = prometheus_name(prefix, name);
+            let _ = writeln!(out, "# TYPE {metric} histogram");
+            write_histogram_series(&mut out, &metric, "", h);
+        }
+        out
+    }
+}
+
 fn render_span(out: &mut String, node: &SpanNode, depth: usize) {
     let indent = "  ".repeat(depth);
     let label = format!("{indent}{}", node.name);
@@ -248,5 +330,76 @@ fn format_ns(ns: u64) -> String {
         format!("{:.1} µs", ns as f64 / 1e3)
     } else {
         format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_histogram() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 7,
+            sum: 100,
+            min: 1,
+            max: 40,
+            buckets: vec![
+                BucketCount { le: 1, count: 2 },
+                BucketCount { le: 15, count: 4 },
+                BucketCount { le: 63, count: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized_under_the_prefix() {
+        assert_eq!(
+            prometheus_name("rstudy_", "serve.cache-hits"),
+            "rstudy_serve_cache_hits"
+        );
+        assert_eq!(prometheus_name("", "a:b_c9"), "a:b_c9");
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_closed_by_inf() {
+        let mut out = String::new();
+        write_histogram_series(&mut out, "m", "", &sample_histogram());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "m_bucket{le=\"1\"} 2");
+        assert_eq!(lines[1], "m_bucket{le=\"15\"} 6");
+        assert_eq!(lines[2], "m_bucket{le=\"63\"} 7");
+        assert_eq!(lines[3], "m_bucket{le=\"+Inf\"} 7");
+        assert_eq!(lines[4], "m_sum 100");
+        assert_eq!(lines[5], "m_count 7");
+    }
+
+    #[test]
+    fn labeled_series_put_le_after_the_caller_labels() {
+        let mut out = String::new();
+        write_histogram_series(&mut out, "m", "detector=\"uaf\"", &sample_histogram());
+        assert!(
+            out.contains("m_bucket{detector=\"uaf\",le=\"+Inf\"} 7"),
+            "{out}"
+        );
+        assert!(out.contains("m_sum{detector=\"uaf\"} 100"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_exposition_declares_each_family_once() {
+        let snap = Snapshot {
+            spans: Vec::new(),
+            counters: [("serve.requests".to_owned(), 3u64)].into_iter().collect(),
+            histograms: [("serve.request_ns".to_owned(), sample_histogram())]
+                .into_iter()
+                .collect(),
+            events: Vec::new(),
+            events_dropped: 0,
+        };
+        let text = snap.to_prometheus("rstudy_");
+        assert!(text.contains("# TYPE rstudy_serve_requests_total counter"));
+        assert!(text.contains("rstudy_serve_requests_total 3"));
+        assert!(text.contains("# TYPE rstudy_serve_request_ns histogram"));
+        assert!(text.contains("rstudy_serve_request_ns_count 7"));
+        assert_eq!(text.matches("# TYPE").count(), 2);
     }
 }

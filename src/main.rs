@@ -155,6 +155,12 @@ SERVE FLAGS:
   --queue-depth <N>     bounded queue capacity; overflow answers `overloaded` (default 64)
   --transport <T>       connection handling: `epoll` (event-driven, Linux default)
                         or `poll` (portable 25 ms polling fallback)
+  --metrics-port <N>    also serve `GET /metrics` (Prometheus text) and
+                        `GET /healthz` on 127.0.0.1:<N> (0 = kernel-assigned)
+  --access-log <path>   append one JSON line per completed request
+  --access-log-sample <N>  log every Nth request only (default 1 = all)
+  --slow-ms <N>         promote requests slower than N ms into the flight
+                        recorder's incident buffer (`{\"cmd\":\"incidents\"}`)
 
 LOADGEN FLAGS:
   --requests <N>        total requests to send (default 100)
@@ -165,6 +171,11 @@ LOADGEN FLAGS:
   --transport <T>       transport for the in-process server: `epoll` or `poll`
   --out <path>          latency/throughput report (default BENCH_serve.json)
   --suite-out <path>    also run the offline suite benchmark (BENCH_suite.json)
+  --scrape              scrape `/metrics` mid-run and embed the cross-check
+                        in the report (in-process servers only, or with
+                        --scrape-addr)
+  --scrape-addr <host:port>  the external server's metrics endpoint
+                        (implies --scrape)
 
 GLOBAL FLAGS:
   --profile             print the telemetry span/counter tree after the command
@@ -261,12 +272,44 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
                 .parse::<Transport>()
                 .map_err(|e| format!("--transport: {e}"))?,
         };
+        let metrics_port = match take_value(args, "--metrics-port")? {
+            None => None,
+            Some(s) => Some(
+                s.parse::<u16>()
+                    .map_err(|_| format!("--metrics-port: expected a port number, got `{s}`"))?,
+            ),
+        };
+        let access_log = take_value(args, "--access-log")?.map(std::path::PathBuf::from);
+        let access_log_sample = positive(args, "--access-log-sample")?.unwrap_or(1);
+        let slow_ms = positive(args, "--slow-ms")?;
         if let Some(stray) = args.first() {
             return Err(format!("serve: unexpected argument `{stray}`"));
         }
-        Ok((port, timeout_ms, workers, queue_depth, cache_dir, transport))
+        Ok((
+            port,
+            timeout_ms,
+            workers,
+            queue_depth,
+            cache_dir,
+            transport,
+            metrics_port,
+            access_log,
+            access_log_sample,
+            slow_ms,
+        ))
     })();
-    let (port, timeout_ms, workers, queue_depth, cache_dir, transport) = match parsed {
+    let (
+        port,
+        timeout_ms,
+        workers,
+        queue_depth,
+        cache_dir,
+        transport,
+        metrics_port,
+        access_log,
+        access_log_sample,
+        slow_ms,
+    ) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("{e}\n{USAGE}");
@@ -280,6 +323,10 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
         cache_dir,
         default_jobs,
         transport,
+        metrics_port,
+        access_log,
+        access_log_sample,
+        slow_ms,
         ..ServeConfig::default()
     };
 
@@ -294,9 +341,12 @@ fn cmd_serve(args: &mut Vec<String>, default_jobs: usize) -> ExitCode {
         match Server::bind(port, config) {
             Ok(server) => match server.local_addr() {
                 Ok(addr) => {
-                    // The startup banner is machine-read (ci.sh greps the
-                    // ephemeral port out of it); keep the format stable.
+                    // Both startup banners are machine-read (ci.sh greps the
+                    // ephemeral ports out of them); keep the formats stable.
                     println!("rstudy-serve: listening on {addr}");
+                    if let Some(maddr) = server.metrics_addr() {
+                        println!("rstudy-serve: metrics on {maddr}");
+                    }
                     use std::io::Write;
                     let _ = std::io::stdout().flush();
                     server.run()
@@ -355,6 +405,16 @@ fn cmd_loadgen(args: &mut Vec<String>) -> ExitCode {
         }
         if let Some(s) = take_value(args, "--transport")? {
             config.transport = s.parse().map_err(|e| format!("--transport: {e}"))?;
+        }
+        config.scrape = take_flag(args, "--scrape");
+        if let Some(s) = take_value(args, "--scrape-addr")? {
+            config.scrape_addr = Some(
+                s.parse()
+                    .map_err(|_| format!("--scrape-addr: expected host:port, got `{s}`"))?,
+            );
+        }
+        if config.scrape && config.addr.is_some() && config.scrape_addr.is_none() {
+            return Err("--scrape with --addr needs --scrape-addr".to_owned());
         }
         let out = take_value(args, "--out")?.unwrap_or_else(|| "BENCH_serve.json".to_owned());
         let suite_out = take_value(args, "--suite-out")?;
