@@ -209,4 +209,56 @@ if ! cmp -s "$SERVE_TMP/answers-epoll.txt" "$SERVE_TMP/answers-poll.txt"; then
     exit 1
 fi
 
+echo "== ingest smoke check =="
+# Self-host: ingest the workspace's own crates/ tree, assert the corpus
+# floors (>=100 files scanned, >=50 function bodies lowered), then
+# round-trip ingested bodies through `check --json` and one served
+# manifest request.
+INGEST_OUT="$SERVE_TMP/ingest"
+"$BIN" ingest crates/ --out "$INGEST_OUT" > "$SERVE_TMP/ingest.log" 2>&1
+SCANNED=$(sed -n 's/.*scanned \([0-9][0-9]*\) file(s).*/\1/p' "$SERVE_TMP/ingest.log")
+LOWERED=$(sed -n 's/.*lowered \([0-9][0-9]*\) fn(s).*/\1/p' "$SERVE_TMP/ingest.log")
+if [ -z "$SCANNED" ] || [ "$SCANNED" -lt 100 ]; then
+    echo "FAIL: self-host ingest scanned ${SCANNED:-0} file(s), want >= 100" >&2
+    cat "$SERVE_TMP/ingest.log" >&2
+    exit 1
+fi
+if [ -z "$LOWERED" ] || [ "$LOWERED" -lt 50 ]; then
+    echo "FAIL: self-host ingest lowered ${LOWERED:-0} fn(s), want >= 50" >&2
+    cat "$SERVE_TMP/ingest.log" >&2
+    exit 1
+fi
+grep -q 'memory-ops' "$SERVE_TMP/ingest.log"
+test -s "$INGEST_OUT/stats-diff.json"
+# The suite must analyze every lowered program without a parse/validate
+# error (exit 2); findings alone exit 1, which is acceptable here.
+CHECK_OUT=$("$BIN" check --manifest "$INGEST_OUT/manifest.json" --json) || {
+    status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "FAIL: check --manifest exited $status" >&2
+        exit 1
+    fi
+}
+case "$CHECK_OUT" in
+*'"programs":'*) ;;
+*)
+    echo "FAIL: check --manifest produced no program count: $CHECK_OUT" >&2
+    exit 1
+    ;;
+esac
+ENTRY=$(printf '%s\n' "$CHECK_OUT" | sed -n 's/.*"reports":\[{"path":"\([^"]*\)".*/\1/p')
+if [ -z "$ENTRY" ]; then
+    echo "FAIL: no lowered entry found in check --manifest output" >&2
+    exit 1
+fi
+REPLY=$(printf '{"id":"ing","manifest":"%s","entry":"%s"}\n' \
+    "$INGEST_OUT/manifest.json" "$ENTRY" | "$BIN" serve --stdin)
+case "$REPLY" in
+*'"status":"ok"'*) ;;
+*)
+    echo "FAIL: serve did not answer ok for ingested entry $ENTRY: $REPLY" >&2
+    exit 1
+    ;;
+esac
+
 echo "CI green."

@@ -1,0 +1,78 @@
+//! INGEST — the ingestion pipeline's hot paths on real inputs: the
+//! scanner lexer over this workspace's own source tree, the lowerer that
+//! turns real function bodies into the textual MIR dialect, and the MIR
+//! text parser over the lowered programs an ingest run actually produces.
+
+use std::path::PathBuf;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rstudy_ingest::{ingest, lower_source};
+use rstudy_mir::parse::parse_program;
+use rstudy_scan::{lex, read_rust_source, scan_source};
+
+/// The workspace's `crates/` directory — the self-host corpus.
+fn crates_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("bench crate lives under crates/")
+        .to_path_buf()
+}
+
+fn bench_ingested(c: &mut Criterion) {
+    let root = crates_root();
+
+    // Real source text, concatenated to a bounded working set.
+    let walk = rstudy_ingest::walk_rust_files(&root).expect("walk crates/");
+    let mut src = String::new();
+    for f in &walk.files {
+        if let Ok(text) = read_rust_source(&f.path) {
+            src.push_str(&text);
+        }
+        if src.len() >= 200_000 {
+            break;
+        }
+    }
+
+    // The lowered programs a self-host ingest registers.
+    let manifest = ingest(&root, "bench").expect("ingest crates/");
+    let programs: Vec<String> = manifest
+        .lowered_units()
+        .map(|(_, unit)| unit.program.clone())
+        .collect();
+    let lowered_bytes: u64 = programs.iter().map(|p| p.len() as u64).sum();
+    println!(
+        "\n== ingest self-host input: {} file(s), {} lowered program(s), {} lowered bytes ==",
+        manifest.summary.files_scanned,
+        programs.len(),
+        lowered_bytes,
+    );
+
+    let mut group = c.benchmark_group("ingest_scan");
+    group.throughput(Throughput::Bytes(src.len() as u64));
+    group.bench_function("lex_ingested", |b| b.iter(|| black_box(lex(&src)).len()));
+    group.bench_function("scan_ingested", |b| {
+        b.iter(|| black_box(scan_source(&src)).len())
+    });
+    group.bench_function("lower_ingested", |b| {
+        b.iter(|| black_box(lower_source(&src)).functions.len())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ingest_mir_parse");
+    group.throughput(Throughput::Bytes(lowered_bytes));
+    group.bench_function("parse_lowered", |b| {
+        b.iter(|| {
+            let mut fns = 0usize;
+            for p in &programs {
+                fns += parse_program(black_box(p))
+                    .expect("lowered programs parse")
+                    .len();
+            }
+            black_box(fns)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingested);
+criterion_main!(benches);

@@ -223,6 +223,21 @@ impl DetectorSuite {
         self.check_program_timed(program).0
     }
 
+    /// Runs the suite over many named programs, in input order.
+    ///
+    /// Ingested corpora lower each source file to its own [`Program`]; this
+    /// checks each one and pairs its report with the caller's name for it
+    /// (typically the file path).
+    pub fn check_programs<'a, I>(&self, programs: I) -> Vec<(String, Report)>
+    where
+        I: IntoIterator<Item = (&'a str, &'a Program)>,
+    {
+        programs
+            .into_iter()
+            .map(|(name, p)| (name.to_owned(), self.check_program(p)))
+            .collect()
+    }
+
     /// [`check_program`](DetectorSuite::check_program), additionally
     /// returning per-detector wall time and finding counts in suite run
     /// order. The timings are measured whether or not global telemetry is
@@ -375,6 +390,41 @@ mod tests {
         assert!(report.is_clean(), "{:?}", report.diagnostics());
         assert!(report.is_empty());
         assert_eq!(report.len(), 0);
+    }
+
+    #[test]
+    fn check_programs_pairs_each_report_with_its_name() {
+        let clean = {
+            let mut b = BodyBuilder::new("main", 0, Ty::Unit);
+            b.ret();
+            Program::from_bodies([b.finish()])
+        };
+        let buggy = {
+            let mut b = BodyBuilder::new("main", 0, Ty::Int);
+            let x = b.local("x", Ty::Int);
+            let p = b.local("p", Ty::mut_ptr(Ty::Int));
+            b.storage_live(x);
+            b.assign(x, Rvalue::Use(Operand::int(42)));
+            b.storage_live(p);
+            b.assign(p, Rvalue::AddrOf(Mutability::Mut, x.into()));
+            b.storage_dead(x);
+            b.in_unsafe(|b| {
+                b.assign(
+                    Place::RETURN,
+                    Rvalue::Use(Operand::copy(Place::from(p).deref())),
+                );
+            });
+            b.storage_dead(p);
+            b.ret();
+            Program::from_bodies([b.finish()])
+        };
+        let suite = DetectorSuite::new();
+        let reports = suite.check_programs([("a.rs", &clean), ("b.rs", &buggy)]);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].0, "a.rs");
+        assert!(reports[0].1.is_clean());
+        assert_eq!(reports[1].0, "b.rs");
+        assert!(!reports[1].1.is_clean());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Comparing a scanned tree's unsafe-usage distribution with the paper's.
+//!
+//! `rstudy ingest` produces [`ScanStats`] for an arbitrary tree; this
+//! module diffs that observed distribution against the §4 numbers
+//! ([`APP_USAGES`] form shares and the [`SAMPLED`] operation/purpose
+//! percentages) so an ingest run ends with the same kind of table the study
+//! reports. Two metrics are proxies, noted per row: the paper counts
+//! *usages* that perform unsafe calls, while [`ScanStats`] records
+//! *operation* counts, and the paper's trait row is matched against our
+//! `trait` + `impl` forms combined.
+
+use rstudy_scan::ScanStats;
+use serde::{Deserialize, Serialize};
+
+use crate::unsafe_usages::{APP_USAGES, SAMPLED};
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiffRow {
+    /// Stable metric key.
+    pub metric: String,
+    /// Percentage observed in the scanned tree.
+    pub observed_pct: f64,
+    /// Percentage reported by the paper.
+    pub paper_pct: f64,
+    /// `observed - paper`, in percentage points.
+    pub delta_pct: f64,
+}
+
+/// A full observed-vs-paper distribution diff.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistributionDiff {
+    /// Total unsafe usages observed.
+    pub observed_usages: usize,
+    /// The paper's sample size for the operation/purpose rows.
+    pub paper_sample: u32,
+    /// Per-metric comparison rows.
+    pub rows: Vec<DiffRow>,
+}
+
+fn pct(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+fn row(metric: &str, observed_pct: f64, paper_pct: f64) -> DiffRow {
+    DiffRow {
+        metric: metric.to_owned(),
+        observed_pct,
+        paper_pct,
+        delta_pct: observed_pct - paper_pct,
+    }
+}
+
+/// Diffs observed scan statistics against the paper's §4 distributions.
+pub fn compare_scan(stats: &ScanStats) -> DistributionDiff {
+    let by_kind = |k: &str| stats.breakdown.by_kind.get(k).copied().unwrap_or(0);
+    let by_op = |k: &str| stats.breakdown.by_op.get(k).copied().unwrap_or(0);
+    let ops_total: usize = stats.breakdown.by_op.values().sum();
+    let paper_total = APP_USAGES.total() as usize;
+    let rows = vec![
+        // Table-1-style syntactic-form shares.
+        row(
+            "form-region-share",
+            pct(by_kind("block"), stats.total),
+            pct(APP_USAGES.regions as usize, paper_total),
+        ),
+        row(
+            "form-function-share",
+            pct(by_kind("function"), stats.total),
+            pct(APP_USAGES.functions as usize, paper_total),
+        ),
+        row(
+            "form-trait-share",
+            pct(by_kind("trait") + by_kind("impl"), stats.total),
+            pct(APP_USAGES.traits as usize, paper_total),
+        ),
+        // §4.1 sampled-usage distributions.
+        row(
+            "memory-ops",
+            stats.memory_op_percent(),
+            f64::from(SAMPLED.memory_ops_pct),
+        ),
+        row(
+            "unsafe-call-ops",
+            pct(by_op("call") + by_op("foreign-call"), ops_total),
+            f64::from(SAMPLED.unsafe_calls_pct),
+        ),
+        row(
+            "purpose-reuse",
+            stats.purpose_percent("code-reuse"),
+            f64::from(SAMPLED.purpose_reuse_pct),
+        ),
+        row(
+            "purpose-performance",
+            stats.purpose_percent("performance"),
+            f64::from(SAMPLED.purpose_performance_pct),
+        ),
+        row(
+            "purpose-sharing",
+            stats.purpose_percent("thread-sharing"),
+            f64::from(SAMPLED.purpose_sharing_pct),
+        ),
+    ];
+    DistributionDiff {
+        observed_usages: stats.total,
+        paper_sample: SAMPLED.sample,
+        rows,
+    }
+}
+
+impl DistributionDiff {
+    /// Renders the diff as an aligned text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "observed unsafe usages: {} (paper sample: {})",
+            self.observed_usages, self.paper_sample
+        );
+        let _ = writeln!(
+            s,
+            "{:<22} {:>9} {:>7} {:>7}",
+            "metric", "observed", "paper", "delta"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                s,
+                "{:<22} {:>8.1}% {:>6.0}% {:>+6.1}",
+                r.metric, r.observed_pct, r.paper_pct, r.delta_pct
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_scan::scan_source;
+
+    fn sample_stats() -> ScanStats {
+        let src = r#"
+            fn raw(p: *mut i32) {
+                unsafe { *p = 1; }
+            }
+            unsafe fn direct(p: *const i32) -> i32 { *p }
+            unsafe trait Marker {}
+        "#;
+        ScanStats::from_usages(&scan_source(src))
+    }
+
+    #[test]
+    fn rows_cover_forms_ops_and_purposes() {
+        let diff = compare_scan(&sample_stats());
+        let metrics: Vec<&str> = diff.rows.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(
+            metrics,
+            vec![
+                "form-region-share",
+                "form-function-share",
+                "form-trait-share",
+                "memory-ops",
+                "unsafe-call-ops",
+                "purpose-reuse",
+                "purpose-performance",
+                "purpose-sharing",
+            ]
+        );
+    }
+
+    #[test]
+    fn deltas_are_observed_minus_paper() {
+        let diff = compare_scan(&sample_stats());
+        for r in &diff.rows {
+            assert!((r.delta_pct - (r.observed_pct - r.paper_pct)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_side_quotes_section_4() {
+        let diff = compare_scan(&ScanStats::default());
+        let get = |m: &str| {
+            diff.rows
+                .iter()
+                .find(|r| r.metric == m)
+                .map(|r| r.paper_pct)
+                .unwrap()
+        };
+        assert_eq!(get("memory-ops"), 66.0);
+        assert_eq!(get("unsafe-call-ops"), 29.0);
+        assert_eq!(get("purpose-reuse"), 42.0);
+        // 3665 regions of 4990 total usages.
+        assert!((get("form-region-share") - 73.446_894).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let diff = compare_scan(&ScanStats::default());
+        for r in &diff.rows {
+            assert!(r.observed_pct == 0.0, "{}", r.metric);
+        }
+    }
+
+    #[test]
+    fn render_aligns_all_rows() {
+        let diff = compare_scan(&sample_stats());
+        let text = diff.render();
+        assert!(text.contains("metric"));
+        for r in &diff.rows {
+            assert!(text.contains(&r.metric));
+        }
+    }
+
+    #[test]
+    fn diff_serializes_round_trip() {
+        let diff = compare_scan(&sample_stats());
+        let json = serde_json::to_string(&diff).unwrap();
+        let back: DistributionDiff = serde_json::from_str(&json).unwrap();
+        assert_eq!(diff, back);
+    }
+}

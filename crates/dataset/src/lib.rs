@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 pub mod bugs;
+pub mod compare;
 pub mod export;
 pub mod figures;
 pub mod projects;
@@ -28,5 +29,6 @@ pub mod tables;
 pub mod unsafe_usages;
 
 pub use bugs::{all_bugs, BugKind, BugRecord, MemClass, Propagation, Quarter};
+pub use compare::{compare_scan, DiffRow, DistributionDiff};
 pub use projects::{Project, ProjectId, PROJECTS};
 pub use releases::{Release, RELEASES};

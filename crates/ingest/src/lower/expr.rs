@@ -1,0 +1,461 @@
+//! Expression lowering: source expressions → IR operands.
+//!
+//! Expressions lower by precedence climbing; every compound value is
+//! materialized into a fresh temporary (via [`BodyBuilder::temp_assign`] or
+//! a call terminator), so the result of lowering any expression is always a
+//! plain [`Operand`]. Calls split the current block exactly as MIR does.
+//!
+//! [`BodyBuilder::temp_assign`]: rstudy_mir::build::BodyBuilder::temp_assign
+
+use rstudy_mir::{BinOp, Callee, Const, Intrinsic, Mutability, Operand, Place, Rvalue, Ty, UnOp};
+use rstudy_scan::lexer::TokenKind;
+
+use super::tymap::{opaque, parse_ty};
+use super::{FnLowerer, Lower};
+
+impl FnLowerer<'_> {
+    /// Lowers one full expression to an operand and its (best-effort) type.
+    pub(crate) fn expr(&mut self) -> Lower<(Operand, Ty)> {
+        self.expr_bp(0)
+    }
+
+    fn expr_bp(&mut self, min_bp: u8) -> Lower<(Operand, Ty)> {
+        let (mut lhs, mut ty) = self.unary()?;
+        loop {
+            // `expr as Ty` binds tighter than any binary operator.
+            if self.ident_at(0) == Some("as") && min_bp <= 8 {
+                self.pos += 1;
+                let target = parse_ty(self.toks, &mut self.pos).ok_or("unsupported-type")?;
+                let (o, t) = self.materialize(Rvalue::Cast(lhs, target.clone()), target);
+                lhs = o;
+                ty = t;
+                continue;
+            }
+            let Some((op, bp, len, boolish)) = self.peek_binop() else {
+                break;
+            };
+            if bp < min_bp {
+                break;
+            }
+            self.pos += len;
+            let (rhs, _) = self.expr_bp(bp + 1)?;
+            let rty = if boolish { Ty::Bool } else { Ty::Int };
+            let (o, t) = self.materialize(Rvalue::BinaryOp(op, lhs, rhs), rty);
+            lhs = o;
+            ty = t;
+        }
+        Ok((lhs, ty))
+    }
+
+    /// `(operator, binding power, token count, produces bool)`.
+    fn peek_binop(&self) -> Option<(BinOp, u8, usize, bool)> {
+        let c = match self.kind_at(0) {
+            Some(TokenKind::Punct(c)) => *c,
+            _ => return None,
+        };
+        let next = |ch: char| self.peek_punct_at(1, ch);
+        Some(match c {
+            '|' if next('|') => (BinOp::Or, 1, 2, true),
+            '&' if next('&') => (BinOp::And, 2, 2, true),
+            '=' if next('=') => (BinOp::Eq, 3, 2, true),
+            '!' if next('=') => (BinOp::Ne, 3, 2, true),
+            '<' if next('=') => (BinOp::Le, 3, 2, true),
+            '>' if next('=') => (BinOp::Ge, 3, 2, true),
+            // Shifts are outside the subset; let the caller fail cleanly.
+            '<' if next('<') => return None,
+            '>' if next('>') => return None,
+            '<' => (BinOp::Lt, 3, 1, true),
+            '>' => (BinOp::Gt, 3, 1, true),
+            '|' => (BinOp::Or, 4, 1, false),
+            '&' => (BinOp::And, 5, 1, false),
+            '+' => (BinOp::Add, 6, 1, false),
+            '-' => (BinOp::Sub, 6, 1, false),
+            '*' => (BinOp::Mul, 7, 1, false),
+            '/' => (BinOp::Div, 7, 1, false),
+            '%' => (BinOp::Rem, 7, 1, false),
+            _ => return None,
+        })
+    }
+
+    fn unary(&mut self) -> Lower<(Operand, Ty)> {
+        match self.kind_at(0) {
+            Some(TokenKind::Punct('-')) => {
+                // Fold negated integer literals into constants.
+                if let Some(TokenKind::Literal(txt)) = self.kind_at(1) {
+                    if let Some(v) = parse_int_literal(txt) {
+                        self.pos += 2;
+                        return Ok((Operand::int(-v), Ty::Int));
+                    }
+                }
+                self.pos += 1;
+                let (o, _) = self.unary()?;
+                Ok(self.materialize(Rvalue::UnaryOp(UnOp::Neg, o), Ty::Int))
+            }
+            Some(TokenKind::Punct('!')) => {
+                self.pos += 1;
+                let (o, t) = self.unary()?;
+                Ok(self.materialize(Rvalue::UnaryOp(UnOp::Not, o), t))
+            }
+            Some(TokenKind::Punct('*')) => {
+                self.pos += 1;
+                let (o, t) = self.unary()?;
+                match o {
+                    Operand::Copy(p) | Operand::Move(p) => {
+                        let pointee = t.pointee().cloned().unwrap_or_else(opaque);
+                        Ok((Operand::Copy(p.deref()), pointee))
+                    }
+                    Operand::Const(_) => Err("unsupported-expr"),
+                }
+            }
+            Some(TokenKind::Punct('&')) => {
+                self.pos += 1;
+                let mutability = if self.ident_at(0) == Some("mut") {
+                    self.pos += 1;
+                    Mutability::Mut
+                } else {
+                    Mutability::Not
+                };
+                let (o, t) = self.unary()?;
+                let place = self.place_of(o, t.clone());
+                let ref_ty = Ty::Ref(mutability, Box::new(t));
+                Ok(self.materialize(Rvalue::Ref(mutability, place), ref_ty))
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Lower<(Operand, Ty)> {
+        let (mut op, mut ty) = self.atom()?;
+        loop {
+            if self.peek_punct('?') {
+                return Err("try-operator");
+            }
+            if self.peek_punct('.') {
+                if self.peek_punct_at(1, '.') {
+                    return Err("unsupported-expr"); // range
+                }
+                if let Some(name) = self.ident_at(1).map(str::to_owned) {
+                    if name == "await" {
+                        return Err("async");
+                    }
+                    if self.peek_punct_at(2, '(') {
+                        // Method call: opaque extern call, receiver first.
+                        self.pos += 3;
+                        let mut args = vec![op];
+                        self.call_args(&mut args)?;
+                        let (o, t) = self.call_extern(args);
+                        op = o;
+                        ty = t;
+                    } else {
+                        self.pos += 2;
+                        let idx = self.field_idx(&name);
+                        let place = self.place_of(op, ty);
+                        op = Operand::Copy(place.field(idx));
+                        ty = opaque();
+                    }
+                    continue;
+                }
+                if let Some(TokenKind::Literal(txt)) = self.kind_at(1) {
+                    // Tuple index `x.0`.
+                    let Ok(idx) = txt.parse::<u32>() else {
+                        return Err("unsupported-expr");
+                    };
+                    self.pos += 2;
+                    let place = self.place_of(op, ty);
+                    op = Operand::Copy(place.field(idx));
+                    ty = opaque();
+                    continue;
+                }
+                return Err("unsupported-expr");
+            }
+            if self.peek_punct('[') {
+                self.pos += 1;
+                let (iop, _) = self.expr()?;
+                if !self.eat_punct(']') {
+                    return Err("unsupported-expr");
+                }
+                let elem = match &ty {
+                    Ty::Array(e, _) => (**e).clone(),
+                    _ => opaque(),
+                };
+                let place = self.place_of(op, ty);
+                let projected = match iop {
+                    Operand::Const(Const::Int(n)) if n >= 0 => place.const_index(n as u64),
+                    Operand::Copy(p) | Operand::Move(p) if p.is_local() => place.index(p.local),
+                    other => {
+                        let (o, _) = self.materialize(Rvalue::Use(other), Ty::Int);
+                        match o {
+                            Operand::Copy(p) => place.index(p.local),
+                            _ => return Err("unsupported-expr"),
+                        }
+                    }
+                };
+                op = Operand::Copy(projected);
+                ty = elem;
+                continue;
+            }
+            break;
+        }
+        Ok((op, ty))
+    }
+
+    fn atom(&mut self) -> Lower<(Operand, Ty)> {
+        match self.kind_at(0) {
+            Some(TokenKind::Literal(txt)) => {
+                let v = parse_int_literal(txt).ok_or("unsupported-literal")?;
+                self.pos += 1;
+                Ok((Operand::int(v), Ty::Int))
+            }
+            Some(TokenKind::Ident(w)) => {
+                let w = w.clone();
+                // Macro invocation: `name!(..)` / `name![..]` / `name!{..}`.
+                if self.peek_punct_at(1, '!')
+                    && (self.peek_punct_at(2, '(')
+                        || self.peek_punct_at(2, '[')
+                        || self.peek_punct_at(2, '{'))
+                {
+                    return Err("macro");
+                }
+                match w.as_str() {
+                    "true" => {
+                        self.pos += 1;
+                        return Ok((Operand::constant(Const::Bool(true)), Ty::Bool));
+                    }
+                    "false" => {
+                        self.pos += 1;
+                        return Ok((Operand::constant(Const::Bool(false)), Ty::Bool));
+                    }
+                    "unsafe" if self.peek_punct_at(1, '{') => {
+                        // Value-position unsafe block with a single
+                        // expression inside: `let x = unsafe { *p };`
+                        self.pos += 2;
+                        self.unsafe_depth += 1;
+                        self.sync_safety();
+                        let r = self.expr();
+                        self.unsafe_depth -= 1;
+                        self.sync_safety();
+                        let (o, t) = r?;
+                        if !self.eat_punct('}') {
+                            return Err("unsupported-expr");
+                        }
+                        return Ok((o, t));
+                    }
+                    "if" | "match" | "loop" | "while" | "for" => return Err("control-flow"),
+                    "move" => return Err("closure"),
+                    _ => {}
+                }
+                if let Some((local, ty)) = self.lookup(&w) {
+                    self.pos += 1;
+                    if self.peek_punct('(') {
+                        // Indirect call through a binding.
+                        self.pos += 1;
+                        let mut args = Vec::new();
+                        self.call_args(&mut args)?;
+                        return Ok(self.call_callee(Callee::Ptr(local), args));
+                    }
+                    return Ok((Operand::copy(local), ty));
+                }
+                // Unresolved name: a free function, a path, or a constant.
+                self.pos += 1;
+                let mut segments = 1usize;
+                while self.peek_punct(':') && self.peek_punct_at(1, ':') {
+                    self.pos += 2;
+                    if self.peek_punct('<') {
+                        return Err("generics-expr"); // turbofish
+                    }
+                    if self.ident_at(0).is_none() {
+                        return Err("unsupported-expr");
+                    }
+                    self.pos += 1;
+                    segments += 1;
+                }
+                if self.peek_punct('(') {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    self.call_args(&mut args)?;
+                    if segments == 1 {
+                        // Possibly a same-file function; resolved (or
+                        // rewritten to extern_call) in the post-pass.
+                        return Ok(self.call_callee(Callee::Fn(w), args));
+                    }
+                    return Ok(self.call_extern(args));
+                }
+                if self.peek_punct('{') {
+                    return Err("struct-literal");
+                }
+                // Opaque path or named constant: materialize as an extern
+                // value so data still flows through it.
+                Ok(self.call_extern(Vec::new()))
+            }
+            Some(TokenKind::Punct('(')) => {
+                self.pos += 1;
+                if self.eat_punct(')') {
+                    return Ok((Operand::constant(Const::Unit), Ty::Unit));
+                }
+                let (first, fty) = self.expr()?;
+                if self.eat_punct(')') {
+                    return Ok((first, fty));
+                }
+                if !self.eat_punct(',') {
+                    return Err("unsupported-expr");
+                }
+                // Tuple literal.
+                let mut ops = vec![first];
+                let mut tys = vec![fty];
+                loop {
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    let (o, t) = self.expr()?;
+                    ops.push(o);
+                    tys.push(t);
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    if self.eat_punct(')') {
+                        break;
+                    }
+                    return Err("unsupported-expr");
+                }
+                let ty = Ty::Tuple(tys);
+                Ok(self.materialize(Rvalue::Aggregate(ops), ty))
+            }
+            Some(TokenKind::Punct('[')) => {
+                self.pos += 1;
+                let mut ops = Vec::new();
+                let mut elem = Ty::Int;
+                loop {
+                    if self.eat_punct(']') {
+                        break;
+                    }
+                    let (o, t) = self.expr()?;
+                    if ops.is_empty() {
+                        elem = t;
+                    }
+                    ops.push(o);
+                    if self.eat_punct(',') {
+                        continue;
+                    }
+                    if self.eat_punct(']') {
+                        break;
+                    }
+                    return Err("unsupported-expr"); // includes `[x; n]`
+                }
+                let n = ops.len() as u64;
+                let ty = Ty::Array(Box::new(elem), n);
+                Ok(self.materialize(Rvalue::Aggregate(ops), ty))
+            }
+            Some(TokenKind::Punct('|')) => Err("closure"),
+            _ => Err("unsupported-expr"),
+        }
+    }
+
+    /// Parses call arguments; the cursor must be just past the `(`.
+    fn call_args(&mut self, args: &mut Vec<Operand>) -> Lower<()> {
+        loop {
+            if self.eat_punct(')') {
+                return Ok(());
+            }
+            let (o, _) = self.expr()?;
+            args.push(o);
+            if self.eat_punct(',') {
+                continue;
+            }
+            if self.eat_punct(')') {
+                return Ok(());
+            }
+            return Err("unsupported-expr");
+        }
+    }
+
+    /// Materializes an rvalue into a fresh temporary.
+    pub(crate) fn materialize(&mut self, rv: Rvalue, ty: Ty) -> (Operand, Ty) {
+        let t = self.b.temp_assign(ty.clone(), rv);
+        (Operand::copy(t), ty)
+    }
+
+    /// Emits a call terminator into a fresh opaque temporary.
+    fn call_callee(&mut self, callee: Callee, args: Vec<Operand>) -> (Operand, Ty) {
+        let dest = self.b.temp(opaque());
+        self.b.storage_live(dest);
+        let next = self.b.new_block();
+        self.b.call(callee, args, dest, Some(next));
+        self.b.switch_to(next);
+        (Operand::copy(dest), opaque())
+    }
+
+    /// An opaque call into non-lowered code.
+    pub(crate) fn call_extern(&mut self, args: Vec<Operand>) -> (Operand, Ty) {
+        self.call_callee(Callee::Intrinsic(Intrinsic::ExternCall), args)
+    }
+
+    /// Turns an operand into a place, materializing constants.
+    fn place_of(&mut self, op: Operand, ty: Ty) -> Place {
+        match op {
+            Operand::Copy(p) | Operand::Move(p) => p,
+            Operand::Const(_) => {
+                let t = self.b.temp_assign(ty, Rvalue::Use(op));
+                Place::from_local(t)
+            }
+        }
+    }
+}
+
+/// Parses a Rust integer literal (underscores, radix prefixes, suffixes).
+/// Returns `None` for floats, strings, chars, and out-of-range values.
+fn parse_int_literal(txt: &str) -> Option<i64> {
+    let s: String = txt.chars().filter(|c| *c != '_').collect();
+    let (radix, rest) = if let Some(r) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        (16, r)
+    } else if let Some(r) = s.strip_prefix("0o").or_else(|| s.strip_prefix("0O")) {
+        (8, r)
+    } else if let Some(r) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        (2, r)
+    } else {
+        (10, s.as_str())
+    };
+    let end = rest
+        .char_indices()
+        .find(|(_, c)| !c.is_digit(radix))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    let (digits, suffix) = rest.split_at(end);
+    if digits.is_empty() {
+        return None;
+    }
+    match suffix {
+        "" | "i8" | "i16" | "i32" | "i64" | "i128" | "isize" | "u8" | "u16" | "u32" | "u64"
+        | "u128" | "usize" => {}
+        _ => return None,
+    }
+    // Wrap out-of-i64-range u64 values (e.g. hash constants) rather than
+    // rejecting whole functions over them.
+    u64::from_str_radix(digits, radix).ok().map(|v| v as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_literal_forms() {
+        assert_eq!(parse_int_literal("42"), Some(42));
+        assert_eq!(parse_int_literal("1_000"), Some(1000));
+        assert_eq!(parse_int_literal("0xff"), Some(255));
+        assert_eq!(parse_int_literal("0o17"), Some(15));
+        assert_eq!(parse_int_literal("0b101"), Some(5));
+        assert_eq!(parse_int_literal("7u64"), Some(7));
+        assert_eq!(parse_int_literal("7_i32"), Some(7));
+        assert_eq!(
+            parse_int_literal("0xcbf29ce484222325"),
+            Some(0xcbf2_9ce4_8422_2325_u64 as i64)
+        );
+    }
+
+    #[test]
+    fn non_int_literals_rejected() {
+        for bad in ["2.5", "1e3", "\"str\"", "'c'", "b\"x\"", "1f32", "0x"] {
+            assert_eq!(parse_int_literal(bad), None, "{bad}");
+        }
+    }
+}

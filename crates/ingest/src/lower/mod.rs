@@ -1,0 +1,807 @@
+//! Lowering real Rust function bodies into the textual MIR dialect.
+//!
+//! The lowerer is deliberately conservative: it accepts a straight-line
+//! subset of Rust (locals, assignments, `&`/`&mut` borrows, field and index
+//! projections, calls, early returns, drops, `unsafe` regions) and skips
+//! everything else with a per-reason counter — the same philosophy as the
+//! walker and scanner: real trees never abort, they degrade into counted
+//! skips. Every function that does lower is built through
+//! [`BodyBuilder`], pretty-printed, and validated, so the emitted text is a
+//! `parse(pretty(p))` fixpoint that downstream consumers (the detector
+//! suite, `rstudy-serve`) can load without special cases.
+//!
+//! Calls are resolved in a post-pass: a call to a function that lowered in
+//! the same file becomes a direct [`Callee::Fn`]; anything else (different
+//! file, generic, skipped, method, path) is rewritten to the variadic
+//! `ffi::extern_call` intrinsic — an honest "opaque non-lowered code"
+//! marker the analyses already understand.
+
+mod expr;
+mod tymap;
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rstudy_mir::build::BodyBuilder;
+use rstudy_mir::{
+    validate::validate_program, Body, Callee, Intrinsic, Local, Place, Program, Rvalue, Safety,
+    TerminatorKind, Ty,
+};
+use rstudy_scan::lexer::{lex, Token, TokenKind};
+use serde::{Deserialize, Serialize};
+
+use tymap::parse_ty;
+
+/// A lowering failure is a stable skip-reason key; granularity is the whole
+/// function (one unsupported construct skips the `fn` that contains it).
+pub(crate) type Lower<T> = Result<T, &'static str>;
+
+/// One successfully lowered function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredFn {
+    /// Function name (unique within the file's lowered program).
+    pub name: String,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// The result of lowering one source file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FileLowering {
+    /// The lowered program in textual MIR, if any function lowered.
+    pub program: Option<String>,
+    /// Entry function of the lowered program (first lowered, source order).
+    pub entry: Option<String>,
+    /// Every lowered function, in source order.
+    pub functions: Vec<LoweredFn>,
+    /// Counted reasons for every function that did not lower.
+    pub skipped: BTreeMap<String, usize>,
+}
+
+/// Lowers every lowerable function in `src` into one textual MIR program.
+pub fn lower_source(src: &str) -> FileLowering {
+    let toks = lex(src);
+    let mut out = FileLowering::default();
+    let mut bodies: Vec<Body> = Vec::new();
+    let mut names: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            // `fn(` — a function-pointer type, not an item.
+            i += 1;
+            continue;
+        };
+        let line = toks[i].line;
+        let m = scan_modifiers(&toks, i);
+        let outcome = if m.is_async {
+            Err("async")
+        } else if names.contains(name) {
+            Err("duplicate-name")
+        } else {
+            lower_fn(&toks, i, m.is_unsafe)
+        };
+        match outcome {
+            Ok(body) => {
+                names.insert(body.name.clone());
+                out.functions.push(LoweredFn {
+                    name: body.name.clone(),
+                    line,
+                });
+                bodies.push(body);
+            }
+            Err(reason) => {
+                *out.skipped.entry(reason.to_owned()).or_insert(0) += 1;
+            }
+        }
+        // Continue scanning *inside* the item so nested/test functions are
+        // still discovered when the enclosing one was skipped.
+        i += 2;
+    }
+    if bodies.is_empty() {
+        return out;
+    }
+    resolve_calls(&mut bodies);
+    let entry = bodies[0].name.clone();
+    let mut program = Program::from_bodies(bodies);
+    program.set_entry(entry.clone());
+    if validate_program(&program).is_err() {
+        // Defensive: a lowering bug must degrade into a counted skip, not a
+        // corrupt manifest entry.
+        *out.skipped.entry("validate-failed".to_owned()).or_insert(0) += out.functions.len();
+        out.functions.clear();
+        return out;
+    }
+    out.program = Some(rstudy_mir::pretty::program_to_string(&program));
+    out.entry = Some(entry);
+    out
+}
+
+struct Modifiers {
+    is_unsafe: bool,
+    is_async: bool,
+}
+
+/// Scans the modifier run before a `fn` keyword (`pub(crate) const unsafe
+/// extern "C" fn ...`) without being confused by unrelated preceding tokens.
+fn scan_modifiers(toks: &[Token], fn_idx: usize) -> Modifiers {
+    let mut m = Modifiers {
+        is_unsafe: false,
+        is_async: false,
+    };
+    let lo = fn_idx.saturating_sub(8);
+    let mut j = fn_idx;
+    while j > lo {
+        j -= 1;
+        match &toks[j].kind {
+            TokenKind::Ident(w) if w == "unsafe" => m.is_unsafe = true,
+            TokenKind::Ident(w) if w == "async" => m.is_async = true,
+            TokenKind::Ident(w)
+                if matches!(
+                    w.as_str(),
+                    "pub" | "const" | "extern" | "default" | "crate" | "super" | "self" | "in"
+                ) => {}
+            TokenKind::Literal(_) | TokenKind::Punct('(') | TokenKind::Punct(')') => {}
+            _ => break,
+        }
+    }
+    m
+}
+
+/// Finds the index of the `}` matching the `{` at `open`, bounded by `end`.
+pub(crate) fn matching_brace(toks: &[Token], open: usize, end: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().take(end).skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn lower_fn(toks: &[Token], fn_idx: usize, is_unsafe: bool) -> Lower<Body> {
+    let name = toks[fn_idx + 1].ident().unwrap().to_owned();
+    let mut pos = fn_idx + 2;
+    let punct_at = |p: usize, c: char| matches!(toks.get(p).map(|t| &t.kind), Some(TokenKind::Punct(x)) if *x == c);
+    let ident_at = |p: usize| -> Option<&str> { toks.get(p).and_then(|t| t.ident()) };
+    if punct_at(pos, '<') {
+        return Err("generics");
+    }
+    if !punct_at(pos, '(') {
+        return Err("unsupported-signature");
+    }
+    pos += 1;
+    let mut params: Vec<(String, Ty)> = Vec::new();
+    loop {
+        if punct_at(pos, ')') {
+            pos += 1;
+            break;
+        }
+        if punct_at(pos, '&') {
+            // `&self` / `&'a self` / `&mut self`
+            pos += 1;
+            while matches!(toks.get(pos).map(|t| &t.kind), Some(TokenKind::Lifetime(_))) {
+                pos += 1;
+            }
+            let mutable = ident_at(pos) == Some("mut");
+            if mutable {
+                pos += 1;
+            }
+            if ident_at(pos) != Some("self") {
+                return Err("unsupported-pattern");
+            }
+            pos += 1;
+            let inner = Ty::Named("Self".to_owned());
+            let ty = if mutable {
+                Ty::mut_ref(inner)
+            } else {
+                Ty::shared_ref(inner)
+            };
+            params.push(("self".to_owned(), ty));
+        } else {
+            if ident_at(pos) == Some("mut") {
+                pos += 1;
+            }
+            let Some(pname) = ident_at(pos) else {
+                return Err("unsupported-pattern");
+            };
+            let mut pname = pname.to_owned();
+            pos += 1;
+            if pname == "self" {
+                params.push(("self".to_owned(), Ty::Named("Self".to_owned())));
+            } else {
+                if pname == "_" {
+                    pname = format!("arg{}", params.len());
+                }
+                if !punct_at(pos, ':') {
+                    return Err("unsupported-pattern");
+                }
+                pos += 1;
+                let ty = parse_ty(toks, &mut pos).ok_or("unsupported-type")?;
+                params.push((pname, ty));
+            }
+        }
+        if punct_at(pos, ',') {
+            pos += 1;
+        } else if !punct_at(pos, ')') {
+            return Err("unsupported-signature");
+        }
+    }
+    let ret_ty = if punct_at(pos, '-') && punct_at(pos + 1, '>') {
+        pos += 2;
+        parse_ty(toks, &mut pos).ok_or("unsupported-type")?
+    } else {
+        Ty::Unit
+    };
+    if ident_at(pos) == Some("where") {
+        return Err("generics");
+    }
+    if punct_at(pos, ';') {
+        return Err("no-body");
+    }
+    if !punct_at(pos, '{') {
+        return Err("unsupported-signature");
+    }
+    let close = matching_brace(toks, pos, toks.len()).ok_or("unsupported-signature")?;
+
+    let mut b = BodyBuilder::new(&name, params.len(), ret_ty.clone());
+    if is_unsafe {
+        b.unsafe_fn();
+    }
+    let mut scope = Vec::new();
+    for (pname, pty) in &params {
+        let l = b.arg(pname.clone(), pty.clone());
+        scope.push((pname.clone(), l, pty.clone()));
+    }
+    let mut fl = FnLowerer {
+        toks,
+        pos: pos + 1,
+        end: close,
+        b,
+        scope,
+        owned: Vec::new(),
+        fields: BTreeMap::new(),
+        ret_ty,
+        base_unsafe: is_unsafe,
+        unsafe_depth: 0,
+    };
+    let returned = fl.lower_stmts()?;
+    if !returned {
+        if fl.ret_ty != Ty::Unit {
+            return Err("missing-return");
+        }
+        fl.epilogue_ret();
+    }
+    Ok(fl.b.finish())
+}
+
+/// Rewrites calls whose target did not lower in the same file into the
+/// variadic `ffi::extern_call` intrinsic, keeping programs self-contained.
+fn resolve_calls(bodies: &mut [Body]) {
+    let known: BTreeMap<String, usize> = bodies
+        .iter()
+        .map(|b| (b.name.clone(), b.arg_count))
+        .collect();
+    for body in bodies.iter_mut() {
+        for blk in &mut body.blocks {
+            if let Some(term) = &mut blk.terminator {
+                if let TerminatorKind::Call { func, args, .. } = &mut term.kind {
+                    if let Callee::Fn(callee) = func {
+                        match known.get(callee.as_str()) {
+                            Some(&arity) if arity == args.len() => {}
+                            _ => *func = Callee::Intrinsic(Intrinsic::ExternCall),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Token-cursor state while lowering a single function body.
+pub(crate) struct FnLowerer<'t> {
+    pub(crate) toks: &'t [Token],
+    pub(crate) pos: usize,
+    /// Exclusive end of the region being lowered (the enclosing `}`).
+    pub(crate) end: usize,
+    pub(crate) b: BodyBuilder,
+    /// Declared bindings: `(source name, local, type)`.
+    pub(crate) scope: Vec<(String, Local, Ty)>,
+    /// Locals that need `StorageDead` before return, in declaration order.
+    pub(crate) owned: Vec<Local>,
+    /// Interned field names → stable projection indices (first-use order).
+    pub(crate) fields: BTreeMap<String, u32>,
+    pub(crate) ret_ty: Ty,
+    pub(crate) base_unsafe: bool,
+    pub(crate) unsafe_depth: usize,
+}
+
+impl FnLowerer<'_> {
+    pub(crate) fn kind_at(&self, off: usize) -> Option<&TokenKind> {
+        let i = self.pos + off;
+        if i >= self.end {
+            return None;
+        }
+        self.toks.get(i).map(|t| &t.kind)
+    }
+
+    pub(crate) fn peek_punct_at(&self, off: usize, c: char) -> bool {
+        matches!(self.kind_at(off), Some(TokenKind::Punct(p)) if *p == c)
+    }
+
+    pub(crate) fn peek_punct(&self, c: char) -> bool {
+        self.peek_punct_at(0, c)
+    }
+
+    pub(crate) fn ident_at(&self, off: usize) -> Option<&str> {
+        match self.kind_at(off) {
+            Some(TokenKind::Ident(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Option<(Local, Ty)> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, l, t)| (*l, t.clone()))
+    }
+
+    pub(crate) fn field_idx(&mut self, name: &str) -> u32 {
+        let next = self.fields.len() as u32;
+        *self.fields.entry(name.to_owned()).or_insert(next)
+    }
+
+    pub(crate) fn sync_safety(&mut self) {
+        let s = if self.base_unsafe || self.unsafe_depth > 0 {
+            Safety::Unsafe
+        } else {
+            Safety::Safe
+        };
+        self.b.set_safety(s);
+    }
+
+    /// `StorageDead` for every owned local (reverse order), then `Return`.
+    fn epilogue_ret(&mut self) {
+        for i in (0..self.owned.len()).rev() {
+            let l = self.owned[i];
+            self.b.storage_dead(l);
+        }
+        self.b.ret();
+    }
+
+    fn lower_stmts(&mut self) -> Lower<bool> {
+        while self.pos < self.end {
+            let line = self.toks[self.pos].line;
+            self.b.at_line(line);
+            if self.eat_punct(';') {
+                continue;
+            }
+            if self.peek_punct('#') && self.peek_punct_at(1, '[') {
+                self.skip_attr()?;
+                continue;
+            }
+            if let Some(word) = self.ident_at(0).map(str::to_owned) {
+                match word.as_str() {
+                    "let" => {
+                        self.let_stmt()?;
+                        continue;
+                    }
+                    "return" => {
+                        self.return_stmt()?;
+                        self.pos = self.end;
+                        return Ok(true);
+                    }
+                    "unsafe" if self.peek_punct_at(1, '{') => {
+                        let close = matching_brace(self.toks, self.pos + 1, self.end)
+                            .ok_or("unsupported-stmt")?;
+                        self.pos += 2;
+                        if self.block_stmts(close, true)? {
+                            return Ok(true);
+                        }
+                        continue;
+                    }
+                    "if" | "while" | "loop" | "for" | "match" => return Err("control-flow"),
+                    "fn" => return Err("nested-fn"),
+                    "struct" | "enum" | "impl" | "trait" | "mod" | "use" | "static" | "const"
+                    | "type" | "macro_rules" => return Err("nested-item"),
+                    // A non-trivial argument fails the guard (without
+                    // consuming tokens) and falls through to be lowered as
+                    // an ordinary (extern) call.
+                    "drop" if self.peek_punct_at(1, '(') && self.try_drop_stmt() => {
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            if self.peek_punct('{') {
+                let close =
+                    matching_brace(self.toks, self.pos, self.end).ok_or("unsupported-stmt")?;
+                self.pos += 1;
+                if self.block_stmts(close, false)? {
+                    return Ok(true);
+                }
+                continue;
+            }
+            if self.expr_or_assign_stmt()? {
+                self.pos = self.end;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Lowers the statements of a nested `{ ... }` region ending at `close`.
+    fn block_stmts(&mut self, close: usize, unsafe_block: bool) -> Lower<bool> {
+        let saved_end = self.end;
+        self.end = close;
+        if unsafe_block {
+            self.unsafe_depth += 1;
+            self.sync_safety();
+        }
+        let returned = self.lower_stmts()?;
+        if unsafe_block {
+            self.unsafe_depth -= 1;
+            self.sync_safety();
+        }
+        self.end = saved_end;
+        self.pos = close + 1;
+        Ok(returned)
+    }
+
+    fn skip_attr(&mut self) -> Lower<()> {
+        // pos is at `#`; skip `#[ ... ]` with bracket matching.
+        self.pos += 1;
+        let mut depth = 0usize;
+        while self.pos < self.end {
+            if self.peek_punct('[') {
+                depth += 1;
+            } else if self.peek_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    self.pos += 1;
+                    return Ok(());
+                }
+            }
+            self.pos += 1;
+        }
+        Err("unsupported-stmt")
+    }
+
+    fn let_stmt(&mut self) -> Lower<()> {
+        self.pos += 1; // `let`
+        if self.ident_at(0) == Some("mut") {
+            self.pos += 1;
+        }
+        let Some(name) = self.ident_at(0).map(str::to_owned) else {
+            return Err("unsupported-pattern");
+        };
+        self.pos += 1;
+        if name == "_" && !self.peek_punct(':') {
+            // `let _ = expr;` — evaluate for effect, bind nothing.
+            if !self.eat_punct('=') || self.peek_punct('=') {
+                return Err("unsupported-stmt");
+            }
+            let _ = self.expr()?;
+            if !self.eat_punct(';') {
+                return Err("unsupported-expr");
+            }
+            return Ok(());
+        }
+        if self.lookup(&name).is_some() {
+            return Err("shadowing");
+        }
+        let ann = if self.eat_punct(':') {
+            Some(parse_ty(self.toks, &mut self.pos).ok_or("unsupported-type")?)
+        } else {
+            None
+        };
+        if !self.peek_punct('=') || self.peek_punct_at(1, '=') {
+            return Err("unsupported-stmt");
+        }
+        self.pos += 1;
+        let (op, inferred) = self.expr()?;
+        if !self.eat_punct(';') {
+            return Err("unsupported-expr");
+        }
+        let ty = ann.unwrap_or(inferred);
+        let l = self.b.local(name.clone(), ty.clone());
+        self.b.storage_live(l);
+        self.b.assign(l, Rvalue::Use(op));
+        self.scope.push((name, l, ty));
+        self.owned.push(l);
+        Ok(())
+    }
+
+    fn return_stmt(&mut self) -> Lower<()> {
+        self.pos += 1; // `return`
+        if !self.eat_punct(';') {
+            let (op, _) = self.expr()?;
+            let _ = self.eat_punct(';');
+            self.b.assign(Place::RETURN, Rvalue::Use(op));
+        }
+        self.epilogue_ret();
+        Ok(())
+    }
+
+    fn try_drop_stmt(&mut self) -> bool {
+        // Exact shape `drop(x);` where `x` is a binding → a Drop terminator.
+        let Some(arg) = self.ident_at(2).map(str::to_owned) else {
+            return false;
+        };
+        if !(self.peek_punct_at(3, ')') && self.peek_punct_at(4, ';')) {
+            return false;
+        }
+        let Some((l, _)) = self.lookup(&arg) else {
+            return false;
+        };
+        self.pos += 5;
+        self.b.drop_cont(l);
+        true
+    }
+
+    /// `place = expr;`, `place op= expr;`, or a bare expression statement.
+    /// Returns `true` if the statement was a tail expression (function over).
+    fn expr_or_assign_stmt(&mut self) -> Lower<bool> {
+        if let Some((place, binop)) = self.take_assign_target() {
+            let (rhs, _) = self.expr()?;
+            if !self.eat_punct(';') {
+                return Err("unsupported-expr");
+            }
+            let rv = match binop {
+                None => Rvalue::Use(rhs),
+                Some(op) => Rvalue::BinaryOp(op, rstudy_mir::Operand::Copy(place.clone()), rhs),
+            };
+            self.b.assign_place(place, rv);
+            return Ok(false);
+        }
+        let (op, _) = self.expr()?;
+        if self.eat_punct(';') {
+            return Ok(false);
+        }
+        if self.pos == self.end {
+            // Tail expression: the function's return value.
+            if self.ret_ty != Ty::Unit {
+                self.b.assign(Place::RETURN, Rvalue::Use(op));
+            }
+            self.epilogue_ret();
+            return Ok(true);
+        }
+        Err("unsupported-expr")
+    }
+
+    /// Recognizes `[*]? binding (.field)* =` (or `op=`) and consumes through
+    /// the `=`, returning the target place. Leaves the cursor untouched when
+    /// the lookahead does not match.
+    fn take_assign_target(&mut self) -> Option<(Place, Option<rstudy_mir::BinOp>)> {
+        use rstudy_mir::BinOp;
+        let mut j = 0usize;
+        let deref = self.peek_punct_at(j, '*');
+        if deref {
+            j += 1;
+        }
+        let name = self.ident_at(j)?.to_owned();
+        let (local, _) = self.lookup(&name)?;
+        j += 1;
+        let mut fields: Vec<String> = Vec::new();
+        while self.peek_punct_at(j, '.') {
+            let f = self.ident_at(j + 1)?.to_owned();
+            if self.peek_punct_at(j + 2, '(') {
+                return None; // method call, not a place
+            }
+            fields.push(f);
+            j += 2;
+        }
+        let binop = if self.peek_punct_at(j, '=') && !self.peek_punct_at(j + 1, '=') {
+            None
+        } else {
+            let c = match self.kind_at(j) {
+                Some(TokenKind::Punct(c)) => *c,
+                _ => return None,
+            };
+            if !self.peek_punct_at(j + 1, '=') {
+                return None;
+            }
+            let op = match c {
+                '+' => BinOp::Add,
+                '-' => BinOp::Sub,
+                '*' => BinOp::Mul,
+                '/' => BinOp::Div,
+                '%' => BinOp::Rem,
+                _ => return None,
+            };
+            j += 1;
+            Some(op)
+        };
+        let mut place = Place::from_local(local);
+        if deref {
+            place = place.deref();
+        }
+        for f in fields {
+            let idx = self.field_idx(&f);
+            place = place.field(idx);
+        }
+        self.pos += j + 1; // past the `=`
+        Some((place, binop))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_mir::parse::parse_program;
+
+    fn lowered(src: &str) -> FileLowering {
+        lower_source(src)
+    }
+
+    fn program(src: &str) -> Program {
+        let out = lowered(src);
+        let text = out.program.expect("no function lowered");
+        parse_program(&text).expect("lowered text must re-parse")
+    }
+
+    #[test]
+    fn lowers_straightline_arithmetic() {
+        let p = program("fn add(a: i32, b: i32) -> i32 { let c = a + b; c }");
+        let body = p.function("add").unwrap();
+        assert_eq!(body.arg_count, 2);
+        assert_eq!(p.entry(), "add");
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn early_return_and_drop() {
+        let p = program("fn f(x: u8) -> u8 { let y = x; drop(y); return x; }");
+        let body = p.function("f").unwrap();
+        let has_drop = body.blocks.iter().any(|b| {
+            matches!(
+                &b.terminator.as_ref().unwrap().kind,
+                TerminatorKind::Drop { .. }
+            )
+        });
+        assert!(has_drop);
+    }
+
+    #[test]
+    fn unsafe_fn_and_unsafe_blocks_mark_safety() {
+        let out = lowered(
+            "unsafe fn raw(p: *mut i32) { *p = 1; }\n\
+             fn wrap(p: *mut i32) { unsafe { *p = 2; } }",
+        );
+        let p = parse_program(out.program.as_ref().unwrap()).unwrap();
+        assert!(p.function("raw").unwrap().is_unsafe_fn);
+        let wrap = p.function("wrap").unwrap();
+        assert!(!wrap.is_unsafe_fn);
+        let any_unsafe_stmt = wrap
+            .blocks
+            .iter()
+            .flat_map(|b| &b.statements)
+            .any(|s| s.source_info.safety.is_unsafe());
+        assert!(any_unsafe_stmt);
+    }
+
+    #[test]
+    fn same_file_calls_are_direct_others_extern() {
+        let p = program(
+            "fn helper(x: i32) -> i32 { x }\n\
+             fn main2() -> i32 { let a = helper(1); let b = outside(2); a + b }",
+        );
+        let main2 = p.function("main2").unwrap();
+        let mut direct = 0;
+        let mut external = 0;
+        for blk in &main2.blocks {
+            if let TerminatorKind::Call { func, .. } = &blk.terminator.as_ref().unwrap().kind {
+                match func {
+                    Callee::Fn(n) if n == "helper" => direct += 1,
+                    Callee::Intrinsic(Intrinsic::ExternCall) => external += 1,
+                    other => panic!("unexpected callee {other:?}"),
+                }
+            }
+        }
+        assert_eq!((direct, external), (1, 1));
+    }
+
+    #[test]
+    fn method_calls_and_paths_become_extern_calls() {
+        let p = program("fn f(v: Thing) -> i32 { let n = v.len(); Config::default(); n as i32 }");
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn field_reads_project_deterministically() {
+        let out1 = lowered("fn f(s: &State) -> i32 { let a = s.x; let b = s.y; a + b }");
+        let out2 = lowered("fn f(s: &State) -> i32 { let a = s.x; let b = s.y; a + b }");
+        assert_eq!(out1.program, out2.program);
+        assert!(out1.program.is_some());
+    }
+
+    #[test]
+    fn control_flow_is_skipped_with_reason() {
+        let out = lowered("fn f(x: i32) -> i32 { if x > 0 { x } else { 0 } }");
+        assert!(out.program.is_none());
+        assert_eq!(out.skipped.get("control-flow"), Some(&1));
+    }
+
+    #[test]
+    fn generics_and_missing_bodies_are_counted() {
+        let out = lowered(
+            "fn g<T>(x: T) -> T { x }\n\
+             trait T { fn decl(&self); }\n\
+             fn ok() {}",
+        );
+        assert_eq!(out.skipped.get("generics"), Some(&1));
+        assert_eq!(out.skipped.get("no-body"), Some(&1));
+        assert_eq!(out.functions.len(), 1);
+    }
+
+    #[test]
+    fn macros_and_closures_are_skipped() {
+        let out = lowered(
+            "fn m() { println!(\"hi\"); }\n\
+             fn c() { let f = |x: i32| x; }",
+        );
+        assert!(out.program.is_none());
+        assert_eq!(out.skipped.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_keep_first() {
+        let out = lowered("fn f() {}\nfn f() { let x = 1; }");
+        assert_eq!(out.functions.len(), 1);
+        assert_eq!(out.skipped.get("duplicate-name"), Some(&1));
+    }
+
+    #[test]
+    fn entry_is_first_lowered_function() {
+        let out = lowered("fn g<T>() {}\nfn second() {}\nfn third() {}");
+        assert_eq!(out.entry.as_deref(), Some("second"));
+    }
+
+    #[test]
+    fn compound_assign_and_deref_store() {
+        let p = program("fn f(p: *mut i32, mut n: i32) { n += 2; unsafe { *p = n; } }");
+        assert!(validate_program(&p).is_ok());
+    }
+
+    #[test]
+    fn lowered_programs_always_reparse_and_validate() {
+        // A grab-bag of shapes; every emitted program must be a fixpoint.
+        let srcs = [
+            "fn a() -> bool { true }",
+            "fn b(x: u64) -> u64 { let y = x * 2; y + 1 }",
+            "fn c(s: &mut State) { s.count = 0; }",
+            "fn d() -> (i32, bool) { (1, false) }",
+            "fn e(xs: &Buf, i: usize) -> u8 { xs.data; 0 }",
+            "fn g() { let t = (1, 2); let x = t.0; let _ = x; }",
+            "unsafe fn h(p: *const u8) -> u8 { *p }",
+        ];
+        for src in srcs {
+            let out = lowered(src);
+            let text = out
+                .program
+                .unwrap_or_else(|| panic!("{src} did not lower: {:?}", out.skipped));
+            let p = parse_program(&text).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert!(validate_program(&p).is_ok(), "{src}");
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Mapping source-level Rust types onto the IR's small type language.
+//!
+//! The IR collapses all integer widths into `int` and keeps structs opaque
+//! ([`Ty::Named`]), so the mapping is total only over a conservative subset:
+//! scalars, references, raw pointers, `()`, tuples of mappable types, and
+//! bare named types. Anything else (generics, slices, trait objects, `impl
+//! Trait`, function pointers, floats) returns `None` and the surrounding
+//! function is skipped with an `unsupported-type` counter.
+
+use rstudy_mir::{Mutability, Ty};
+use rstudy_scan::lexer::{Token, TokenKind};
+
+/// Integer type names that all map to the IR's single `int`.
+const INT_NAMES: &[&str] = &[
+    "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize",
+];
+
+fn peek(toks: &[Token], pos: usize) -> Option<&TokenKind> {
+    toks.get(pos).map(|t| &t.kind)
+}
+
+fn is_punct(toks: &[Token], pos: usize, c: char) -> bool {
+    matches!(peek(toks, pos), Some(TokenKind::Punct(p)) if *p == c)
+}
+
+/// Parses a type starting at `*pos`, advancing past it on success.
+///
+/// On failure the cursor position is unspecified and the caller must abandon
+/// the function (every caller does — type failure skips the whole `fn`).
+pub(crate) fn parse_ty(toks: &[Token], pos: &mut usize) -> Option<Ty> {
+    // Lifetimes can prefix reference targets (`&'a T`); they carry no
+    // information the IR keeps.
+    while matches!(peek(toks, *pos), Some(TokenKind::Lifetime(_))) {
+        *pos += 1;
+    }
+    match peek(toks, *pos)? {
+        TokenKind::Punct('&') => {
+            *pos += 1;
+            while matches!(peek(toks, *pos), Some(TokenKind::Lifetime(_))) {
+                *pos += 1;
+            }
+            let mutability = if matches!(peek(toks, *pos), Some(TokenKind::Ident(w)) if w == "mut")
+            {
+                *pos += 1;
+                Mutability::Mut
+            } else {
+                Mutability::Not
+            };
+            let inner = parse_ty(toks, pos)?;
+            Some(Ty::Ref(mutability, Box::new(inner)))
+        }
+        TokenKind::Punct('*') => {
+            *pos += 1;
+            let mutability = match peek(toks, *pos)? {
+                TokenKind::Ident(w) if w == "const" => Mutability::Not,
+                TokenKind::Ident(w) if w == "mut" => Mutability::Mut,
+                _ => return None,
+            };
+            *pos += 1;
+            let inner = parse_ty(toks, pos)?;
+            Some(Ty::RawPtr(mutability, Box::new(inner)))
+        }
+        TokenKind::Punct('(') => {
+            *pos += 1;
+            if is_punct(toks, *pos, ')') {
+                *pos += 1;
+                return Some(Ty::Unit);
+            }
+            let mut elems = Vec::new();
+            loop {
+                elems.push(parse_ty(toks, pos)?);
+                if is_punct(toks, *pos, ')') {
+                    *pos += 1;
+                    break;
+                }
+                if !is_punct(toks, *pos, ',') {
+                    return None;
+                }
+                *pos += 1;
+                // Trailing comma.
+                if is_punct(toks, *pos, ')') {
+                    *pos += 1;
+                    break;
+                }
+            }
+            if elems.len() == 1 {
+                // `(T)` is just parenthesization.
+                return elems.pop();
+            }
+            Some(Ty::Tuple(elems))
+        }
+        TokenKind::Ident(name) => {
+            let name = name.clone();
+            // Path types, generic instantiations, and special forms are all
+            // outside the lowered subset.
+            if matches!(
+                name.as_str(),
+                "dyn" | "impl" | "fn" | "f32" | "f64" | "char"
+            ) {
+                return None;
+            }
+            *pos += 1;
+            if is_punct(toks, *pos, ':') && is_punct(toks, *pos + 1, ':') {
+                return None;
+            }
+            if is_punct(toks, *pos, '<') {
+                return None;
+            }
+            if INT_NAMES.contains(&name.as_str()) {
+                return Some(Ty::Int);
+            }
+            if name == "bool" {
+                return Some(Ty::Bool);
+            }
+            Some(Ty::Named(name))
+        }
+        _ => None,
+    }
+}
+
+/// The opaque stand-in type for values whose source type is unknown at
+/// lowering time (call results, field reads through opaque structs).
+pub(crate) fn opaque() -> Ty {
+    Ty::Named("Opaque".to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rstudy_scan::lex;
+
+    fn ty(src: &str) -> Option<Ty> {
+        let toks = lex(src);
+        let mut pos = 0;
+        let t = parse_ty(&toks, &mut pos)?;
+        // The whole token stream must be consumed — partial parses would
+        // silently mis-read signatures.
+        if pos != toks.len() {
+            return None;
+        }
+        Some(t)
+    }
+
+    #[test]
+    fn integer_widths_collapse_to_int() {
+        for name in INT_NAMES {
+            assert_eq!(ty(name), Some(Ty::Int), "{name}");
+        }
+    }
+
+    #[test]
+    fn scalars_and_unit() {
+        assert_eq!(ty("bool"), Some(Ty::Bool));
+        assert_eq!(ty("()"), Some(Ty::Unit));
+    }
+
+    #[test]
+    fn references_and_raw_pointers_recurse() {
+        assert_eq!(ty("&u32"), Some(Ty::shared_ref(Ty::Int)));
+        assert_eq!(ty("&mut bool"), Some(Ty::mut_ref(Ty::Bool)));
+        assert_eq!(ty("*const i64"), Some(Ty::const_ptr(Ty::Int)));
+        assert_eq!(ty("*mut *mut u8"), Some(Ty::mut_ptr(Ty::mut_ptr(Ty::Int))));
+        assert_eq!(ty("&'a str"), Some(Ty::shared_ref(Ty::Named("str".into()))));
+    }
+
+    #[test]
+    fn named_types_stay_opaque() {
+        assert_eq!(ty("Header"), Some(Ty::Named("Header".into())));
+        assert_eq!(ty("String"), Some(Ty::Named("String".into())));
+    }
+
+    #[test]
+    fn tuples_of_mappable_types() {
+        assert_eq!(ty("(u8, bool)"), Some(Ty::Tuple(vec![Ty::Int, Ty::Bool])));
+    }
+
+    #[test]
+    fn unsupported_forms_are_rejected() {
+        for bad in [
+            "Vec<u8>",
+            "std::io::Error",
+            "dyn Trait",
+            "impl Iterator",
+            "fn(i32)",
+            "f64",
+            "[u8]",
+            "char",
+        ] {
+            assert_eq!(ty(bad), None, "{bad}");
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Deterministic directory walking.
+//!
+//! The walker visits every `.rs` file under a root in a stable order (the
+//! relative path, byte-wise), so two ingest runs over the same tree produce
+//! byte-identical manifests. Real trees are messy; everything that cannot be
+//! walked becomes a counted skip reason instead of an error:
+//!
+//! * `target` directories (build output) are pruned, counted as `target-dir`;
+//! * hidden directories (`.git`, `.cargo`, ...) are pruned as `hidden-dir`;
+//! * symlinks are never followed (cycle safety), counted as `symlink`;
+//! * unreadable directories are counted as `unreadable-dir`.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One `.rs` file found by the walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalkedFile {
+    /// Absolute (or root-relative, if the root was relative) path on disk.
+    pub path: PathBuf,
+    /// Path relative to the walk root, always `/`-separated.
+    pub rel: String,
+}
+
+/// The result of walking a tree: files in sorted order plus skip counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalkReport {
+    /// Every `.rs` file, sorted by relative path.
+    pub files: Vec<WalkedFile>,
+    /// Counted reasons for everything the walk refused to descend into.
+    pub skipped: BTreeMap<String, usize>,
+}
+
+impl WalkReport {
+    fn skip(&mut self, reason: &str) {
+        *self.skipped.entry(reason.to_owned()).or_insert(0) += 1;
+    }
+}
+
+/// Walks `root` for Rust sources.
+///
+/// # Errors
+///
+/// Only a missing or non-directory *root* is an error; everything below it
+/// degrades into [`WalkReport::skipped`] counters.
+pub fn walk_rust_files(root: &Path) -> io::Result<WalkReport> {
+    let meta = std::fs::metadata(root)?;
+    if !meta.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("{} is not a directory", root.display()),
+        ));
+    }
+    let mut report = WalkReport::default();
+    walk_dir(root, root, &mut report);
+    report.files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(report)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}
+
+fn walk_dir(root: &Path, dir: &Path, report: &mut WalkReport) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => {
+            report.skip("unreadable-dir");
+            return;
+        }
+    };
+    let mut children: Vec<PathBuf> = Vec::new();
+    for entry in entries.flatten() {
+        children.push(entry.path());
+    }
+    // Sort within the directory so recursion order (and therefore skip
+    // counting) is stable even though the final file list is re-sorted.
+    children.sort();
+    for path in children {
+        let Ok(meta) = path.symlink_metadata() else {
+            report.skip("unreadable-dir");
+            continue;
+        };
+        if meta.file_type().is_symlink() {
+            report.skip("symlink");
+            continue;
+        }
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if meta.is_dir() {
+            if name == "target" {
+                report.skip("target-dir");
+            } else if name.starts_with('.') {
+                report.skip("hidden-dir");
+            } else {
+                walk_dir(root, &path, report);
+            }
+            continue;
+        }
+        if meta.is_file()
+            && std::path::Path::new(&name)
+                .extension()
+                .is_some_and(|e| e == "rs")
+        {
+            report.files.push(WalkedFile {
+                rel: rel_path(root, &path),
+                path,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("rstudy-ingest-walk-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn finds_rs_files_in_sorted_order() {
+        let dir = scratch("sorted");
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("zeta.rs"), "fn z() {}").unwrap();
+        std::fs::write(dir.join("alpha.rs"), "fn a() {}").unwrap();
+        std::fs::write(dir.join("sub/mid.rs"), "fn m() {}").unwrap();
+        std::fs::write(dir.join("notes.txt"), "not rust").unwrap();
+        let report = walk_rust_files(&dir).unwrap();
+        let rels: Vec<&str> = report.files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(rels, vec!["alpha.rs", "sub/mid.rs", "zeta.rs"]);
+    }
+
+    #[test]
+    fn prunes_target_and_hidden_dirs() {
+        let dir = scratch("pruned");
+        std::fs::create_dir_all(dir.join("target/debug")).unwrap();
+        std::fs::create_dir_all(dir.join(".git")).unwrap();
+        std::fs::write(dir.join("target/debug/gen.rs"), "fn g() {}").unwrap();
+        std::fs::write(dir.join(".git/hook.rs"), "fn h() {}").unwrap();
+        std::fs::write(dir.join("keep.rs"), "fn k() {}").unwrap();
+        let report = walk_rust_files(&dir).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.skipped.get("target-dir"), Some(&1));
+        assert_eq!(report.skipped.get("hidden-dir"), Some(&1));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinks_are_counted_not_followed() {
+        let dir = scratch("symlinks");
+        std::fs::write(dir.join("real.rs"), "fn r() {}").unwrap();
+        std::os::unix::fs::symlink(&dir, dir.join("loop")).unwrap();
+        let report = walk_rust_files(&dir).unwrap();
+        assert_eq!(report.files.len(), 1);
+        assert_eq!(report.skipped.get("symlink"), Some(&1));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(walk_rust_files(Path::new("/nonexistent/ingest/root")).is_err());
+    }
+
+    #[test]
+    fn walk_is_deterministic() {
+        let dir = scratch("determinism");
+        for n in ["b.rs", "a.rs", "c.rs"] {
+            std::fs::write(dir.join(n), "fn f() {}").unwrap();
+        }
+        let one = walk_rust_files(&dir).unwrap();
+        let two = walk_rust_files(&dir).unwrap();
+        assert_eq!(one, two);
+    }
+}

@@ -1,0 +1,57 @@
+//! Self-host ingestion: the pipeline pointed at this workspace's own
+//! `crates/` tree, which is real Rust containing real `unsafe` (epoll,
+//! eventfd, and signal bindings in the service crate).
+
+use std::path::PathBuf;
+
+use rstudy_ingest::ingest;
+
+fn crates_root() -> PathBuf {
+    // crates/ingest -> crates/
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+#[test]
+fn self_host_meets_corpus_floor() {
+    let m = ingest(&crates_root(), "self").unwrap();
+    println!(
+        "scanned={} skipped={} usages={} lowered={} fn_skips={:?}",
+        m.summary.files_scanned,
+        m.summary.files_skipped,
+        m.summary.unsafe_usages,
+        m.summary.fns_lowered,
+        m.fn_skips
+    );
+    assert!(
+        m.summary.files_scanned >= 100,
+        "want >= 100 files, got {}",
+        m.summary.files_scanned
+    );
+    assert!(
+        m.summary.fns_lowered >= 50,
+        "want >= 50 lowered fns, got {}",
+        m.summary.fns_lowered
+    );
+    assert!(m.summary.unsafe_usages > 0);
+}
+
+#[test]
+fn self_host_programs_all_validate() {
+    let m = ingest(&crates_root(), "self").unwrap();
+    for (path, unit) in m.lowered_units() {
+        let p = rstudy_mir::parse::parse_program(&unit.program)
+            .unwrap_or_else(|e| panic!("{path}: {e}"));
+        rstudy_mir::validate::validate_program(&p).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+    }
+}
+
+#[test]
+fn self_host_is_deterministic() {
+    let root = crates_root();
+    let one = ingest(&root, "self").unwrap();
+    let two = ingest(&root, "self").unwrap();
+    assert_eq!(one.to_json(), two.to_json());
+}

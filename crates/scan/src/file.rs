@@ -1,0 +1,106 @@
+//! File-level scanning hardened for real directory trees.
+//!
+//! The in-memory scanner ([`crate::scan_source`]) assumes it is handed
+//! valid UTF-8; real trees contain files that are unreadable (permissions,
+//! races with deletion), not UTF-8 (latin-1 comments, embedded test
+//! blobs), or empty. Walking a tree must *count* those files and move on —
+//! never abort the whole walk — so every failure mode is folded into the
+//! [`FileSkip`] taxonomy shared with the ingest pipeline.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::scanner::{scan_source, UnsafeUsage};
+
+/// Why a file was skipped instead of scanned. The variants double as the
+/// stable skip-reason keys recorded in ingest manifests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FileSkip {
+    /// The file could not be opened or read (permissions, vanished, ...).
+    Unreadable,
+    /// The contents are not valid UTF-8.
+    NonUtf8,
+    /// The file is empty (zero bytes, or only whitespace).
+    Empty,
+}
+
+impl FileSkip {
+    /// The stable key used in skip-reason counters and manifests.
+    pub fn key(self) -> &'static str {
+        match self {
+            FileSkip::Unreadable => "unreadable",
+            FileSkip::NonUtf8 => "non-utf8",
+            FileSkip::Empty => "empty",
+        }
+    }
+}
+
+impl fmt::Display for FileSkip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// Reads a Rust source file, classifying every failure mode as a
+/// [`FileSkip`] instead of an error that could abort a tree walk.
+pub fn read_rust_source(path: &Path) -> Result<String, FileSkip> {
+    let bytes = std::fs::read(path).map_err(|_| FileSkip::Unreadable)?;
+    let src = String::from_utf8(bytes).map_err(|_| FileSkip::NonUtf8)?;
+    if src.trim().is_empty() {
+        return Err(FileSkip::Empty);
+    }
+    Ok(src)
+}
+
+/// Scans one file for unsafe usages; skip reasons are data, not errors.
+pub fn scan_file(path: &Path) -> Result<Vec<UnsafeUsage>, FileSkip> {
+    let src = read_rust_source(path)?;
+    Ok(scan_source(&src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("rstudy-scan-file-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn scans_a_normal_file() {
+        let path = write_temp("ok.rs", b"fn f(p: *mut i32) { unsafe { *p = 1; } }");
+        let usages = scan_file(&path).unwrap();
+        assert_eq!(usages.len(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_unreadable_not_a_panic() {
+        let path = Path::new("/nonexistent/definitely/not/here.rs");
+        assert_eq!(scan_file(path).unwrap_err(), FileSkip::Unreadable);
+    }
+
+    #[test]
+    fn non_utf8_is_skipped_with_reason() {
+        let path = write_temp("bad.rs", &[0x66, 0x6e, 0x20, 0xff, 0xfe, 0x00]);
+        assert_eq!(scan_file(&path).unwrap_err(), FileSkip::NonUtf8);
+    }
+
+    #[test]
+    fn empty_and_whitespace_files_are_skipped() {
+        let empty = write_temp("empty.rs", b"");
+        assert_eq!(scan_file(&empty).unwrap_err(), FileSkip::Empty);
+        let blank = write_temp("blank.rs", b"  \n\t\n");
+        assert_eq!(scan_file(&blank).unwrap_err(), FileSkip::Empty);
+    }
+
+    #[test]
+    fn skip_keys_are_stable() {
+        assert_eq!(FileSkip::Unreadable.key(), "unreadable");
+        assert_eq!(FileSkip::NonUtf8.key(), "non-utf8");
+        assert_eq!(FileSkip::Empty.key(), "empty");
+    }
+}

@@ -15,8 +15,10 @@ pub enum TokenKind {
     Ident(String),
     /// A lifetime such as `'a` (the text excludes the quote).
     Lifetime(String),
-    /// Any literal (string, raw string, char, byte, number).
-    Literal,
+    /// Any literal (string, raw string, char, byte, number), carrying its
+    /// raw source text so downstream consumers (the ingest lowering) can
+    /// recover values without re-reading the file.
+    Literal(String),
     /// One punctuation character.
     Punct(char),
 }
@@ -48,11 +50,19 @@ impl Token {
     pub fn is_punct(&self, c: char) -> bool {
         matches!(&self.kind, TokenKind::Punct(p) if *p == c)
     }
+
+    /// Returns the raw source text if this is a literal token.
+    pub fn literal(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Literal(s) => Some(s),
+            _ => None,
+        }
+    }
 }
 
 /// Lexes Rust source into tokens, skipping comments and whitespace.
 ///
-/// The lexer is lossy by design (literal contents are discarded) but never
+/// Literal tokens keep their raw source text; the lexer never
 /// mis-brackets: every `{`/`}` that is real code is emitted, and none that
 /// sit inside strings or comments are.
 pub fn lex(src: &str) -> Vec<Token> {
@@ -60,6 +70,16 @@ pub fn lex(src: &str) -> Vec<Token> {
     let mut tokens = Vec::new();
     let mut i = 0;
     let mut line: u32 = 1;
+
+    // Escape handling can step past the end or into the middle of a
+    // multi-byte character; clamp a raw byte offset to a safe slice end.
+    let safe_end = |mut end: usize| {
+        end = end.min(src.len());
+        while end < src.len() && !src.is_char_boundary(end) {
+            end += 1;
+        }
+        end
+    };
 
     macro_rules! bump_line {
         ($c:expr) => {
@@ -129,7 +149,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                     j += 1;
                 }
                 tokens.push(Token {
-                    kind: TokenKind::Literal,
+                    kind: TokenKind::Literal(src[i..j].to_owned()),
                     line: tok_line,
                 });
                 i = j;
@@ -140,6 +160,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Plain and byte strings.
         if c == b'"' || (c == b'b' && i + 1 < bytes.len() && bytes[i + 1] == b'"') {
             let tok_line = line;
+            let tok_start = i;
             i += if c == b'b' { 2 } else { 1 };
             while i < bytes.len() {
                 if bytes[i] == b'\\' {
@@ -154,7 +175,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1;
             }
             tokens.push(Token {
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[tok_start..safe_end(i)].to_owned()),
                 line: tok_line,
             });
             continue;
@@ -179,6 +200,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             // Char literal: consume to the closing quote, honoring escapes.
             let tok_line = line;
+            let tok_start = i;
             i += 1;
             while i < bytes.len() {
                 if bytes[i] == b'\\' {
@@ -193,7 +215,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1;
             }
             tokens.push(Token {
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[tok_start..safe_end(i)].to_owned()),
                 line: tok_line,
             });
             continue;
@@ -201,6 +223,7 @@ pub fn lex(src: &str) -> Vec<Token> {
         // Numbers (digits, underscores, suffixes, hex/oct/bin, floats).
         if c.is_ascii_digit() {
             let tok_line = line;
+            let tok_start = i;
             while i < bytes.len()
                 && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
             {
@@ -215,7 +238,7 @@ pub fn lex(src: &str) -> Vec<Token> {
                 i += 1;
             }
             tokens.push(Token {
-                kind: TokenKind::Literal,
+                kind: TokenKind::Literal(src[tok_start..i].to_owned()),
                 line: tok_line,
             });
             continue;
@@ -294,7 +317,7 @@ mod tests {
         // The literal is one token.
         assert_eq!(
             ks.iter()
-                .filter(|k| matches!(k, TokenKind::Literal))
+                .filter(|k| matches!(k, TokenKind::Literal(_)))
                 .count(),
             1
         );
@@ -304,7 +327,7 @@ mod tests {
     fn lifetimes_are_not_char_literals() {
         let ks = kinds("&'a str; 'x'");
         assert!(ks.contains(&TokenKind::Lifetime("a".into())));
-        assert!(ks.contains(&TokenKind::Literal));
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Literal(_))));
     }
 
     #[test]
@@ -319,7 +342,7 @@ mod tests {
         let ks = kinds("1 2.5 0xff 1_000u64 1..3 x.max(1)");
         let literals = ks
             .iter()
-            .filter(|k| matches!(k, TokenKind::Literal))
+            .filter(|k| matches!(k, TokenKind::Literal(_)))
             .count();
         assert_eq!(literals, 7);
         // The range `..` survives as punctuation.
@@ -337,7 +360,7 @@ mod tests {
         assert!(ks.contains(&TokenKind::Ident("tail".into())));
         assert_eq!(
             ks.iter()
-                .filter(|k| matches!(k, TokenKind::Literal))
+                .filter(|k| matches!(k, TokenKind::Literal(_)))
                 .count(),
             2
         );

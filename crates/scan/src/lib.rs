@@ -13,14 +13,19 @@
 //!   `unsafe impl`, records the operations inside (raw-pointer use, unsafe
 //!   calls, static muts, union fields, FFI) and guesses the *purpose*
 //!   using the paper's categories (code reuse, performance, thread sharing);
-//! * [`stats`] — aggregates scanner output into the §4 summary tables.
+//! * [`stats`] — aggregates scanner output into the §4 summary tables;
+//! * [`file`] — file-level scanning hardened for real trees (non-UTF-8,
+//!   empty, and unreadable files become counted skip reasons, never
+//!   aborts).
 
 #![warn(missing_docs)]
+pub mod file;
 pub mod lexer;
 pub mod samples;
 pub mod scanner;
 pub mod stats;
 
+pub use file::{read_rust_source, scan_file, FileSkip};
 pub use lexer::{lex, Token, TokenKind};
 pub use scanner::{scan_source, OpKind, Purpose, UnsafeKind, UnsafeUsage};
 pub use stats::{ScanStats, UsageBreakdown};

@@ -42,8 +42,12 @@ pub struct LoadgenConfig {
     /// loopback port and shuts it down afterwards.
     pub addr: Option<SocketAddr>,
     /// Corpus entry names to cycle through; empty selects
-    /// [`LoadgenConfig::default_mix`].
+    /// [`LoadgenConfig::default_mix`]. With `manifest` set, names are
+    /// root-relative source-file paths inside the manifest instead.
     pub mix: Vec<String>,
+    /// Replay lowered programs out of an ingest manifest instead of the
+    /// built-in corpus; empty `mix` cycles through every lowered unit.
+    pub manifest: Option<std::path::PathBuf>,
     /// Transport for the in-process server (ignored when `addr` points at
     /// an external one). With `rate: 0.0` the run is closed-loop — each
     /// connection fires as soon as its previous response lands — which
@@ -67,6 +71,7 @@ impl Default for LoadgenConfig {
             connections: 4,
             addr: None,
             mix: Vec::new(),
+            manifest: None,
             transport: Transport::default(),
             scrape: false,
             scrape_addr: None,
@@ -282,22 +287,52 @@ struct Sinks {
 /// address is given. Returns an error only on setup failure (bad mix name,
 /// unreachable server); per-request failures are counted in the report.
 pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
-    let mix_names = if config.mix.is_empty() {
-        LoadgenConfig::default_mix()
+    let (mix_names, programs) = if let Some(mpath) = &config.manifest {
+        let m = rstudy_ingest::Manifest::load(mpath)?;
+        if config.mix.is_empty() {
+            let (names, programs): (Vec<String>, Vec<String>) = m
+                .lowered_units()
+                .map(|(path, unit)| (path.to_owned(), unit.program.clone()))
+                .unzip();
+            if names.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{}: manifest has no lowered programs", mpath.display()),
+                ));
+            }
+            (names, programs)
+        } else {
+            let mut programs = Vec::with_capacity(config.mix.len());
+            for name in &config.mix {
+                let unit = m.find_program(name).ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("no lowered program for entry `{name}` in manifest mix"),
+                    )
+                })?;
+                programs.push(unit.program.clone());
+            }
+            (config.mix.clone(), programs)
+        }
     } else {
-        config.mix.clone()
+        let mix_names = if config.mix.is_empty() {
+            LoadgenConfig::default_mix()
+        } else {
+            config.mix.clone()
+        };
+        let entries = rstudy_corpus::all_entries();
+        let mut programs = Vec::with_capacity(mix_names.len());
+        for name in &mix_names {
+            let entry = entries.iter().find(|e| e.name == *name).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown corpus program `{name}` in mix"),
+                )
+            })?;
+            programs.push(entry.source.to_owned());
+        }
+        (mix_names, programs)
     };
-    let entries = rstudy_corpus::all_entries();
-    let mut programs = Vec::with_capacity(mix_names.len());
-    for name in &mix_names {
-        let entry = entries.iter().find(|e| e.name == *name).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("unknown corpus program `{name}` in mix"),
-            )
-        })?;
-        programs.push(entry.source.to_owned());
-    }
     let connections = config.connections.max(1);
 
     let scrape = config.scrape || config.scrape_addr.is_some();
@@ -683,6 +718,51 @@ mod tests {
         };
         let err = run(&config).unwrap_err();
         assert!(err.to_string().contains("no_such_program"));
+    }
+
+    #[test]
+    fn manifest_mix_replays_lowered_programs() {
+        let dir = std::env::temp_dir().join("rstudy-loadgen-manifest-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.rs"), "fn add(x: i32, y: i32) -> i32 { x + y }").unwrap();
+        std::fs::write(dir.join("b.rs"), "fn id(x: u8) -> u8 { x }").unwrap();
+        let mpath = dir.join("manifest.json");
+        rstudy_ingest::ingest(&dir, "lg")
+            .unwrap()
+            .save(&mpath)
+            .unwrap();
+        let config = LoadgenConfig {
+            requests: 4,
+            connections: 2,
+            manifest: Some(mpath),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&config).unwrap();
+        assert_eq!(report.ok, 4);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.mix, vec!["a.rs".to_owned(), "b.rs".to_owned()]);
+    }
+
+    #[test]
+    fn unknown_manifest_entry_is_a_setup_error() {
+        let dir = std::env::temp_dir().join("rstudy-loadgen-manifest-miss-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.rs"), "fn id(x: u8) -> u8 { x }").unwrap();
+        let mpath = dir.join("manifest.json");
+        rstudy_ingest::ingest(&dir, "lg")
+            .unwrap()
+            .save(&mpath)
+            .unwrap();
+        let config = LoadgenConfig {
+            requests: 1,
+            manifest: Some(mpath),
+            mix: vec!["missing.rs".to_owned()],
+            ..LoadgenConfig::default()
+        };
+        let err = run(&config).unwrap_err();
+        assert!(err.to_string().contains("missing.rs"), "{err}");
     }
 
     #[test]

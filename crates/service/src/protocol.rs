@@ -19,7 +19,12 @@
 //! * `id` — any JSON value; echoed verbatim in the response so pipelined
 //!   clients can correlate.
 //! * `program` / `path` — the MIR source text, or a file to read it from.
-//!   Exactly one must be present on a `check`.
+//!   Exactly one of `program`, `path`, or `manifest` must be present on a
+//!   `check`.
+//! * `manifest` + `entry` — analyze a lowered program out of an
+//!   `rstudy-ingest/v1` corpus manifest: `manifest` is the manifest JSON's
+//!   path, `entry` the root-relative source-file path of the lowered unit
+//!   (e.g. `{"manifest": "out/manifest.json", "entry": "scan/src/lexer.rs"}`).
 //! * `detectors` — detector names to run (default: the full suite). The
 //!   run order is always canonical, so the detector *set* alone determines
 //!   the report.
@@ -82,6 +87,13 @@ pub enum ProgramSource {
     Text(String),
     /// A path to read MIR source from, resolved on the server.
     Path(String),
+    /// A lowered program inside an ingest manifest, resolved on the server.
+    Manifest {
+        /// Path to the `rstudy-ingest/v1` manifest JSON.
+        path: String,
+        /// Root-relative source-file path of the lowered unit to analyze.
+        entry: String,
+    },
 }
 
 /// A parsed `check` request.
@@ -150,6 +162,8 @@ const KNOWN_FIELDS: &[&str] = &[
     "id",
     "program",
     "path",
+    "manifest",
+    "entry",
     "detectors",
     "jobs",
     "naive",
@@ -218,19 +232,34 @@ pub fn parse_request(line: &str) -> Result<Request, RequestError> {
 fn parse_check(value: &Value, id: Option<Value>) -> Result<Request, RequestError> {
     let text = opt_string(value, "program", &id)?;
     let path = opt_string(value, "path", &id)?;
-    let source = match (text, path) {
-        (Some(text), None) => ProgramSource::Text(text),
-        (None, Some(path)) => ProgramSource::Path(path),
-        (Some(_), Some(_)) => {
+    let manifest = opt_string(value, "manifest", &id)?;
+    let entry = opt_string(value, "entry", &id)?;
+    if entry.is_some() && manifest.is_none() {
+        return Err(RequestError::new(id, "`entry` requires `manifest`"));
+    }
+    let source = match (text, path, manifest) {
+        (Some(text), None, None) => ProgramSource::Text(text),
+        (None, Some(path), None) => ProgramSource::Path(path),
+        (None, None, Some(path)) => {
+            let Some(entry) = entry else {
+                return Err(RequestError::new(
+                    id,
+                    "`manifest` requires `entry` (the lowered file to analyze)",
+                ));
+            };
+            ProgramSource::Manifest { path, entry }
+        }
+        (None, None, None) => {
             return Err(RequestError::new(
                 id,
-                "`program` and `path` are mutually exclusive",
+                "a check request needs `program` (inline MIR), `path` (file to \
+                 read), or `manifest` + `entry` (an ingested corpus)",
             ))
         }
-        (None, None) => {
+        _ => {
             return Err(RequestError::new(
                 id,
-                "a check request needs `program` (inline MIR) or `path` (file to read)",
+                "`program`, `path`, and `manifest` are mutually exclusive",
             ))
         }
     };
@@ -416,6 +445,29 @@ mod tests {
         assert_eq!(c.jobs, Some(2));
         assert!(c.naive && c.trace);
         assert_eq!(c.delay_ms, 5);
+    }
+
+    #[test]
+    fn parses_manifest_check() {
+        let r = parse_request(r#"{"manifest":"out/manifest.json","entry":"src/lib.rs"}"#).unwrap();
+        let Command::Check(c) = r.command else {
+            panic!("expected check");
+        };
+        assert_eq!(
+            c.source,
+            ProgramSource::Manifest {
+                path: "out/manifest.json".into(),
+                entry: "src/lib.rs".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn manifest_and_entry_come_together_and_exclude_other_sources() {
+        assert!(parse_request(r#"{"manifest":"m.json"}"#).is_err());
+        assert!(parse_request(r#"{"entry":"src/lib.rs"}"#).is_err());
+        assert!(parse_request(r#"{"program":"x","manifest":"m.json","entry":"a.rs"}"#).is_err());
+        assert!(parse_request(r#"{"path":"a.mir","manifest":"m.json","entry":"a.rs"}"#).is_err());
     }
 
     #[test]

@@ -2072,6 +2072,15 @@ fn start_check(
             Ok(text) => text,
             Err(e) => return fail(format!("{path}: {e}")),
         },
+        ProgramSource::Manifest { path, entry } => {
+            match rstudy_ingest::Manifest::load(std::path::Path::new(path)) {
+                Ok(m) => match m.find_program(entry) {
+                    Some(unit) => unit.program.clone(),
+                    None => return fail(format!("{path}: no lowered program for entry `{entry}`")),
+                },
+                Err(e) => return fail(e.to_string()),
+            }
+        }
     };
     let detectors = match canonical_detectors(check.detectors.as_deref()) {
         Ok(d) => d,

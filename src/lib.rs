@@ -3,12 +3,13 @@
 //! See the individual crates for documentation:
 //! [`rstudy_mir`], [`rstudy_analysis`], [`rstudy_core`], [`rstudy_interp`],
 //! [`rstudy_scan`], [`rstudy_dataset`], [`rstudy_corpus`],
-//! [`rstudy_telemetry`].
+//! [`rstudy_ingest`], [`rstudy_telemetry`].
 
 pub use rstudy_analysis as analysis;
 pub use rstudy_core as core;
 pub use rstudy_corpus as corpus;
 pub use rstudy_dataset as dataset;
+pub use rstudy_ingest as ingest;
 pub use rstudy_interp as interp;
 pub use rstudy_mir as mir;
 pub use rstudy_scan as scan;

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! rust-safety-study check <file.mir> [--naive] [--json]   run the static detectors
+//! rust-safety-study check --manifest <path>        run the suite over an ingested corpus
 //! rust-safety-study run <file.mir> [--seed N]      execute on the checked interpreter
 //! rust-safety-study lint <file.mir>                IDE-style lints (implicit unlocks, …)
 //! rust-safety-study scan <path>...                 unsafe-usage scanner over .rs files
+//! rust-safety-study ingest <dir> [--out <dir>]     register a real-Rust tree as a corpus
 //! rust-safety-study report [--json]                regenerate the study's tables/figures
 //! rust-safety-study corpus [name]                  list corpus entries / print one
 //! rust-safety-study serve [--port N] [--stdin]     long-running analysis service
@@ -66,7 +68,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let code = match cmd.as_str() {
-        "check" => cmd_check(&args[1..], jobs),
+        "check" => cmd_check(&mut args[1..].to_vec(), jobs),
+        "ingest" => cmd_ingest(&mut args[1..].to_vec()),
         "serve" => cmd_serve(&mut args[1..].to_vec(), jobs),
         "loadgen" => cmd_loadgen(&mut args[1..].to_vec()),
         "run" => cmd_run(&args[1..]),
@@ -138,9 +141,11 @@ rust-safety-study — static & dynamic Rust-safety tooling (PLDI 2020 reproducti
 
 USAGE:
   rust-safety-study check <file.mir> [--naive] [--trace] [--json]
+  rust-safety-study check --manifest <path> [--json]   suite over an ingested corpus
   rust-safety-study run <file.mir> [--seed N] [--max-steps N] [--trace]
   rust-safety-study lint <file.mir>              critical sections & hazards
   rust-safety-study scan <path>...               scan .rs files for unsafe usages
+  rust-safety-study ingest <dir> [INGEST FLAGS]  walk/scan/lower a real-Rust tree
   rust-safety-study report [--json]              Tables 1-4, Figures 1-2, §4 stats
   rust-safety-study corpus [name]                list / print corpus programs
   rust-safety-study serve [SERVE FLAGS]          long-running analysis service (NDJSON)
@@ -162,12 +167,19 @@ SERVE FLAGS:
   --slow-ms <N>         promote requests slower than N ms into the flight
                         recorder's incident buffer (`{\"cmd\":\"incidents\"}`)
 
+INGEST FLAGS:
+  --out <dir>           write manifest.json and stats-diff.json into <dir>
+  --name <name>         corpus name (default: the root directory's name)
+  --json                print the full manifest instead of the summary + diff
+
 LOADGEN FLAGS:
   --requests <N>        total requests to send (default 100)
   --rate <R>            open-loop target rate in req/s (default 0 = unpaced)
   --connections <N>     concurrent client connections (default 4)
   --addr <host:port>    target server (default: boot one in-process)
   --mix <a,b,...>       corpus program names to cycle through
+  --manifest <path>     replay lowered programs from an ingest manifest
+                        (--mix then selects root-relative file paths in it)
   --transport <T>       transport for the in-process server: `epoll` or `poll`
   --out <path>          latency/throughput report (default BENCH_serve.json)
   --suite-out <path>    also run the offline suite benchmark (BENCH_suite.json)
@@ -193,15 +205,26 @@ fn load(path: &str) -> Result<Program, String> {
     Ok(program)
 }
 
-fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("check: missing <file.mir>");
-        return ExitCode::from(2);
-    };
+fn cmd_check(args: &mut Vec<String>, jobs: usize) -> ExitCode {
     let config = if args.iter().any(|a| a == "--naive") {
         DetectorConfig::naive()
     } else {
         DetectorConfig::new()
+    };
+    let manifest = match take_value(args, "--manifest") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(mpath) = manifest {
+        let json = args.iter().any(|a| a == "--json");
+        return check_manifest(&mpath, config, jobs, json);
+    }
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("check: missing <file.mir>");
+        return ExitCode::from(2);
     };
     let program = match load(path) {
         Ok(p) => p,
@@ -235,6 +258,146 @@ fn cmd_check(args: &[String], jobs: usize) -> ExitCode {
     }
     println!("{}: {} finding(s)", path, report.len());
     ExitCode::FAILURE
+}
+
+/// Serializable output of `check --manifest --json`.
+#[derive(serde::Serialize)]
+struct ManifestCheckOutput {
+    manifest: String,
+    programs: usize,
+    findings: usize,
+    reports: Vec<ManifestReportEntry>,
+}
+
+/// One `(file, report)` pair in [`ManifestCheckOutput`].
+#[derive(serde::Serialize)]
+struct ManifestReportEntry {
+    path: String,
+    report: rust_safety_study::core::suite::Report,
+}
+
+/// Runs the detector suite over every lowered program in an ingest
+/// manifest (`check --manifest <path>`). Exit: 2 on a load/parse error,
+/// failure when any program has findings, success otherwise.
+fn check_manifest(mpath: &str, config: DetectorConfig, jobs: usize, json: bool) -> ExitCode {
+    use rust_safety_study::ingest::Manifest;
+    let m = match Manifest::load(Path::new(mpath)) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("check: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut programs = Vec::new();
+    for (path, unit) in m.lowered_units() {
+        match parse_program(&unit.program) {
+            Ok(p) => programs.push((path.to_owned(), p)),
+            Err(e) => {
+                eprintln!("check: {mpath}: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let suite = DetectorSuite::new().with_config(config).with_jobs(jobs);
+    let reports = suite.check_programs(programs.iter().map(|(n, p)| (n.as_str(), p)));
+    let findings: usize = reports.iter().map(|(_, r)| r.len()).sum();
+    if json {
+        let out = ManifestCheckOutput {
+            manifest: m.name.clone(),
+            programs: reports.len(),
+            findings,
+            reports: reports
+                .into_iter()
+                .map(|(path, report)| ManifestReportEntry { path, report })
+                .collect(),
+        };
+        let json = serde_json::to_string(&out).expect("report serialization cannot fail");
+        println!("{json}");
+    } else {
+        for (path, report) in &reports {
+            for d in report.diagnostics() {
+                println!("{path}: {d}");
+            }
+        }
+        println!(
+            "{mpath}: {} program(s), {findings} finding(s)",
+            reports.len()
+        );
+    }
+    if findings == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses and runs the `ingest` subcommand: walk a directory of real Rust,
+/// scan + lower it, register the corpus manifest, and print the scan-stats
+/// diff against the paper's §4 distributions.
+fn cmd_ingest(args: &mut Vec<String>) -> ExitCode {
+    use rust_safety_study::dataset::compare::compare_scan;
+    use rust_safety_study::ingest::{default_corpus_name, ingest};
+
+    let parsed = (|| {
+        let out = take_value(args, "--out")?.map(std::path::PathBuf::from);
+        let name = take_value(args, "--name")?;
+        let json = take_flag(args, "--json");
+        let positionals: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        let root = match positionals.as_slice() {
+            [one] => std::path::PathBuf::from(one.as_str()),
+            [] => return Err("ingest: missing <dir>".to_owned()),
+            [_, extra, ..] => return Err(format!("ingest: unexpected argument `{extra}`")),
+        };
+        Ok((root, out, name, json))
+    })();
+    let (root, out, name, json) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let name = name.unwrap_or_else(|| default_corpus_name(&root));
+    let manifest = match ingest(&root, &name) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("ingest: {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let diff = compare_scan(&manifest.stats);
+    if json {
+        print!("{}", manifest.to_json());
+    } else {
+        let s = &manifest.summary;
+        println!(
+            "{name}: scanned {} file(s) ({} skipped), {} unsafe usage(s), \
+             lowered {} fn(s) ({} skipped)",
+            s.files_scanned, s.files_skipped, s.unsafe_usages, s.fns_lowered, s.fns_skipped
+        );
+        print!("{}", diff.render());
+    }
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("ingest: {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = dir.join("manifest.json");
+        if let Err(e) = manifest.save(&path) {
+            eprintln!("ingest: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let diff_path = dir.join("stats-diff.json");
+        let diff_json =
+            serde_json::to_string_pretty(&diff).expect("diff serialization cannot fail");
+        if let Err(e) = std::fs::write(&diff_path, diff_json + "\n") {
+            eprintln!("ingest: {}: {e}", diff_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+        eprintln!("wrote {}", diff_path.display());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Parses and runs the `serve` subcommand. `default_jobs` is the global
@@ -402,6 +565,9 @@ fn cmd_loadgen(args: &mut Vec<String>) -> ExitCode {
         }
         if let Some(s) = take_value(args, "--mix")? {
             config.mix = s.split(',').map(|m| m.trim().to_owned()).collect();
+        }
+        if let Some(s) = take_value(args, "--manifest")? {
+            config.manifest = Some(std::path::PathBuf::from(s));
         }
         if let Some(s) = take_value(args, "--transport")? {
             config.transport = s.parse().map_err(|e| format!("--transport: {e}"))?;
